@@ -1,0 +1,128 @@
+/**
+ * @file bench_ann_comparison.cc
+ * Substrate study (paper §2's algorithm discussion): IVF-PQ versus a
+ * graph index (HNSW) versus the ScaNN-style tree on the same synthetic
+ * corpus. The paper argues IVF-PQ wins at RAG hyperscale because of
+ * memory efficiency even though graphs do less work per query; this
+ * harness quantifies both sides: recall, distance evaluations /
+ * scanned bytes per query, and index memory.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "retrieval/ann/dataset.h"
+#include "retrieval/ann/flat_index.h"
+#include "retrieval/ann/hnsw_index.h"
+#include "retrieval/ann/ivfpq_index.h"
+#include "retrieval/ann/recall.h"
+#include "retrieval/ann/scann_tree.h"
+
+namespace {
+
+rago::ann::Matrix Copy(const rago::ann::Matrix& m) {
+  rago::ann::Matrix out(m.rows(), m.dim());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    out.CopyRowFrom(m, i, i);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rago;
+  using namespace rago::bench;
+  using namespace rago::ann;
+
+  const size_t n = 20'000;
+  const size_t dim = 64;
+  Rng rng(77);
+  const Matrix data = GenClustered(n, dim, 64, 0.3f, rng);
+  const Matrix queries = GenQueriesNear(data, 32, 0.1f, rng);
+
+  const FlatIndex flat(Copy(data), Metric::kL2);
+  std::vector<std::vector<Neighbor>> truth;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    truth.push_back(flat.Search(queries.Row(q), 10));
+  }
+
+  Banner("ANN algorithm comparison (20K x 64-d clustered vectors)");
+  TextTable table;
+  table.SetHeader({"index", "setting", "recall@10", "work/query",
+                   "index bytes/vector"});
+
+  // IVF-PQ: 8-byte codes + coarse centroids.
+  {
+    IvfPqOptions options;
+    options.nlist = 128;
+    options.pq_subspaces = 8;
+    Rng build_rng(1);
+    const IvfPqIndex index(Copy(data), options, build_rng);
+    for (int nprobe : {4, 16, 64}) {
+      std::vector<std::vector<Neighbor>> results;
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        results.push_back(index.Search(queries.Row(q), 10, nprobe, 100));
+      }
+      table.AddRow({"IVF-PQ", "nprobe=" + std::to_string(nprobe),
+                    TextTable::Num(MeanRecallAtK(results, truth, 10), 3),
+                    TextTable::Num(index.ExpectedScannedBytes(nprobe), 4) +
+                        " B scanned",
+                    TextTable::Num(8.0 + 128.0 * dim * 4 / n, 3)});
+    }
+  }
+
+  // ScaNN-style tree.
+  {
+    ScannTreeOptions options;
+    options.levels = 2;
+    options.fanout = 16;
+    options.pq_subspaces = 8;
+    Rng build_rng(2);
+    const ScannTree tree(Copy(data), options, build_rng);
+    for (int beam : {4, 16, 64}) {
+      std::vector<std::vector<Neighbor>> results;
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        results.push_back(tree.Search(queries.Row(q), 10, beam, 100));
+      }
+      table.AddRow({"ScaNN-tree", "beam=" + std::to_string(beam),
+                    TextTable::Num(MeanRecallAtK(results, truth, 10), 3),
+                    TextTable::Num(tree.ExpectedLeafBytesScanned(beam), 4) +
+                        " B scanned",
+                    "8 (+tree)"});
+    }
+  }
+
+  // HNSW graph: full-precision vectors + links.
+  {
+    Rng build_rng(3);
+    const HnswIndex index(Copy(data), Metric::kL2, HnswOptions{},
+                          build_rng);
+    const double bytes_per_vector =
+        dim * 4.0 +
+        static_cast<double>(index.GraphBytes()) / static_cast<double>(n);
+    for (int ef : {16, 64, 128}) {
+      std::vector<std::vector<Neighbor>> results;
+      int64_t evals = 0;
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        results.push_back(index.Search(queries.Row(q), 10, ef));
+        evals += index.last_distance_evals();
+      }
+      table.AddRow({"HNSW", "ef=" + std::to_string(ef),
+                    TextTable::Num(MeanRecallAtK(results, truth, 10), 3),
+                    TextTable::Num(static_cast<double>(evals) /
+                                       static_cast<double>(queries.rows()),
+                                   4) +
+                        " dists",
+                    TextTable::Num(bytes_per_vector, 4)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "(paper 2: PQ stores ~8 B/vector vs ~%zu B/vector for the graph -\n"
+      " a ~%zux memory gap that decides hyperscale feasibility, while the\n"
+      " graph needs orders of magnitude fewer distance evaluations)\n",
+      static_cast<size_t>(dim * 4 + 100), static_cast<size_t>(dim / 2));
+  return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file bench_common.h
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation: same series, same axes, printed as aligned text tables.
+ * Absolute values come from this repo's re-implementation of the
+ * published cost models; the reproduction target is the *shape* (see
+ * EXPERIMENTS.md).
+ */
+#ifndef RAGO_BENCH_BENCH_COMMON_H
+#define RAGO_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "rago/optimizer.h"
+
+namespace rago::bench {
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Moderate search grids that keep every harness under a minute.
+inline opt::SearchOptions StandardGrid() {
+  opt::SearchOptions options;
+  options.batch_sizes = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  options.decode_batch_sizes = {1, 4, 16, 64, 256, 1024};
+  return options;
+}
+
+/// Coarser grid for the largest searches (Case IV, plan frontiers).
+inline opt::SearchOptions CoarseGrid() {
+  opt::SearchOptions options;
+  options.batch_sizes = {1, 4, 16, 64, 256};
+  options.decode_batch_sizes = {4, 16, 64, 256, 1024};
+  return options;
+}
+
+/// Renders a Pareto frontier as TTFT / QPS/Chip rows.
+inline void PrintFrontier(const std::string& title,
+                          const std::vector<opt::ScheduledPoint>& points) {
+  TextTable table(title);
+  table.SetHeader({"TTFT (ms)", "QPS/Chip", "QPS", "TPOT (ms)", "chips"});
+  for (const auto& point : points) {
+    table.AddRow({TextTable::Num(ToMillis(point.perf.ttft), 5),
+                  TextTable::Num(point.perf.qps_per_chip, 4),
+                  TextTable::Num(point.perf.qps, 4),
+                  TextTable::Num(ToMillis(point.perf.tpot), 4),
+                  std::to_string(point.perf.chip_equivalents)});
+  }
+  table.Print();
+}
+
+/// Lowest TTFT among frontier points with throughput >= target.
+inline double TtftAtThroughput(
+    const std::vector<opt::ScheduledPoint>& frontier, double min_qpc) {
+  double best = -1.0;
+  for (const auto& point : frontier) {  // Sorted by ascending TTFT.
+    if (point.perf.qps_per_chip >= min_qpc) {
+      best = point.perf.ttft;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace rago::bench
+
+#endif  // RAGO_BENCH_BENCH_COMMON_H

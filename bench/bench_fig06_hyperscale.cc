@@ -1,0 +1,80 @@
+/**
+ * @file bench_fig06_hyperscale.cc
+ * Reproduces paper Figure 6: Case I (hyperscale retrieval).
+ *  (a,b) TTFT vs QPS/Chip Pareto for 8B and 70B LLMs at 1/2/4/8 query
+ *        vectors per retrieval, plus a no-retrieval reference with the
+ *        same prefix length.
+ *  (c,d) Resource-normalized time breakdown across retrieval / prefix
+ *        / decode.
+ *
+ * Paper shape: for 8B, QPS roughly halves as queries double (retrieval
+ * bound); for 70B, inference dominates until ~4 queries, then
+ * retrieval takes over.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+int main() {
+  using namespace rago;
+  using namespace rago::bench;
+
+  for (int size : {8, 70}) {
+    Banner("Figure 6: QPS/Chip Pareto, " + std::to_string(size) + "B LLM");
+    for (int queries : {1, 2, 4, 8}) {
+      const core::PipelineModel model(
+          core::MakeHyperscaleSchema(size, queries), DefaultCluster());
+      const opt::OptimizerResult result =
+          opt::Optimizer(model, StandardGrid()).Search();
+      PrintFrontier(std::to_string(queries) + " queries/retrieval",
+                    result.pareto);
+    }
+    // "No retrieval" line: same 512-token prefix, retrieval disabled.
+    core::RAGSchema no_retrieval = core::MakeLlmOnlySchema(size);
+    no_retrieval.workload.prefix_tokens = 512;
+    const core::PipelineModel model(no_retrieval, DefaultCluster());
+    const opt::OptimizerResult result =
+        opt::Optimizer(model, StandardGrid()).Search();
+    PrintFrontier("no retrieval (same prefix len)", result.pareto);
+  }
+
+  for (int size : {8, 70}) {
+    Banner("Figure 6c/d: time breakdown, " + std::to_string(size) +
+           "B LLM + large-scale retrieval");
+    TextTable table;
+    table.SetHeader({"queries", "retrieval %", "prefix %", "decode %"});
+    for (int queries : {1, 2, 4, 8}) {
+      const core::PipelineModel model(
+          core::MakeHyperscaleSchema(size, queries), DefaultCluster());
+      double retrieval = 0.0;
+      double prefix = 0.0;
+      double decode = 0.0;
+      for (const core::StageShare& share : model.TimeBreakdown()) {
+        switch (share.stage) {
+          case core::StageType::kRetrieval:
+            retrieval = share.fraction;
+            break;
+          case core::StageType::kPrefix:
+            prefix = share.fraction;
+            break;
+          case core::StageType::kDecode:
+            decode = share.fraction;
+            break;
+          default:
+            break;
+        }
+      }
+      table.AddRow({std::to_string(queries),
+                    TextTable::Num(100 * retrieval, 3),
+                    TextTable::Num(100 * prefix, 3),
+                    TextTable::Num(100 * decode, 3)});
+    }
+    table.Print();
+  }
+  return 0;
+}

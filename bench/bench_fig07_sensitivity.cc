@@ -1,0 +1,110 @@
+/**
+ * @file bench_fig07_sensitivity.cc
+ * Reproduces paper Figure 7 (and echoes Table 2): sensitivity of the
+ * retrieval time share in Case I to
+ *  (a) the XPU generation (A/B/C) across 1B-405B LLMs,
+ *  (b) the scanned database fraction (0.01% / 0.1% / 1%),
+ *  (c) prefix and decode sequence lengths (heatmap, 8B LLM).
+ *
+ * Paper shape: newer XPUs raise the retrieval share (up to ~25pp);
+ * larger scan fractions raise it sharply; longer sequences lower it
+ * (86.3% at 128/128 down to ~31% at 2048/512 in the paper).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+
+namespace {
+
+double RetrievalShare(const rago::core::PipelineModel& model) {
+  for (const rago::core::StageShare& share : model.TimeBreakdown()) {
+    if (share.stage == rago::core::StageType::kRetrieval) {
+      return share.fraction;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rago;
+  using namespace rago::bench;
+
+  Banner("Table 2: XPU generations");
+  {
+    TextTable table;
+    table.SetHeader({"XPU", "TFLOPS", "HBM (GB)", "Mem BW (GB/s)",
+                     "ICI BW (GB/s)"});
+    for (XpuVersion version :
+         {XpuVersion::kA, XpuVersion::kB, XpuVersion::kC}) {
+      const XpuSpec xpu = MakeXpu(version);
+      table.AddRow({xpu.name, TextTable::Num(xpu.peak_flops / kTera, 4),
+                    TextTable::Num(xpu.hbm_bytes / kGiB, 3),
+                    TextTable::Num(xpu.hbm_bw / kGiga, 4),
+                    TextTable::Num(xpu.ici_bw / kGiga, 3)});
+    }
+    table.Print();
+  }
+
+  Banner("Figure 7a: retrieval share vs XPU generation");
+  {
+    TextTable table;
+    table.SetHeader({"model", "XPU-A %", "XPU-B %", "XPU-C %"});
+    for (int size : {1, 8, 70, 405}) {
+      std::vector<std::string> row = {"RAG " + std::to_string(size) + "B"};
+      for (XpuVersion version :
+           {XpuVersion::kA, XpuVersion::kB, XpuVersion::kC}) {
+        ClusterConfig cluster = DefaultCluster();
+        cluster.xpu = MakeXpu(version);
+        const core::PipelineModel model(core::MakeHyperscaleSchema(size, 1),
+                                        cluster);
+        row.push_back(TextTable::Num(100 * RetrievalShare(model), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  Banner("Figure 7b: retrieval share vs scanned database fraction");
+  {
+    TextTable table;
+    table.SetHeader({"model", "0.01% scan", "0.1% scan", "1.0% scan"});
+    for (int size : {1, 8, 70, 405}) {
+      std::vector<std::string> row = {"RAG " + std::to_string(size) + "B"};
+      for (double fraction : {0.0001, 0.001, 0.01}) {
+        core::RAGSchema schema = core::MakeHyperscaleSchema(size, 1);
+        schema.retrieval.scan_fraction = fraction;
+        const core::PipelineModel model(schema, DefaultCluster());
+        row.push_back(TextTable::Num(100 * RetrievalShare(model), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  Banner("Figure 7c: retrieval share vs prefix/decode length (8B LLM)");
+  {
+    TextTable table;
+    table.SetHeader({"decode\\prefix", "128", "256", "512", "1024", "2048"});
+    for (int decode : {128, 256, 512}) {
+      std::vector<std::string> row = {std::to_string(decode)};
+      for (int prefix : {128, 256, 512, 1024, 2048}) {
+        core::RAGSchema schema = core::MakeHyperscaleSchema(8, 1);
+        schema.workload.prefix_tokens = prefix;
+        schema.workload.decode_tokens = decode;
+        const core::PipelineModel model(schema, DefaultCluster());
+        row.push_back(TextTable::Num(100 * RetrievalShare(model), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("(paper: 86.3%% at 128/128 shrinking to 30.9%% at "
+                "2048/512)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file bench_fig08_long_context.cc
+ * Reproduces paper Figure 8: Case II (long-context sequence
+ * processing) with a 70B generative LLM.
+ *  (a) TTFT vs QPS/Chip Pareto for context lengths 100K / 1M / 10M
+ *      plus the "no long context" reference.
+ *  (b) Time breakdown across encode / retrieval / prefix / decode.
+ * Also reports the RAG vs long-context-LLM comparison from §5.2
+ * (paper: 2852.6x TTFT and 6633.9x QPS/Chip at 1M tokens).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+int main() {
+  using namespace rago;
+  using namespace rago::bench;
+
+  Banner("Figure 8a: QPS/Chip Pareto, 70B LLM, long-context RAG");
+  {
+    // "No long context": plain 512-token prompt without retrieval.
+    core::RAGSchema plain = core::MakeLlmOnlySchema(70);
+    plain.workload.prefix_tokens = 512;
+    const core::PipelineModel model(plain, LargeCluster());
+    PrintFrontier("no long context",
+                  opt::Optimizer(model, StandardGrid()).Search().pareto);
+  }
+  for (int64_t context : {100'000LL, 1'000'000LL, 10'000'000LL}) {
+    const core::PipelineModel model(core::MakeLongContextSchema(70, context),
+                                    LargeCluster());
+    const opt::OptimizerResult result =
+        opt::Optimizer(model, StandardGrid()).Search();
+    PrintFrontier("context len: " + std::to_string(context / 1000) + "K",
+                  result.pareto);
+  }
+
+  Banner("Figure 8b: time breakdown, 70B LLM + long-context retrieval");
+  {
+    TextTable table;
+    table.SetHeader(
+        {"context", "encode %", "retrieval %", "prefix %", "decode %"});
+    for (int64_t context : {100'000LL, 1'000'000LL, 10'000'000LL}) {
+      const core::PipelineModel model(
+          core::MakeLongContextSchema(70, context), LargeCluster());
+      double shares[4] = {0, 0, 0, 0};
+      for (const core::StageShare& share : model.TimeBreakdown()) {
+        switch (share.stage) {
+          case core::StageType::kDatabaseEncode:
+            shares[0] = share.fraction;
+            break;
+          case core::StageType::kRetrieval:
+            shares[1] = share.fraction;
+            break;
+          case core::StageType::kPrefix:
+            shares[2] = share.fraction;
+            break;
+          case core::StageType::kDecode:
+            shares[3] = share.fraction;
+            break;
+          default:
+            break;
+        }
+      }
+      table.AddRow({std::to_string(context / 1000) + "K",
+                    TextTable::Num(100 * shares[0], 3),
+                    TextTable::Num(100 * shares[1], 3),
+                    TextTable::Num(100 * shares[2], 3),
+                    TextTable::Num(100 * shares[3], 3)});
+    }
+    table.Print();
+  }
+
+  Banner("RAG vs long-context LLM (paper 5.2, 1M tokens, 70B)");
+  {
+    // Fixed comparable schedules on the large cluster.
+    const core::PipelineModel rag(core::MakeLongContextSchema(70, 1'000'000),
+                                  LargeCluster());
+    core::Schedule rag_schedule;
+    rag_schedule.chain_group = {0, 1};
+    rag_schedule.group_chips = {64, 16};
+    rag_schedule.chain_batch = {1, 1};
+    rag_schedule.decode_chips = 16;
+    rag_schedule.decode_batch = 64;
+    rag_schedule.retrieval_servers = 1;
+    rag_schedule.retrieval_batch = 1;
+    const core::EndToEndPerf rag_perf = rag.Evaluate(rag_schedule);
+
+    const core::PipelineModel llm(
+        core::MakeLongContextLlmOnlySchema(70, 1'000'000), LargeCluster());
+    core::Schedule llm_schedule;
+    llm_schedule.chain_group = {0};
+    llm_schedule.group_chips = {64};
+    llm_schedule.chain_batch = {1};
+    llm_schedule.decode_chips = 32;
+    llm_schedule.decode_batch = 8;  // 1M-token KV caches cap the batch.
+    llm_schedule.retrieval_servers = 1;
+    const core::EndToEndPerf llm_perf = llm.Evaluate(llm_schedule);
+
+    std::printf("RAG:              TTFT %.3f s, QPS/Chip %.4f\n",
+                rag_perf.ttft, rag_perf.qps_per_chip);
+    std::printf("long-context LLM: TTFT %.1f s, QPS/Chip %.6f\n",
+                llm_perf.ttft, llm_perf.qps_per_chip);
+    std::printf("speedup: %.0fx TTFT, %.0fx QPS/Chip "
+                "(paper: 2852.6x TTFT, 6633.9x QPS/Chip)\n",
+                llm_perf.ttft / rag_perf.ttft,
+                rag_perf.qps_per_chip / llm_perf.qps_per_chip);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file bench_fig15_rago_vs_baseline.cc
+ * Reproduces paper Figure 15 (the headline result): RAGO versus the
+ * LLM-only-system extension baseline on Case II (long-context, 70B,
+ * 1M tokens) and Case IV (rewriter + reranker, 70B), 128-XPU cluster.
+ *
+ * Paper shape: RAGO achieves ~1.7x (C-II) and ~1.5x (C-IV) higher max
+ * QPS/Chip, and up to 55% lower TTFT at matched throughput.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+namespace {
+
+void Compare(const char* name, const rago::core::RAGSchema& schema,
+             double paper_speedup) {
+  using namespace rago;
+  using namespace rago::bench;
+
+  const core::PipelineModel model(schema, LargeCluster());
+  const opt::Optimizer optimizer(model, StandardGrid());
+  const opt::OptimizerResult rago_result = optimizer.Search();
+  const opt::OptimizerResult baseline = optimizer.SearchBaseline();
+
+  Banner(std::string("Figure 15 ") + name);
+  PrintFrontier("RAGO", rago_result.pareto);
+  PrintFrontier("Baseline (LLM-only extension)", baseline.pareto);
+
+  const double rago_max = rago_result.MaxQpsPerChip().perf.qps_per_chip;
+  const double base_max = baseline.MaxQpsPerChip().perf.qps_per_chip;
+  std::printf("max QPS/Chip: RAGO %.3f vs baseline %.3f -> %.2fx "
+              "(paper: %.1fx)\n",
+              rago_max, base_max, rago_max / base_max, paper_speedup);
+
+  // TTFT at matched throughput: lowest RAGO TTFT that still meets the
+  // baseline's best QPS/Chip.
+  const double base_ttft = baseline.MaxQpsPerChip().perf.ttft;
+  const double rago_ttft = TtftAtThroughput(rago_result.pareto, base_max);
+  if (rago_ttft > 0) {
+    std::printf("TTFT at baseline's max throughput: RAGO %.3f s vs "
+                "baseline %.3f s -> %.0f%% reduction (paper: up to 55%%)\n",
+                rago_ttft, base_ttft, 100.0 * (1.0 - rago_ttft / base_ttft));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Compare("(a) Case II: long-context 70B, 1M tokens",
+          rago::core::MakeLongContextSchema(70, 1'000'000), 1.7);
+  Compare("(b) Case IV: rewriter + reranker, 70B",
+          rago::core::MakeRewriterRerankerSchema(70), 1.5);
+  return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file bench_fig17_placement.cc
+ * Reproduces paper Figure 17: sensitivity to the task placement
+ * policy. For each placement option (fully collocated, fully
+ * disaggregated, and hybrids) the harness reports that placement's own
+ * Pareto frontier extremes.
+ *
+ * Paper shape: Case II is placement-insensitive (~2% max QPS/Chip
+ * spread) because encode and prefix are both compute-intense; Case IV
+ * is sensitive (~1.5x) because collocating the autoregressive
+ * rewrite-decode with prefix wastes XPUs and the group pauses for
+ * retrieval.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+namespace {
+
+void PlacementStudy(const char* name, const rago::core::RAGSchema& schema,
+                    const rago::opt::SearchOptions& grid) {
+  using namespace rago;
+  using namespace rago::bench;
+
+  const core::PipelineModel model(schema, LargeCluster());
+  const opt::Optimizer probe(model, grid);
+  const auto placements = probe.PlacementOptions();
+
+  Banner(std::string("Figure 17 ") + name);
+  TextTable table;
+  table.SetHeader({"placement", "max QPS/Chip", "min TTFT (ms)"});
+  double best = 0.0;
+  double worst = 1e30;
+  for (size_t p = 0; p < placements.size(); ++p) {
+    opt::SearchOptions options = grid;
+    options.placement_filter = static_cast<int>(p);
+    const opt::OptimizerResult result =
+        opt::Optimizer(model, options).Search();
+    if (result.pareto.empty()) {
+      continue;
+    }
+    const double max_qpc = result.MaxQpsPerChip().perf.qps_per_chip;
+    const double min_ttft = result.MinTtft().perf.ttft;
+    best = std::max(best, max_qpc);
+    worst = std::min(worst, max_qpc);
+    table.AddRow({probe.PlacementLabel(placements[p]),
+                  TextTable::Num(max_qpc, 4),
+                  TextTable::Num(ToMillis(min_ttft), 5)});
+  }
+  table.Print();
+  std::printf("max QPS/Chip spread across placements: %.2fx\n",
+              best / worst);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rago;
+  PlacementStudy("(a) Case II: long-context 70B, 1M tokens (paper: ~2%)",
+                 core::MakeLongContextSchema(70, 1'000'000),
+                 bench::StandardGrid());
+  PlacementStudy("(b) Case IV: rewriter + reranker, 70B (paper: ~1.5x)",
+                 core::MakeRewriterRerankerSchema(70), bench::CoarseGrid());
+  return 0;
+}

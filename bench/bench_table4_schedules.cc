@@ -1,0 +1,98 @@
+/**
+ * @file bench_table4_schedules.cc
+ * Reproduces paper Table 4: the concrete schedules RAGO and the
+ * baseline pick in Case II (long-context 70B, 1M tokens, 128 XPUs) at
+ * the max-QPS/Chip and min-TTFT ends of the frontier: batch sizes per
+ * stage, XPU allocation, and the resulting TTFT / QPS/Chip.
+ *
+ * Paper shape: RAGO's throughput point gives most XPUs to the encoder
+ * (64 of 96) with small encode batches and a large prefix batch; the
+ * latency point collocates encode+prefix with batch 1.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+namespace {
+
+void AddRow(rago::TextTable& table, const char* name,
+            const rago::opt::ScheduledPoint& point,
+            const rago::core::PipelineModel& model) {
+  using rago::TextTable;
+  const auto& schedule = point.schedule;
+  const auto& chain = model.chain();
+  std::string encode_batch = "-";
+  std::string prefix_batch = "-";
+  std::string encode_chips = "-";
+  std::string prefix_chips = "-";
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const int g = schedule.chain_group[i];
+    const bool collocated =
+        schedule.chain_group.front() == schedule.chain_group.back();
+    const std::string chips =
+        std::to_string(schedule.group_chips[static_cast<size_t>(g)]) +
+        (collocated && chain.size() > 1 ? " (col)" : "");
+    if (chain[i] == rago::core::StageType::kDatabaseEncode) {
+      encode_batch = std::to_string(schedule.chain_batch[i]);
+      encode_chips = chips;
+    } else if (chain[i] == rago::core::StageType::kPrefix) {
+      prefix_batch = std::to_string(schedule.chain_batch[i]);
+      prefix_chips = chips;
+    }
+  }
+  table.AddRow({name, TextTable::Num(point.perf.ttft, 4),
+                TextTable::Num(point.perf.qps_per_chip, 4), encode_batch,
+                std::to_string(schedule.retrieval_batch), prefix_batch,
+                std::to_string(schedule.decode_batch), encode_chips,
+                prefix_chips, std::to_string(schedule.decode_chips),
+                std::to_string(schedule.AllocatedXpus())});
+}
+
+}  // namespace
+
+int main() {
+  using namespace rago;
+  using namespace rago::bench;
+
+  Banner("Table 4: RAGO vs baseline schedules, Case II (70B, 1M tokens)");
+  const core::PipelineModel model(core::MakeLongContextSchema(70, 1'000'000),
+                                  LargeCluster());
+  const opt::Optimizer optimizer(model, StandardGrid());
+  const opt::OptimizerResult rago_result = optimizer.Search();
+  const opt::OptimizerResult baseline = optimizer.SearchBaseline();
+
+  TextTable table;
+  table.SetHeader({"schedule", "TTFT (s)", "QPS/Chip", "b.enc", "b.retr",
+                   "b.prefix", "b.decode", "XPU enc", "XPU prefix",
+                   "XPU dec", "XPU total"});
+  AddRow(table, "RAGO (max QPS/Chip)", rago_result.MaxQpsPerChip(), model);
+  // The paper's throughput row keeps TTFT at 2.47 s; report our best
+  // throughput point under a comparable 3 s TTFT ceiling.
+  {
+    const opt::ScheduledPoint* bounded = nullptr;
+    for (const opt::ScheduledPoint& point : rago_result.pareto) {
+      if (point.perf.ttft <= 3.0 &&
+          (bounded == nullptr ||
+           point.perf.qps_per_chip > bounded->perf.qps_per_chip)) {
+        bounded = &point;
+      }
+    }
+    if (bounded != nullptr) {
+      AddRow(table, "RAGO (max QPS/Chip, TTFT<=3s)", *bounded, model);
+    }
+  }
+  AddRow(table, "RAGO (min TTFT)", rago_result.MinTtft(), model);
+  AddRow(table, "Baseline (max QPS/Chip)", baseline.MaxQpsPerChip(), model);
+  AddRow(table, "Baseline (min TTFT)", baseline.MinTtft(), model);
+  table.Print();
+
+  std::printf(
+      "(paper Table 4: RAGO max-QPS = encode 64 XPUs / prefix 16 / decode "
+      "16,\n encode batch 2, prefix batch 128, decode batch 1024; both "
+      "min-TTFT rows\n collocate encode+prefix on 64 XPUs at batch 1)\n");
+  return 0;
+}

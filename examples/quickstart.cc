@@ -1,0 +1,59 @@
+/**
+ * @file quickstart.cc
+ * Quickstart: describe a RAG workload with RAGSchema, build the
+ * pipeline performance model, run the RAGO optimizer, and inspect the
+ * TTFT x QPS/Chip Pareto frontier and the winning schedules.
+ *
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+int main() {
+  using namespace rago;
+
+  // 1. Describe the workload: a hyperscale-retrieval RAG pipeline
+  //    (paper Case I) with an 8B generative LLM, one query vector per
+  //    retrieval, and the paper's default sequence lengths.
+  core::RAGSchema schema = core::MakeHyperscaleSchema(/*llm_billions=*/8,
+                                                      /*queries_per_retrieval=*/1);
+
+  // 2. Describe the hardware: 16 host servers, 4 XPU-C each, the
+  //    quantized 64-billion-vector database sharded across the hosts.
+  const ClusterConfig cluster = DefaultCluster();
+
+  // 3. Build the performance model and run the optimizer.
+  const core::PipelineModel model(schema, cluster);
+  const opt::Optimizer optimizer(model);
+  const opt::OptimizerResult result = optimizer.Search();
+
+  std::printf("searched %lld schedules (%lld feasible)\n",
+              static_cast<long long>(result.schedules_evaluated),
+              static_cast<long long>(result.schedules_feasible));
+  std::printf("Pareto frontier (%zu points):\n", result.pareto.size());
+  for (const opt::ScheduledPoint& point : result.pareto) {
+    std::printf("  TTFT %7.2f ms | QPS/Chip %6.2f | QPS %7.1f | "
+                "prefix x%d chips, decode x%d chips\n",
+                ToMillis(point.perf.ttft), point.perf.qps_per_chip,
+                point.perf.qps, point.schedule.group_chips[0],
+                point.schedule.decode_chips);
+  }
+
+  // 4. Inspect the two ends of the frontier.
+  const opt::ScheduledPoint& throughput = result.MaxQpsPerChip();
+  const opt::ScheduledPoint& latency = result.MinTtft();
+  std::printf("\nthroughput-optimal: %.2f QPS/Chip at %.1f ms TTFT "
+              "(batch %lld, retrieval batch %lld)\n",
+              throughput.perf.qps_per_chip,
+              ToMillis(throughput.perf.ttft),
+              static_cast<long long>(throughput.schedule.chain_batch[0]),
+              static_cast<long long>(throughput.schedule.retrieval_batch));
+  std::printf("latency-optimal:    %.2f QPS/Chip at %.1f ms TTFT\n",
+              latency.perf.qps_per_chip, ToMillis(latency.perf.ttft));
+  return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file rewrite_rerank_pipeline.cc
+ * Scenario: a production search assistant with a query rewriter in
+ * front of retrieval and a reranker behind it (paper Case IV).
+ * Compares placement policies and prints the schedule RAGO picks.
+ */
+#include <cstdio>
+
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+
+int main() {
+  using namespace rago;
+
+  const core::PipelineModel model(core::MakeRewriterRerankerSchema(70),
+                                  LargeCluster());
+  opt::SearchOptions options;
+  options.batch_sizes = {1, 4, 16, 64, 256};
+  options.decode_batch_sizes = {16, 64, 256, 1024};
+  const opt::Optimizer optimizer(model, options);
+
+  std::printf("pipeline: rewrite(prefix+decode) -> retrieval -> rerank "
+              "-> prefix -> decode\n\n");
+
+  // Compare the two placement extremes against the full search.
+  auto run_placement = [&](int filter, const char* name) {
+    opt::SearchOptions filtered = options;
+    filtered.placement_filter = filter;
+    const opt::OptimizerResult result =
+        opt::Optimizer(model, filtered).Search();
+    if (result.pareto.empty()) {
+      std::printf("%-24s infeasible\n", name);
+      return;
+    }
+    std::printf("%-24s max %5.3f QPS/Chip, min TTFT %6.1f ms\n", name,
+                result.MaxQpsPerChip().perf.qps_per_chip,
+                ToMillis(result.MinTtft().perf.ttft));
+  };
+  run_placement(0, "fully collocated:");
+  const int placements =
+      static_cast<int>(optimizer.PlacementOptions().size());
+  run_placement(placements - 1, "fully disaggregated:");
+
+  const opt::OptimizerResult full = optimizer.Search();
+  const opt::ScheduledPoint& best = full.MaxQpsPerChip();
+  std::printf("%-24s max %5.3f QPS/Chip, min TTFT %6.1f ms\n\n",
+              "RAGO (all placements):", best.perf.qps_per_chip,
+              ToMillis(full.MinTtft().perf.ttft));
+
+  std::printf("winning placement: %s\n",
+              optimizer.PlacementLabel(best.schedule.chain_group).c_str());
+  for (size_t i = 0; i < model.chain().size(); ++i) {
+    const int g = best.schedule.chain_group[i];
+    std::printf("  %-14s group %d, %2d XPUs, batch %lld\n",
+                core::StageName(model.chain()[i]), g,
+                best.schedule.group_chips[static_cast<size_t>(g)],
+                static_cast<long long>(best.schedule.chain_batch[i]));
+  }
+  std::printf("  %-14s          %2d XPUs, batch %lld\n", "decode",
+              best.schedule.decode_chips,
+              static_cast<long long>(best.schedule.decode_batch));
+  std::printf("\nlesson (paper 5.4/7): keep the tiny rewriter off the "
+              "prefix\nchips and never let a collocated group idle "
+              "through retrieval.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file check.h
+ * Error handling primitives.
+ *
+ * The library distinguishes two failure classes, mirroring gem5's
+ * fatal/panic split:
+ *  - configuration errors (the caller's fault): throw ConfigError via
+ *    RAGO_REQUIRE so applications can catch and report them;
+ *  - internal invariant violations (a library bug): RAGO_CHECK throws
+ *    InternalError with file/line context.
+ */
+#ifndef RAGO_COMMON_CHECK_H
+#define RAGO_COMMON_CHECK_H
+
+#include <stdexcept>
+#include <string>
+
+namespace rago {
+
+/// Thrown when user-provided configuration is invalid.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (library bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void ThrowConfig(const std::string& msg) {
+  throw ConfigError(msg);
+}
+
+[[noreturn]] inline void ThrowInternal(const char* file, int line,
+                                       const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) + ": " +
+                      msg);
+}
+
+}  // namespace detail
+}  // namespace rago
+
+/// Validate user-facing configuration; throws rago::ConfigError.
+#define RAGO_REQUIRE(cond, msg)            \
+  do {                                     \
+    if (!(cond)) {                         \
+      ::rago::detail::ThrowConfig((msg));  \
+    }                                      \
+  } while (false)
+
+/// Validate internal invariants; throws rago::InternalError.
+#define RAGO_CHECK(cond, msg)                                   \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::rago::detail::ThrowInternal(__FILE__, __LINE__, (msg)); \
+    }                                                           \
+  } while (false)
+
+#endif  // RAGO_COMMON_CHECK_H

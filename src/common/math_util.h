@@ -1,0 +1,67 @@
+/**
+ * @file math_util.h
+ * Small numeric helpers shared across modules.
+ */
+#ifndef RAGO_COMMON_MATH_UTIL_H
+#define RAGO_COMMON_MATH_UTIL_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rago {
+
+/// Ceiling division for non-negative integers.
+inline constexpr int64_t CeilDiv(int64_t a, int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// True if `x` is a (positive) power of two.
+inline constexpr bool IsPowerOfTwo(int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x must be positive).
+inline int64_t NextPowerOfTwo(int64_t x) {
+  RAGO_CHECK(x > 0, "NextPowerOfTwo requires positive input");
+  int64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// All powers of two in [lo, hi], inclusive.
+inline std::vector<int64_t> PowersOfTwoInRange(int64_t lo, int64_t hi) {
+  std::vector<int64_t> out;
+  for (int64_t p = 1; p <= hi; p <<= 1) {
+    if (p >= lo) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+/// `n` logarithmically spaced values from lo to hi (inclusive); lo,hi > 0.
+inline std::vector<double> LogSpace(double lo, double hi, int n) {
+  RAGO_CHECK(lo > 0 && hi > 0 && n >= 2, "LogSpace needs lo,hi>0 and n>=2");
+  std::vector<double> out(static_cast<size_t>(n));
+  const double step = (std::log(hi) - std::log(lo)) / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = std::exp(std::log(lo) + step * i);
+  }
+  return out;
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps).
+inline double RelDiff(double a, double b, double eps = 1e-30) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_MATH_UTIL_H

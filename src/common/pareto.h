@@ -1,0 +1,148 @@
+/**
+ * @file pareto.h
+ * Pareto-frontier utilities.
+ *
+ * RAGO's search (paper Algorithm 1) prunes per-stage candidate
+ * configurations and the final end-to-end schedules to their Pareto
+ * frontiers over (latency: lower is better, throughput: higher is
+ * better). The helpers here are generic over the payload carried with
+ * each point so the same code serves stage profiles and full schedules.
+ */
+#ifndef RAGO_COMMON_PARETO_H
+#define RAGO_COMMON_PARETO_H
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace rago {
+
+/// A 2-D objective sample: minimize `latency`, maximize `throughput`.
+template <typename Payload>
+struct ParetoPoint {
+  double latency = 0.0;     ///< Seconds; lower is better.
+  double throughput = 0.0;  ///< Per-second rate; higher is better.
+  Payload payload{};        ///< Configuration that produced this point.
+};
+
+/// True if `a` dominates `b` (no worse in both axes, better in one).
+template <typename Payload>
+bool Dominates(const ParetoPoint<Payload>& a, const ParetoPoint<Payload>& b) {
+  const bool no_worse = a.latency <= b.latency && a.throughput >= b.throughput;
+  const bool better = a.latency < b.latency || a.throughput > b.throughput;
+  return no_worse && better;
+}
+
+/**
+ * Reduces `points` to its Pareto frontier.
+ *
+ * The result is sorted by ascending latency with strictly increasing
+ * throughput; exact duplicates keep their first occurrence. Runs in
+ * O(n log n).
+ */
+template <typename Payload>
+std::vector<ParetoPoint<Payload>> ParetoFrontier(
+    std::vector<ParetoPoint<Payload>> points) {
+  if (points.empty()) {
+    return points;
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.latency != b.latency) {
+                       return a.latency < b.latency;
+                     }
+                     return a.throughput > b.throughput;
+                   });
+  std::vector<ParetoPoint<Payload>> frontier;
+  double best_throughput = -1.0;
+  for (auto& p : points) {
+    if (p.throughput > best_throughput) {
+      best_throughput = p.throughput;
+      frontier.push_back(std::move(p));
+    }
+  }
+  return frontier;
+}
+
+/**
+ * Incrementally maintained Pareto frontier.
+ *
+ * Offer() costs O(log n) for rejected (dominated) candidates, which is
+ * the common case in large searches; accepted candidates additionally
+ * erase the points they dominate. The payload is only materialized for
+ * accepted points, so callers can pass a factory for expensive
+ * payloads.
+ */
+template <typename Payload>
+class OnlineParetoFront {
+ public:
+  /// True if a point with this (latency, throughput) would be kept.
+  bool WouldAccept(double latency, double throughput) const {
+    auto it = points_.upper_bound(latency);
+    if (it == points_.begin()) {
+      return true;
+    }
+    --it;  // Greatest latency <= candidate's.
+    return it->second.throughput < throughput;
+  }
+
+  /// Inserts the point if non-dominated; evicts points it dominates.
+  /// Returns true when inserted.
+  bool Offer(double latency, double throughput, Payload payload) {
+    if (!WouldAccept(latency, throughput)) {
+      return false;
+    }
+    // Drop an existing point at identical latency (it has lower
+    // throughput, or WouldAccept had rejected us).
+    auto it = points_.find(latency);
+    if (it != points_.end()) {
+      points_.erase(it);
+    }
+    it = points_
+             .emplace(latency,
+                      ParetoPoint<Payload>{latency, throughput,
+                                           std::move(payload)})
+             .first;
+    // Erase successors this point dominates (higher latency, lower or
+    // equal throughput).
+    auto next = std::next(it);
+    while (next != points_.end() && next->second.throughput <= throughput) {
+      next = points_.erase(next);
+    }
+    return true;
+  }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Extracts the frontier sorted by ascending latency.
+  std::vector<ParetoPoint<Payload>> Take() {
+    std::vector<ParetoPoint<Payload>> out;
+    out.reserve(points_.size());
+    for (auto& [key, point] : points_) {
+      out.push_back(std::move(point));
+    }
+    points_.clear();
+    return out;
+  }
+
+ private:
+  std::map<double, ParetoPoint<Payload>> points_;
+};
+
+/// True if no point in `points` dominates another (frontier invariant).
+template <typename Payload>
+bool IsParetoFrontier(const std::vector<ParetoPoint<Payload>>& points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i != j && Dominates(points[i], points[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_PARETO_H

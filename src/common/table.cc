@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rago {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string TextTable::ToString() const {
+  // Compute per-column widths across header and rows.
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::ostringstream os;
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << row[i];
+      os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  size_t total = 1;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+  const std::string rule(total, '-');
+
+  if (!title_.empty()) {
+    os << title_ << "\n";
+  }
+  os << rule << "\n";
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << "\n";
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  os << rule << "\n";
+  return os.str();
+}
+
+std::string TextTable::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << row[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace rago

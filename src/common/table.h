@@ -1,0 +1,48 @@
+/**
+ * @file table.h
+ * Plain-text table rendering for benchmark harness output.
+ *
+ * Every figure/table harness in bench/ prints its series through
+ * TextTable so the output lines up with the rows the paper reports and
+ * can be diffed between runs. A CSV emitter is provided for plotting.
+ */
+#ifndef RAGO_COMMON_TABLE_H
+#define RAGO_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rago {
+
+/// Column-aligned ASCII table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (may differ in width from the header).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders the table with column alignment and separators.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (header first if set).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_TABLE_H

@@ -1,0 +1,42 @@
+/**
+ * @file units.h
+ * Unit helpers and numeric constants used across the RAGO library.
+ *
+ * All physical quantities in the library use SI base units expressed as
+ * `double`: seconds for time, bytes for data, FLOPs for compute work.
+ * Rates are per-second (bytes/s, FLOP/s, queries/s). The helpers below
+ * exist so call sites read like the paper ("96 GB HBM", "459 TFLOPS")
+ * instead of bare exponents.
+ */
+#ifndef RAGO_COMMON_UNITS_H
+#define RAGO_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace rago {
+
+/// Decimal multipliers (used for FLOPS, network/memory bandwidth, counts).
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Binary multipliers (used for memory capacities).
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+/// Milliseconds/microseconds to seconds.
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+
+/// Convert seconds to milliseconds (for reporting only).
+inline constexpr double ToMillis(double seconds) { return seconds * 1e3; }
+
+/// Convert seconds to microseconds (for reporting only).
+inline constexpr double ToMicros(double seconds) { return seconds * 1e6; }
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_UNITS_H

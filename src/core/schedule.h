@@ -1,0 +1,91 @@
+/**
+ * @file schedule.h
+ * A complete RAG serving schedule: placement + allocation + batching.
+ *
+ * The three scheduling decisions of RAGO (paper §6.1):
+ *  - task placement: which pre-prefix stages share ("collocate" on)
+ *    the same XPU group, expressed as a non-decreasing group id per
+ *    stage of the prefix chain;
+ *  - resource allocation: XPU count per group, decode XPU count, and
+ *    retrieval server count;
+ *  - batching policy: per-stage batch sizes, the decode continuous
+ *    batch, and the iterative retrieval/prefix batch (Case III).
+ */
+#ifndef RAGO_CORE_SCHEDULE_H
+#define RAGO_CORE_SCHEDULE_H
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rago::core {
+
+/// One candidate scheduling policy for a RAGSchema pipeline.
+struct Schedule {
+  /**
+   * Collocation group of each prefix-chain stage (same order as
+   * RAGSchema::PrefixChainStages()). Ids start at 0 and are
+   * non-decreasing; equal ids mean the stages time-multiplex one XPU
+   * group. Only neighboring stages may share a group (paper Fig. 13).
+   */
+  std::vector<int> chain_group;
+  /// XPUs allocated to each collocation group.
+  std::vector<int> group_chips;
+  /// Batch size of each prefix-chain stage.
+  std::vector<int64_t> chain_batch;
+
+  int decode_chips = 1;        ///< XPUs for the main-LLM decode stage.
+  int64_t decode_batch = 1;    ///< Continuous-batching batch size.
+  int retrieval_servers = 1;   ///< CPU servers serving the database.
+  int64_t retrieval_batch = 1; ///< Request batch per initial retrieval.
+  /// Batch for decoder-initiated retrieval+prefix rounds (Case III).
+  int64_t iterative_batch = 1;
+
+  /// XPUs allocated to inference stages (groups + decode).
+  int AllocatedXpus() const {
+    return std::accumulate(group_chips.begin(), group_chips.end(), 0) +
+           decode_chips;
+  }
+
+  /// Number of collocation groups.
+  int NumGroups() const { return static_cast<int>(group_chips.size()); }
+
+  /// Structural validation against a chain of `chain_size` stages.
+  void Validate(size_t chain_size) const {
+    RAGO_REQUIRE(chain_group.size() == chain_size,
+                 "chain_group size must match the prefix chain");
+    RAGO_REQUIRE(chain_batch.size() == chain_size,
+                 "chain_batch size must match the prefix chain");
+    RAGO_REQUIRE(!group_chips.empty(), "at least one XPU group required");
+    int prev = 0;
+    for (size_t i = 0; i < chain_group.size(); ++i) {
+      const int g = chain_group[i];
+      RAGO_REQUIRE(g >= 0 && g < NumGroups(), "group id out of range");
+      RAGO_REQUIRE(g >= prev && g - prev <= 1,
+                   "group ids must be non-decreasing without gaps");
+      prev = g;
+    }
+    RAGO_REQUIRE(chain_group.empty() || chain_group.front() == 0,
+                 "group ids must start at 0");
+    RAGO_REQUIRE(chain_group.empty() ||
+                     chain_group.back() == NumGroups() - 1,
+                 "every group must own at least one stage");
+    for (int chips : group_chips) {
+      RAGO_REQUIRE(chips > 0, "each group needs at least one XPU");
+    }
+    RAGO_REQUIRE(decode_chips > 0, "decode needs at least one XPU");
+    for (int64_t b : chain_batch) {
+      RAGO_REQUIRE(b > 0, "batch sizes must be positive");
+    }
+    RAGO_REQUIRE(decode_batch > 0 && retrieval_batch > 0 &&
+                     iterative_batch > 0,
+                 "batch sizes must be positive");
+    RAGO_REQUIRE(retrieval_servers > 0, "retrieval needs a server");
+  }
+};
+
+}  // namespace rago::core
+
+#endif  // RAGO_CORE_SCHEDULE_H

@@ -1,0 +1,167 @@
+#include "core/schema.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace rago::core {
+
+std::vector<StageType>
+RAGSchema::PrefixChainStages() const {
+  std::vector<StageType> chain;
+  if (document_encoder.has_value()) {
+    chain.push_back(StageType::kDatabaseEncode);
+  }
+  if (query_rewriter.has_value()) {
+    chain.push_back(StageType::kRewritePrefix);
+    chain.push_back(StageType::kRewriteDecode);
+  }
+  if (reranker.has_value()) {
+    chain.push_back(StageType::kRerank);
+  }
+  chain.push_back(StageType::kPrefix);
+  return chain;
+}
+
+std::vector<StageType>
+RAGSchema::AllStages() const {
+  std::vector<StageType> all = PrefixChainStages();
+  // Retrieval happens after query rewriting: insert it before the
+  // rerank stage (or before prefix if there is no reranker), then
+  // append decode.
+  if (retrieval_enabled) {
+    auto pos = all.end();
+    for (auto it = all.begin(); it != all.end(); ++it) {
+      if (*it == StageType::kRerank || *it == StageType::kPrefix) {
+        pos = it;
+        break;
+      }
+    }
+    all.insert(pos, StageType::kRetrieval);
+  }
+  all.push_back(StageType::kDecode);
+  return all;
+}
+
+void
+RAGSchema::Validate() const {
+  generative_llm.Validate();
+  RAGO_REQUIRE(generative_llm.kind == models::ModelKind::kDecoder,
+               "generative LLM must be a decoder");
+  if (document_encoder.has_value()) {
+    document_encoder->Validate();
+    RAGO_REQUIRE(document_encoder->kind == models::ModelKind::kEncoder,
+                 "document encoder must be an encoder model");
+    RAGO_REQUIRE(workload.context_tokens > 0,
+                 "document encoder requires context_tokens > 0");
+  }
+  if (query_rewriter.has_value()) {
+    query_rewriter->Validate();
+    RAGO_REQUIRE(query_rewriter->kind == models::ModelKind::kDecoder,
+                 "query rewriter must be a decoder");
+    RAGO_REQUIRE(workload.rewrite_output_tokens > 0,
+                 "rewriter output length must be positive");
+  }
+  if (reranker.has_value()) {
+    reranker->Validate();
+    RAGO_REQUIRE(reranker->kind == models::ModelKind::kEncoder,
+                 "reranker must be an encoder model");
+    RAGO_REQUIRE(workload.rerank_candidates > 0,
+                 "rerank candidate count must be positive");
+  }
+  if (retrieval_enabled) {
+    RAGO_REQUIRE(retrieval.num_db_vectors > 0,
+                 "retrieval database must contain vectors");
+    RAGO_REQUIRE(retrieval.queries_per_retrieval > 0,
+                 "queries per retrieval must be positive");
+    RAGO_REQUIRE(retrieval.retrievals_per_sequence > 0,
+                 "retrievals per sequence must be positive");
+    RAGO_REQUIRE(
+        retrieval.brute_force ||
+            (retrieval.scan_fraction > 0 && retrieval.scan_fraction <= 1.0),
+        "ANN scan fraction must be in (0, 1]");
+  }
+  RAGO_REQUIRE(workload.prefix_tokens > 0 && workload.decode_tokens > 0,
+               "prefix and decode lengths must be positive");
+  RAGO_REQUIRE(workload.prefix_cache_hit_rate >= 0.0 &&
+                   workload.prefix_cache_hit_rate < 1.0,
+               "prefix cache hit rate must be in [0, 1)");
+}
+
+namespace {
+
+WorkloadConfig DefaultRagWorkload() {
+  return WorkloadConfig{};  // Paper defaults: 512 prefix / 256 decode.
+}
+
+}  // namespace
+
+RAGSchema
+MakeHyperscaleSchema(int llm_billions, int queries_per_retrieval) {
+  RAGSchema schema;
+  schema.generative_llm = models::LlamaBySize(llm_billions);
+  schema.retrieval.queries_per_retrieval = queries_per_retrieval;
+  schema.workload = DefaultRagWorkload();
+  schema.Validate();
+  return schema;
+}
+
+RAGSchema
+MakeLongContextSchema(int llm_billions, int64_t context_tokens) {
+  RAGSchema schema;
+  schema.generative_llm = models::LlamaBySize(llm_billions);
+  schema.document_encoder = models::Encoder120M();
+  schema.workload = DefaultRagWorkload();
+  schema.workload.context_tokens = context_tokens;
+  // Per-request database: one vector per encoded chunk, fp16 storage,
+  // searched exactly (paper uses brute-force kNN here).
+  schema.retrieval.brute_force = true;
+  schema.retrieval.num_db_vectors =
+      CeilDiv(context_tokens, schema.workload.encode_chunk_tokens);
+  schema.retrieval.pq_bytes_per_vector = 0.0;  // Unused in brute force.
+  schema.Validate();
+  return schema;
+}
+
+RAGSchema
+MakeIterativeSchema(int llm_billions, int retrievals_per_sequence) {
+  RAGSchema schema = MakeHyperscaleSchema(llm_billions, 1);
+  schema.retrieval.retrievals_per_sequence = retrievals_per_sequence;
+  schema.Validate();
+  return schema;
+}
+
+RAGSchema
+MakeRewriterRerankerSchema(int llm_billions) {
+  RAGSchema schema = MakeHyperscaleSchema(llm_billions, 1);
+  schema.query_rewriter = models::Llama8B();
+  schema.reranker = models::Encoder120M();
+  schema.Validate();
+  return schema;
+}
+
+RAGSchema
+MakeLlmOnlySchema(int llm_billions) {
+  RAGSchema schema;
+  schema.generative_llm = models::LlamaBySize(llm_billions);
+  schema.retrieval_enabled = false;
+  schema.workload = DefaultRagWorkload();
+  // Without retrieved passages the prompt is just the question.
+  schema.workload.prefix_tokens = schema.workload.question_tokens;
+  schema.Validate();
+  return schema;
+}
+
+RAGSchema
+MakeLongContextLlmOnlySchema(int llm_billions, int64_t context_tokens) {
+  RAGSchema schema;
+  schema.generative_llm = models::LlamaBySize(llm_billions);
+  schema.retrieval_enabled = false;
+  schema.workload = DefaultRagWorkload();
+  schema.workload.context_tokens = context_tokens;
+  schema.workload.prefix_tokens =
+      static_cast<int>(context_tokens) + schema.workload.question_tokens;
+  schema.Validate();
+  return schema;
+}
+
+}  // namespace rago::core

@@ -1,0 +1,109 @@
+/**
+ * @file schema.h
+ * RAGSchema: the paper's structured RAG workload abstraction.
+ *
+ * RAGSchema (paper §3.2, Table 1) captures (1) which optional pipeline
+ * components are present — document encoder, query rewriter, reranker —
+ * and (2) the performance-relevant configuration of each: model sizes,
+ * database size and dimensionality, queries per retrieval, and
+ * iterative retrieval frequency. Together with the workload's sequence
+ * lengths it fully determines serving cost under the RAGO models.
+ */
+#ifndef RAGO_CORE_SCHEMA_H
+#define RAGO_CORE_SCHEMA_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/stage.h"
+#include "models/transformer.h"
+
+namespace rago::core {
+
+/// Retrieval-side configuration (paper Table 1 rows 2-5).
+struct RetrievalConfig {
+  int64_t num_db_vectors = 64'000'000'000;  ///< Database vector count.
+  int vector_dim = 768;                     ///< Embedding dimensionality.
+  double pq_bytes_per_vector = 96.0;        ///< Quantized bytes per vector.
+  double scan_fraction = 0.001;             ///< P_scan (ANN search).
+  int queries_per_retrieval = 1;            ///< Query vectors per retrieval.
+  int retrievals_per_sequence = 1;          ///< >1 enables iterative mode.
+  /// Exact scan instead of ANN (small per-request databases, Case II).
+  bool brute_force = false;
+  /// Bytes per dimension for brute-force storage (fp16).
+  double brute_force_bytes_per_dim = 2.0;
+};
+
+/// Token-length assumptions (paper §4 "LLM sequence lengths").
+struct WorkloadConfig {
+  int question_tokens = 32;    ///< User question length.
+  int prefix_tokens = 512;     ///< Question + retrieved content.
+  int decode_tokens = 256;     ///< Generated answer length.
+  int passage_tokens = 100;    ///< Tokens per retrieved passage.
+  int neighbors = 5;           ///< Passages appended to the prompt.
+  int rerank_candidates = 16;  ///< Passages scored by the reranker.
+  int rewrite_output_tokens = 32;   ///< Rewriter generation length.
+  int64_t context_tokens = 0;       ///< Long-context upload (Case II).
+  int encode_chunk_tokens = 128;    ///< Chunk size for database encoding.
+  /**
+   * Fraction of the retrieved-content prompt whose KV cache can be
+   * reused from a document-level cache (RAGCache / CacheBlend-style,
+   * paper §8). Reduces prefix compute for the cached tokens; 0
+   * disables the optimization.
+   */
+  double prefix_cache_hit_rate = 0.0;
+};
+
+/// Complete RAG serving workload description.
+struct RAGSchema {
+  std::optional<models::TransformerConfig> document_encoder;
+  std::optional<models::TransformerConfig> query_rewriter;
+  std::optional<models::TransformerConfig> reranker;
+  models::TransformerConfig generative_llm;
+  RetrievalConfig retrieval;
+  WorkloadConfig workload;
+  /// Disable retrieval entirely (LLM-only baselines in Fig. 5/6).
+  bool retrieval_enabled = true;
+
+  /**
+   * XPU stages up to and including prefix, in pipeline order (the
+   * candidates for collocation, paper Fig. 13). Excludes retrieval
+   * (CPU) and decode (always disaggregated).
+   */
+  std::vector<StageType> PrefixChainStages() const;
+
+  /// All stages in execution order, including retrieval and decode.
+  std::vector<StageType> AllStages() const;
+
+  /// True if decoding is punctuated by mid-generation retrievals.
+  bool IterativeRetrieval() const {
+    return retrieval_enabled && retrieval.retrievals_per_sequence > 1;
+  }
+
+  /// Throws ConfigError on inconsistent configurations.
+  void Validate() const;
+};
+
+/// Case I (paper §5.1): hyperscale retrieval, no auxiliary models.
+RAGSchema MakeHyperscaleSchema(int llm_billions, int queries_per_retrieval);
+
+/// Case II (paper §5.2): long-context processing with document encoder.
+RAGSchema MakeLongContextSchema(int llm_billions, int64_t context_tokens);
+
+/// Case III (paper §5.3): hyperscale with iterative retrievals.
+RAGSchema MakeIterativeSchema(int llm_billions, int retrievals_per_sequence);
+
+/// Case IV (paper §5.4): hyperscale plus 8B rewriter and 120M reranker.
+RAGSchema MakeRewriterRerankerSchema(int llm_billions);
+
+/// LLM-only serving (no retrieval), question-length prompt.
+RAGSchema MakeLlmOnlySchema(int llm_billions);
+
+/// Long-context LLM-only variant: the full context goes in the prompt.
+RAGSchema MakeLongContextLlmOnlySchema(int llm_billions,
+                                       int64_t context_tokens);
+
+}  // namespace rago::core
+
+#endif  // RAGO_CORE_SCHEMA_H

@@ -1,0 +1,51 @@
+/**
+ * @file stage.h
+ * RAG pipeline stage identifiers.
+ *
+ * A RAG pipeline (paper Fig. 3) is a fixed-order chain of optional
+ * stages: database encode -> query rewrite (prefix, then decode) ->
+ * retrieval -> rerank -> main-LLM prefix -> main-LLM decode.
+ * Retrieval runs on host CPUs; every other stage runs on XPUs.
+ */
+#ifndef RAGO_CORE_STAGE_H
+#define RAGO_CORE_STAGE_H
+
+#include <string>
+
+namespace rago::core {
+
+/// Pipeline stage kinds, in canonical execution order.
+enum class StageType {
+  kDatabaseEncode,  ///< Encode uploaded context into database vectors.
+  kRewritePrefix,   ///< Query rewriter prompt computation.
+  kRewriteDecode,   ///< Query rewriter autoregressive generation.
+  kRetrieval,       ///< Vector search on CPU servers.
+  kRerank,          ///< Score retrieved passages with an encoder.
+  kPrefix,          ///< Main LLM prompt computation (emits first token).
+  kDecode,          ///< Main LLM autoregressive generation.
+};
+
+/// Human-readable stage name for reports.
+inline const char* StageName(StageType type) {
+  switch (type) {
+    case StageType::kDatabaseEncode:
+      return "encode";
+    case StageType::kRewritePrefix:
+      return "rewrite-prefix";
+    case StageType::kRewriteDecode:
+      return "rewrite-decode";
+    case StageType::kRetrieval:
+      return "retrieval";
+    case StageType::kRerank:
+      return "rerank";
+    case StageType::kPrefix:
+      return "prefix";
+    case StageType::kDecode:
+      return "decode";
+  }
+  return "unknown";
+}
+
+}  // namespace rago::core
+
+#endif  // RAGO_CORE_STAGE_H

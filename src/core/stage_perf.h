@@ -1,0 +1,29 @@
+/**
+ * @file stage_perf.h
+ * Per-stage performance sample.
+ */
+#ifndef RAGO_CORE_STAGE_PERF_H
+#define RAGO_CORE_STAGE_PERF_H
+
+#include <limits>
+
+#include "models/inference.h"
+
+namespace rago::core {
+
+/// Cost of one pipeline stage at a specific (chips, batch) setting.
+struct StagePerf {
+  /// Seconds to process one batch through the stage.
+  double latency = std::numeric_limits<double>::infinity();
+  /// Requests per second in steady state.
+  double throughput = 0.0;
+  /// HBM bytes needed per chip (0 for the CPU retrieval stage).
+  double mem_per_chip = 0.0;
+  /// Chosen sharding (XPU stages only).
+  models::ShardingPlan plan;
+  bool feasible = false;
+};
+
+}  // namespace rago::core
+
+#endif  // RAGO_CORE_STAGE_PERF_H

@@ -1,0 +1,53 @@
+/**
+ * @file cluster.h
+ * Serving-cluster resource description.
+ *
+ * The paper's system setup (§4): 16-32 host servers, 4 XPUs per
+ * server, so 64-128 XPUs total; a minimum of 16 hosts is needed to fit
+ * the 5.6 TiB quantized vector database in host memory. Retrieval runs
+ * on the host CPUs, inference on the XPUs.
+ */
+#ifndef RAGO_HARDWARE_CLUSTER_H
+#define RAGO_HARDWARE_CLUSTER_H
+
+#include "common/check.h"
+#include "hardware/cpu_server.h"
+#include "hardware/xpu.h"
+
+namespace rago {
+
+/// Total hardware budget available to one RAG serving pipeline.
+struct ClusterConfig {
+  XpuSpec xpu = DefaultXpu();
+  CpuServerSpec cpu_server = DefaultCpuServer();
+  int num_servers = 16;     ///< Host CPU servers (also retrieval shards).
+  int xpus_per_server = 4;  ///< Accelerators attached per host.
+
+  /// Total accelerators in the cluster.
+  int TotalXpus() const { return num_servers * xpus_per_server; }
+
+  /// Aggregate host DRAM in bytes (bounds the vector database size).
+  double TotalHostDram() const { return num_servers * cpu_server.dram_bytes; }
+
+  /// Throws ConfigError if the description is degenerate.
+  void Validate() const {
+    RAGO_REQUIRE(num_servers > 0, "cluster needs at least one server");
+    RAGO_REQUIRE(xpus_per_server > 0, "cluster needs XPUs on each server");
+    RAGO_REQUIRE(xpu.peak_flops > 0 && xpu.hbm_bw > 0,
+                 "XPU spec must have positive compute and bandwidth");
+  }
+};
+
+/// Paper-default 16-server / 64-XPU cluster.
+inline ClusterConfig DefaultCluster() { return ClusterConfig{}; }
+
+/// Larger 32-server / 128-XPU configuration used in some case studies.
+inline ClusterConfig LargeCluster() {
+  ClusterConfig cluster;
+  cluster.num_servers = 32;
+  return cluster;
+}
+
+}  // namespace rago
+
+#endif  // RAGO_HARDWARE_CLUSTER_H

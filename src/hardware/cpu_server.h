@@ -1,0 +1,44 @@
+/**
+ * @file cpu_server.h
+ * Host CPU server specification used by the retrieval cost model.
+ *
+ * The paper models retrieval hosts after AMD EPYC Milan: 96 cores,
+ * 384 GB memory, 460 GB/s memory bandwidth. ScaNN calibration (paper
+ * §4b) contributes two constants: 18 GB/s of PQ-code scanning
+ * throughput per core and ~80% achievable memory-bandwidth
+ * utilization.
+ */
+#ifndef RAGO_HARDWARE_CPU_SERVER_H
+#define RAGO_HARDWARE_CPU_SERVER_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace rago {
+
+/// Roofline-level description of one retrieval host server.
+struct CpuServerSpec {
+  std::string name = "EPYC-Milan";
+  int cores = 96;                        ///< Physical cores per server.
+  double dram_bytes = 384 * kGiB;        ///< Host memory capacity.
+  double mem_bw = 460 * kGiga;           ///< Peak memory bandwidth, B/s.
+  double mem_efficiency = 0.8;           ///< Achievable BW fraction.
+  double scan_bytes_per_core = 18 * kGiga;  ///< PQ scan throughput/core, B/s.
+
+  /// Effective (derated) aggregate memory bandwidth in bytes/s.
+  double EffectiveMemBw() const { return mem_bw * mem_efficiency; }
+
+  /// Aggregate compute-side scan throughput with `threads` busy cores.
+  double ScanThroughput(int threads) const {
+    const int active = threads < cores ? threads : cores;
+    return scan_bytes_per_core * active;
+  }
+};
+
+/// Paper-default retrieval host.
+inline CpuServerSpec DefaultCpuServer() { return CpuServerSpec{}; }
+
+}  // namespace rago
+
+#endif  // RAGO_HARDWARE_CPU_SERVER_H

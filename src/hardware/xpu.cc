@@ -1,0 +1,35 @@
+#include "hardware/xpu.h"
+
+#include "common/check.h"
+
+namespace rago {
+
+XpuSpec MakeXpu(XpuVersion version) {
+  XpuSpec spec;
+  switch (version) {
+    case XpuVersion::kA:
+      spec.name = "XPU-A";
+      spec.peak_flops = 197 * kTera;
+      spec.hbm_bytes = 16 * kGiB;
+      spec.hbm_bw = 819 * kGiga;
+      spec.ici_bw = 200 * kGiga;
+      return spec;
+    case XpuVersion::kB:
+      spec.name = "XPU-B";
+      spec.peak_flops = 275 * kTera;
+      spec.hbm_bytes = 32 * kGiB;
+      spec.hbm_bw = 1200 * kGiga;
+      spec.ici_bw = 300 * kGiga;
+      return spec;
+    case XpuVersion::kC:
+      spec.name = "XPU-C";
+      spec.peak_flops = 459 * kTera;
+      spec.hbm_bytes = 96 * kGiB;
+      spec.hbm_bw = 2765 * kGiga;
+      spec.ici_bw = 600 * kGiga;
+      return spec;
+  }
+  RAGO_CHECK(false, "unknown XPU version");
+}
+
+}  // namespace rago

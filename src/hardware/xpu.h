@@ -1,0 +1,58 @@
+/**
+ * @file xpu.h
+ * Generic systolic-array ML accelerator ("XPU") specifications.
+ *
+ * The paper models inference on three XPU generations (Table 2),
+ * resembling TPU v5e / v4 / v5p. Only roofline-relevant quantities are
+ * captured: peak compute, HBM capacity and bandwidth, and inter-chip
+ * link bandwidth, plus achievable-efficiency derates that a calibrated
+ * production simulator would fold into its operator costs.
+ */
+#ifndef RAGO_HARDWARE_XPU_H
+#define RAGO_HARDWARE_XPU_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace rago {
+
+/// Which XPU generation (paper Table 2). XPU-C is the paper default.
+enum class XpuVersion {
+  kA,  ///< 197 TFLOPS, 16 GB HBM @ 819 GB/s, 200 GB/s ICI (like TPU v5e).
+  kB,  ///< 275 TFLOPS, 32 GB HBM @ 1200 GB/s, 300 GB/s ICI (like TPU v4).
+  kC,  ///< 459 TFLOPS, 96 GB HBM @ 2765 GB/s, 600 GB/s ICI (like TPU v5p).
+};
+
+/// Roofline-level description of one accelerator chip.
+struct XpuSpec {
+  std::string name;            ///< Human-readable name ("XPU-C").
+  double peak_flops = 0.0;     ///< Peak dense int8/bf16 compute, FLOP/s.
+  double hbm_bytes = 0.0;      ///< On-chip HBM capacity in bytes.
+  double hbm_bw = 0.0;         ///< HBM bandwidth, bytes/s.
+  double ici_bw = 0.0;         ///< Aggregate inter-chip link bandwidth, B/s.
+
+  /// Fraction of peak FLOPS achievable on large dense ops (MFU derate).
+  double flops_efficiency = 0.6;
+  /// Fraction of peak HBM bandwidth achievable on streaming reads.
+  double mem_efficiency = 0.8;
+  /// Fraction of peak link bandwidth achievable for collectives.
+  double net_efficiency = 0.8;
+
+  /// Effective (derated) compute rate in FLOP/s.
+  double EffectiveFlops() const { return peak_flops * flops_efficiency; }
+  /// Effective (derated) memory bandwidth in bytes/s.
+  double EffectiveMemBw() const { return hbm_bw * mem_efficiency; }
+  /// Effective (derated) interconnect bandwidth in bytes/s.
+  double EffectiveNetBw() const { return ici_bw * net_efficiency; }
+};
+
+/// Returns the Table 2 spec for a given XPU generation.
+XpuSpec MakeXpu(XpuVersion version);
+
+/// Paper-default accelerator (XPU-C).
+inline XpuSpec DefaultXpu() { return MakeXpu(XpuVersion::kC); }
+
+}  // namespace rago
+
+#endif  // RAGO_HARDWARE_XPU_H

@@ -1,0 +1,190 @@
+#include "models/ops.h"
+
+#include "common/check.h"
+
+namespace rago::models {
+namespace {
+
+/// Shared dense-projection + FFN operators for one layer, scaled by the
+/// number of tokens processed (`tokens` = batch * seq for prefix/encode,
+/// batch for one decode step).
+void AppendProjectionOps(const TransformerConfig& c, double tokens,
+                         std::vector<Op>& ops) {
+  const double d = c.d_model;
+  const double kv = c.KvDim();
+  const double wb = c.bytes_per_weight;
+  const double ab = c.bytes_per_activation;
+
+  Op qkv;
+  qkv.name = "qkv_proj";
+  qkv.count = c.num_layers;
+  qkv.flops = 2.0 * tokens * d * (d + 2.0 * kv);
+  qkv.weight_bytes = d * (d + 2.0 * kv) * wb;
+  qkv.act_bytes = tokens * (2.0 * d + 2.0 * kv) * ab;
+  ops.push_back(qkv);
+
+  Op out;
+  out.name = "o_proj";
+  out.count = c.num_layers;
+  out.flops = 2.0 * tokens * d * d;
+  out.weight_bytes = d * d * wb;
+  out.act_bytes = 2.0 * tokens * d * ab;
+  ops.push_back(out);
+
+  const double ffn_mats = c.gated_ffn ? 3.0 : 2.0;
+  Op ffn;
+  ffn.name = "ffn";
+  ffn.count = c.num_layers;
+  ffn.flops = 2.0 * tokens * d * c.ffn_dim * ffn_mats;
+  ffn.weight_bytes = ffn_mats * d * c.ffn_dim * wb;
+  ffn.act_bytes = tokens * (d + c.ffn_dim) * ab * (c.gated_ffn ? 1.5 : 1.0);
+  ops.push_back(ffn);
+}
+
+/// Language-model head evaluated for `tokens` positions.
+Op LmHeadOp(const TransformerConfig& c, double tokens) {
+  Op head;
+  head.name = "lm_head";
+  head.count = 1.0;
+  head.flops = 2.0 * tokens * c.d_model * c.vocab_size;
+  head.weight_bytes =
+      static_cast<double>(c.d_model) * c.vocab_size * c.bytes_per_weight;
+  head.act_bytes = tokens * c.vocab_size * c.bytes_per_activation;
+  return head;
+}
+
+}  // namespace
+
+std::vector<Op>
+BuildPrefixOps(const TransformerConfig& config, int64_t batch, int64_t seq_len,
+               const AttentionMode& mode) {
+  RAGO_REQUIRE(batch > 0 && seq_len > 0,
+               "prefix requires positive batch and sequence length");
+  config.Validate();
+
+  std::vector<Op> ops;
+  const double b = static_cast<double>(batch);
+  const double len = static_cast<double>(seq_len);
+  const double tokens = b * len;
+  const double d = config.d_model;
+  const double ab = config.bytes_per_activation;
+
+  AppendProjectionOps(config, tokens, ops);
+
+  // Attention: causal masking halves the score/context work for
+  // decoders; encoders attend bidirectionally.
+  const double causal = config.kind == ModelKind::kDecoder ? 0.5 : 1.0;
+  const double kv_traffic =
+      tokens * 2.0 * config.KvDim() * ab + 2.0 * tokens * d * ab;
+
+  if (!mode.hybrid) {
+    Op attn;
+    attn.name = "attention";
+    attn.kind = OpKind::kAttention;
+    attn.count = config.num_layers;
+    attn.flops = 4.0 * b * len * len * d * causal;
+    attn.act_bytes = kv_traffic;
+    ops.push_back(attn);
+  } else {
+    // Long-context LLM variant (paper §5.2): one in `global_every`
+    // layers attends to the full sequence, the rest to a local window.
+    const int global_layers =
+        (config.num_layers + mode.global_every - 1) / mode.global_every;
+    const int local_layers = config.num_layers - global_layers;
+    const double window = mode.local_window;
+
+    Op global_attn;
+    global_attn.name = "attention_global";
+    global_attn.kind = OpKind::kAttention;
+    global_attn.count = global_layers;
+    global_attn.flops = 4.0 * b * len * len * d * causal;
+    global_attn.act_bytes = kv_traffic;
+    ops.push_back(global_attn);
+
+    if (local_layers > 0) {
+      Op local_attn;
+      local_attn.name = "attention_local";
+      local_attn.kind = OpKind::kAttention;
+      local_attn.count = local_layers;
+      local_attn.flops = 4.0 * b * len * window * d;
+      local_attn.act_bytes = kv_traffic;
+      ops.push_back(local_attn);
+    }
+  }
+
+  Op embed;
+  embed.name = "embed";
+  embed.kind = OpKind::kOther;
+  embed.act_bytes = tokens * d * ab;
+  ops.push_back(embed);
+
+  if (config.kind == ModelKind::kDecoder) {
+    // Only the last position's logits are needed to emit token one.
+    ops.push_back(LmHeadOp(config, b));
+  }
+  return ops;
+}
+
+std::vector<Op>
+BuildDecodeStepOps(const TransformerConfig& config, int64_t batch,
+                   int64_t context_len) {
+  RAGO_REQUIRE(batch > 0 && context_len > 0,
+               "decode requires positive batch and context length");
+  RAGO_REQUIRE(config.kind == ModelKind::kDecoder,
+               config.name + ": only decoder models can decode");
+  config.Validate();
+
+  std::vector<Op> ops;
+  const double b = static_cast<double>(batch);
+  const double ctx = static_cast<double>(context_len);
+  const double d = config.d_model;
+  const double ab = config.bytes_per_activation;
+
+  AppendProjectionOps(config, b, ops);
+
+  Op attn;
+  attn.name = "attention";
+  attn.kind = OpKind::kAttention;
+  attn.count = config.num_layers;
+  attn.flops = 4.0 * b * ctx * d;
+  // Reading the KV cache of all prior tokens dominates decode traffic.
+  attn.act_bytes = b * ctx * 2.0 * config.KvDim() * ab + 2.0 * b * d * ab;
+  ops.push_back(attn);
+
+  Op embed;
+  embed.name = "embed";
+  embed.kind = OpKind::kOther;
+  embed.act_bytes = b * d * ab;
+  ops.push_back(embed);
+
+  ops.push_back(LmHeadOp(config, b));
+  return ops;
+}
+
+std::vector<Op>
+BuildEncodeOps(const TransformerConfig& config, int64_t batch,
+               int64_t chunk_len) {
+  RAGO_REQUIRE(config.kind == ModelKind::kEncoder,
+               config.name + ": BuildEncodeOps requires an encoder model");
+  return BuildPrefixOps(config, batch, chunk_len, FullAttention());
+}
+
+double
+TotalFlops(const std::vector<Op>& ops) {
+  double total = 0.0;
+  for (const Op& op : ops) {
+    total += op.count * op.flops;
+  }
+  return total;
+}
+
+double
+TotalBytes(const std::vector<Op>& ops) {
+  double total = 0.0;
+  for (const Op& op : ops) {
+    total += op.count * (op.weight_bytes + op.act_bytes);
+  }
+  return total;
+}
+
+}  // namespace rago::models

@@ -1,0 +1,93 @@
+/**
+ * @file ops.h
+ * Operator-level workload description for transformer phases.
+ *
+ * Following the paper's inference simulator (§4a, Fig. 4), a phase
+ * (prefix, one decode step, or document encoding) is abstracted as a
+ * sequence of operators, each with a FLOP count and the bytes it moves
+ * through HBM. The roofline engine (inference.cc) derives per-operator
+ * execution time as max(compute time, memory time) and adds inter-chip
+ * communication for the chosen sharding plan.
+ */
+#ifndef RAGO_MODELS_OPS_H
+#define RAGO_MODELS_OPS_H
+
+#include <string>
+#include <vector>
+
+#include "models/transformer.h"
+
+namespace rago::models {
+
+/// Operator category; drives sharding/communication treatment.
+enum class OpKind {
+  kMatmul,     ///< Dense projection with resident weights.
+  kAttention,  ///< Attention score/context computation (reads KV).
+  kOther,      ///< Embedding lookups, norms, elementwise.
+};
+
+/// One operator (possibly repeated `count` times, e.g. once per layer).
+struct Op {
+  std::string name;
+  OpKind kind = OpKind::kMatmul;
+  double count = 1.0;         ///< Repetitions (layers).
+  double flops = 0.0;         ///< FLOPs per repetition.
+  double weight_bytes = 0.0;  ///< Weight traffic per repetition.
+  double act_bytes = 0.0;     ///< Activation/KV traffic per repetition.
+};
+
+/// How prefix attention treats the sequence (normal vs long-context LLM).
+struct AttentionMode {
+  bool hybrid = false;   ///< Global attention only every `global_every`
+                         ///  layers; others use a local window.
+  int global_every = 4;  ///< 1-in-N layers with full attention.
+  int local_window = 128;
+};
+
+/// Full-attention default.
+inline AttentionMode FullAttention() { return AttentionMode{}; }
+
+/// Efficient long-context LLM variant described in paper §5.2.
+inline AttentionMode HybridLocalAttention() {
+  AttentionMode mode;
+  mode.hybrid = true;
+  return mode;
+}
+
+/**
+ * Operators for the prefix (prompt computation) phase.
+ *
+ * @param config model architecture.
+ * @param batch number of sequences processed together.
+ * @param seq_len prompt length in tokens.
+ * @param mode attention variant (full vs hybrid-local).
+ */
+std::vector<Op> BuildPrefixOps(const TransformerConfig& config, int64_t batch,
+                               int64_t seq_len,
+                               const AttentionMode& mode = FullAttention());
+
+/**
+ * Operators for one autoregressive decode step.
+ *
+ * @param batch sequences in the continuous batch.
+ * @param context_len tokens of KV cache read per sequence.
+ */
+std::vector<Op> BuildDecodeStepOps(const TransformerConfig& config,
+                                   int64_t batch, int64_t context_len);
+
+/**
+ * Operators for bidirectional encoding of `batch` chunks of
+ * `chunk_len` tokens each (document encoder / reranker workloads).
+ */
+std::vector<Op> BuildEncodeOps(const TransformerConfig& config, int64_t batch,
+                               int64_t chunk_len);
+
+/// Total FLOPs across an op list (for tests and quick estimates).
+double TotalFlops(const std::vector<Op>& ops);
+
+/// Total HBM traffic (weights + activations) across an op list.
+double TotalBytes(const std::vector<Op>& ops);
+
+}  // namespace rago::models
+
+#endif  // RAGO_MODELS_OPS_H

@@ -1,0 +1,131 @@
+#include "models/transformer.h"
+
+#include "common/check.h"
+
+namespace rago::models {
+
+int64_t
+TransformerConfig::NumParams() const {
+  const int64_t d = d_model;
+  const int64_t kv = KvDim();
+  // Attention: Q (d*d), K and V (d*kv each), O (d*d).
+  const int64_t attn = d * d + 2 * d * kv + d * d;
+  // FFN: gated (gate+up+down) or classic (up+down).
+  const int64_t ffn =
+      (gated_ffn ? 3 : 2) * static_cast<int64_t>(d) * ffn_dim;
+  // Small per-layer norms are negligible but included for fidelity.
+  const int64_t norms = 2 * d;
+  const int64_t per_layer = attn + ffn + norms;
+  const int64_t embed =
+      static_cast<int64_t>(vocab_size) * d * (tied_embeddings ? 1 : 2);
+  return per_layer * num_layers + embed;
+}
+
+void
+TransformerConfig::Validate() const {
+  RAGO_REQUIRE(num_layers > 0, name + ": num_layers must be positive");
+  RAGO_REQUIRE(d_model > 0, name + ": d_model must be positive");
+  RAGO_REQUIRE(num_heads > 0, name + ": num_heads must be positive");
+  RAGO_REQUIRE(num_kv_heads > 0 && num_kv_heads <= num_heads,
+               name + ": num_kv_heads must be in [1, num_heads]");
+  RAGO_REQUIRE(num_heads * head_dim == d_model,
+               name + ": heads * head_dim must equal d_model");
+  RAGO_REQUIRE(ffn_dim > 0, name + ": ffn_dim must be positive");
+  RAGO_REQUIRE(vocab_size > 0, name + ": vocab_size must be positive");
+  RAGO_REQUIRE(bytes_per_weight > 0 && bytes_per_activation > 0,
+               name + ": byte widths must be positive");
+}
+
+TransformerConfig
+Llama1B() {
+  TransformerConfig c;
+  c.name = "Llama-1B";
+  c.num_layers = 16;
+  c.d_model = 2048;
+  c.num_heads = 32;
+  c.num_kv_heads = 8;
+  c.head_dim = 64;
+  c.ffn_dim = 8192;
+  c.vocab_size = 128256;
+  c.tied_embeddings = true;
+  return c;
+}
+
+TransformerConfig
+Llama8B() {
+  TransformerConfig c;
+  c.name = "Llama-8B";
+  c.num_layers = 32;
+  c.d_model = 4096;
+  c.num_heads = 32;
+  c.num_kv_heads = 8;
+  c.head_dim = 128;
+  c.ffn_dim = 14336;
+  c.vocab_size = 128256;
+  return c;
+}
+
+TransformerConfig
+Llama70B() {
+  TransformerConfig c;
+  c.name = "Llama-70B";
+  c.num_layers = 80;
+  c.d_model = 8192;
+  c.num_heads = 64;
+  c.num_kv_heads = 8;
+  c.head_dim = 128;
+  c.ffn_dim = 28672;
+  c.vocab_size = 128256;
+  return c;
+}
+
+TransformerConfig
+Llama405B() {
+  TransformerConfig c;
+  c.name = "Llama-405B";
+  c.num_layers = 126;
+  c.d_model = 16384;
+  c.num_heads = 128;
+  c.num_kv_heads = 8;
+  c.head_dim = 128;
+  c.ffn_dim = 53248;
+  c.vocab_size = 128256;
+  return c;
+}
+
+TransformerConfig
+Encoder120M() {
+  TransformerConfig c;
+  c.name = "Encoder-120M";
+  c.kind = ModelKind::kEncoder;
+  c.num_layers = 12;
+  c.d_model = 768;
+  c.num_heads = 12;
+  c.num_kv_heads = 12;
+  c.head_dim = 64;
+  c.ffn_dim = 3072;
+  c.gated_ffn = false;
+  c.vocab_size = 30522;
+  c.tied_embeddings = true;
+  return c;
+}
+
+TransformerConfig
+LlamaBySize(int billions) {
+  switch (billions) {
+    case 1:
+      return Llama1B();
+    case 8:
+      return Llama8B();
+    case 70:
+      return Llama70B();
+    case 405:
+      return Llama405B();
+    default:
+      RAGO_REQUIRE(false, "no Llama preset for " + std::to_string(billions) +
+                              "B; choose 1, 8, 70, or 405");
+  }
+  return {};  // Unreachable.
+}
+
+}  // namespace rago::models

@@ -1,0 +1,80 @@
+/**
+ * @file transformer.h
+ * Architectural descriptions of the transformer models in the paper.
+ *
+ * The paper evaluates Llama-3-family generative LLMs (1B, 8B, 70B,
+ * 405B), an 8B query rewriter, and 120M-class encoder models
+ * (document encoder and reranker). Only quantities that feed the
+ * roofline cost model matter here: layer counts, hidden sizes,
+ * grouped-query-attention geometry, FFN widths, vocabulary, and the
+ * number of bytes per weight/activation. Weights are INT8 (1
+ * byte/param) per the paper's methodology; activations and KV cache
+ * are kept in 2-byte types.
+ */
+#ifndef RAGO_MODELS_TRANSFORMER_H
+#define RAGO_MODELS_TRANSFORMER_H
+
+#include <cstdint>
+#include <string>
+
+namespace rago::models {
+
+/// Whether a model is used autoregressively or as a bidirectional encoder.
+enum class ModelKind {
+  kDecoder,  ///< Causal LM: prefix + autoregressive decode.
+  kEncoder,  ///< Bidirectional encoder (document encoder, reranker).
+};
+
+/// Transformer architecture description (roofline-relevant fields only).
+struct TransformerConfig {
+  std::string name;
+  ModelKind kind = ModelKind::kDecoder;
+
+  int num_layers = 0;
+  int d_model = 0;
+  int num_heads = 0;
+  int num_kv_heads = 0;  ///< < num_heads under grouped-query attention.
+  int head_dim = 0;
+  int ffn_dim = 0;
+  bool gated_ffn = true;  ///< SwiGLU (3 matrices) vs classic MLP (2).
+  int vocab_size = 0;
+  bool tied_embeddings = false;
+
+  double bytes_per_weight = 1.0;      ///< INT8 weights.
+  double bytes_per_activation = 2.0;  ///< bf16 activations / KV cache.
+
+  /// Hidden size of the concatenated KV projection (GQA-aware).
+  int KvDim() const { return num_kv_heads * head_dim; }
+
+  /// Total parameter count implied by the architecture.
+  int64_t NumParams() const;
+
+  /// Total weight footprint in bytes.
+  double WeightBytes() const { return NumParams() * bytes_per_weight; }
+
+  /// KV-cache bytes per token per sequence across all layers.
+  double KvBytesPerToken() const {
+    return 2.0 * KvDim() * bytes_per_activation * num_layers;
+  }
+
+  /// Throws ConfigError if the architecture is malformed.
+  void Validate() const;
+};
+
+/// Llama-3.2-1B-class decoder (paper's "1B").
+TransformerConfig Llama1B();
+/// Llama-3-8B-class decoder (paper's "8B"; also the query rewriter).
+TransformerConfig Llama8B();
+/// Llama-3-70B-class decoder (paper's "70B").
+TransformerConfig Llama70B();
+/// Llama-3.1-405B-class decoder (paper's "405B").
+TransformerConfig Llama405B();
+/// 120M-class sentence-transformer encoder (document encoder, reranker).
+TransformerConfig Encoder120M();
+
+/// Preset by (approximate) billions of parameters: 1, 8, 70, or 405.
+TransformerConfig LlamaBySize(int billions);
+
+}  // namespace rago::models
+
+#endif  // RAGO_MODELS_TRANSFORMER_H

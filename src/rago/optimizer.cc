@@ -1,0 +1,619 @@
+#include "rago/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/pareto.h"
+
+namespace rago::opt {
+namespace {
+
+using core::EndToEndPerf;
+using core::Schedule;
+using core::StagePerf;
+using core::StagePerfProvider;
+using core::StageType;
+
+/// One pre-evaluated setting of a collocation group.
+struct GroupOption {
+  int chips = 1;
+  int64_t batch = 1;
+  double latency = 0.0;           ///< Sum of member stage latencies.
+  double seconds_per_request = 0.0;  ///< Time-multiplexed 1/throughput.
+};
+
+/// One pre-evaluated decode setting.
+struct DecodeOption {
+  int chips = 1;
+  int64_t batch = 1;
+  double latency = 0.0;  ///< Step latency.
+  double throughput = 0.0;
+};
+
+/// 3-objective dominance: fewer chips, lower latency, lower busy time.
+bool DominatesOption(const GroupOption& a, const GroupOption& b) {
+  const bool no_worse = a.chips <= b.chips && a.latency <= b.latency &&
+                        a.seconds_per_request <= b.seconds_per_request;
+  const bool better = a.chips < b.chips || a.latency < b.latency ||
+                      a.seconds_per_request < b.seconds_per_request;
+  return no_worse && better;
+}
+
+bool DominatesDecode(const DecodeOption& a, const DecodeOption& b) {
+  const bool no_worse = a.chips <= b.chips && a.latency <= b.latency &&
+                        a.throughput >= b.throughput;
+  const bool better = a.chips < b.chips || a.latency < b.latency ||
+                      a.throughput > b.throughput;
+  return no_worse && better;
+}
+
+bool EqualObjectives(const GroupOption& a, const GroupOption& b) {
+  return a.chips == b.chips && a.latency == b.latency &&
+         a.seconds_per_request == b.seconds_per_request;
+}
+
+bool EqualObjectives(const DecodeOption& a, const DecodeOption& b) {
+  return a.chips == b.chips && a.latency == b.latency &&
+         a.throughput == b.throughput;
+}
+
+template <typename Option, typename Dom>
+std::vector<Option> PruneOptions(std::vector<Option> options, Dom dominates) {
+  std::vector<Option> kept;
+  for (size_t i = 0; i < options.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < options.size() && !dominated; ++j) {
+      if (i != j && dominates(options[j], options[i])) {
+        dominated = true;
+      }
+    }
+    // Keep only the first of objective-identical options.
+    for (size_t j = 0; j < i && !dominated; ++j) {
+      if (EqualObjectives(options[j], options[i])) {
+        dominated = true;
+      }
+    }
+    if (!dominated) {
+      kept.push_back(options[i]);
+    }
+  }
+  return kept;
+}
+
+/// Key for memoized stage lookups.
+uint64_t CacheKey(int a, int b, int64_t c) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 48) ^
+         (static_cast<uint64_t>(static_cast<uint32_t>(b)) << 32) ^
+         static_cast<uint64_t>(c);
+}
+
+}  // namespace
+
+const ScheduledPoint&
+OptimizerResult::MaxQpsPerChip() const {
+  RAGO_REQUIRE(!pareto.empty(), "empty Pareto frontier");
+  const ScheduledPoint* best = &pareto.front();
+  for (const ScheduledPoint& point : pareto) {
+    if (point.perf.qps_per_chip > best->perf.qps_per_chip) {
+      best = &point;
+    }
+  }
+  return *best;
+}
+
+const ScheduledPoint&
+OptimizerResult::MinTtft() const {
+  RAGO_REQUIRE(!pareto.empty(), "empty Pareto frontier");
+  const ScheduledPoint* best = &pareto.front();
+  for (const ScheduledPoint& point : pareto) {
+    if (point.perf.ttft < best->perf.ttft) {
+      best = &point;
+    }
+  }
+  return *best;
+}
+
+/// Memoizing stage-performance provider (Algorithm 1 step 1).
+class MemoProvider {
+ public:
+  explicit MemoProvider(const core::PipelineModel& model) : model_(model) {}
+
+  StagePerfProvider Provider() {
+    StagePerfProvider provider;
+    provider.chain = [this](StageType stage, int chips, int64_t batch) {
+      const uint64_t key = CacheKey(static_cast<int>(stage), chips, batch);
+      auto it = chain_.find(key);
+      if (it == chain_.end()) {
+        it = chain_.emplace(key, model_.EvalChainStage(stage, chips, batch))
+                 .first;
+      }
+      return it->second;
+    };
+    provider.decode = [this](int chips, int64_t batch) {
+      const uint64_t key = CacheKey(0, chips, batch);
+      auto it = decode_.find(key);
+      if (it == decode_.end()) {
+        it = decode_.emplace(key, model_.EvalDecode(chips, batch)).first;
+      }
+      return it->second;
+    };
+    provider.retrieval = [this](int request_batch, int servers) {
+      const uint64_t key = CacheKey(servers, 0, request_batch);
+      auto it = retrieval_.find(key);
+      if (it == retrieval_.end()) {
+        it = retrieval_
+                 .emplace(key, model_.EvalRetrieval(request_batch, servers))
+                 .first;
+      }
+      return it->second;
+    };
+    provider.ingest = [this](int chips, int64_t batch) {
+      const uint64_t key = CacheKey(1, chips, batch);
+      auto it = ingest_.find(key);
+      if (it == ingest_.end()) {
+        it = ingest_.emplace(key, model_.EvalIngestPrefix(chips, batch))
+                 .first;
+      }
+      return it->second;
+    };
+    return provider;
+  }
+
+ private:
+  const core::PipelineModel& model_;
+  std::unordered_map<uint64_t, StagePerf> chain_;
+  std::unordered_map<uint64_t, StagePerf> decode_;
+  std::unordered_map<uint64_t, StagePerf> retrieval_;
+  std::unordered_map<uint64_t, StagePerf> ingest_;
+};
+
+Optimizer::Optimizer(const core::PipelineModel& model, SearchOptions options)
+    : model_(model), options_(std::move(options)) {
+  RAGO_REQUIRE(!options_.batch_sizes.empty(), "batch grid must be non-empty");
+  RAGO_REQUIRE(!options_.decode_batch_sizes.empty(),
+               "decode batch grid must be non-empty");
+}
+
+int
+Optimizer::Budget() const {
+  return options_.max_total_xpus > 0 ? options_.max_total_xpus
+                                     : model_.cluster().TotalXpus();
+}
+
+std::vector<std::vector<int>>
+Optimizer::PlacementOptions() const {
+  const size_t k = model_.chain().size();
+  std::vector<std::vector<int>> placements;
+  const uint32_t splits = k >= 1 ? (1u << (k - 1)) : 1u;
+  for (uint32_t mask = 0; mask < splits; ++mask) {
+    std::vector<int> groups(k, 0);
+    int group = 0;
+    for (size_t i = 1; i < k; ++i) {
+      if (mask & (1u << (i - 1))) {
+        ++group;  // Split between stage i-1 and i.
+      }
+      groups[i] = group;
+    }
+    placements.push_back(std::move(groups));
+  }
+  return placements;
+}
+
+std::string
+Optimizer::PlacementLabel(const std::vector<int>& chain_group) const {
+  const auto& chain = model_.chain();
+  RAGO_REQUIRE(chain_group.size() == chain.size(),
+               "placement size mismatch");
+  std::string label;
+  int current = -1;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain_group[i] != current) {
+      if (current >= 0) {
+        label += "]";
+      }
+      label += "[";
+      current = chain_group[i];
+    } else {
+      label += "+";
+    }
+    label += core::StageName(chain[i]);
+  }
+  label += "]";
+  return label;
+}
+
+OptimizerResult
+Optimizer::Search() const {
+  const auto& chain = model_.chain();
+  const bool iterative = model_.schema().IterativeRetrieval();
+  const bool has_retrieval = model_.schema().retrieval_enabled;
+  const int budget = std::min(Budget(), model_.cluster().TotalXpus());
+  const int servers =
+      has_retrieval ? std::min(model_.MinRetrievalServers(),
+                               model_.cluster().num_servers)
+                    : 1;
+
+  MemoProvider memo(model_);
+  const StagePerfProvider provider = memo.Provider();
+
+  OptimizerResult result;
+  OnlineParetoFront<Schedule> front;
+  std::unordered_map<std::string, OnlineParetoFront<Schedule>> plan_fronts;
+
+  // --- Pre-evaluated retrieval options (initial retrieval). ---
+  struct RetrievalOption {
+    int64_t batch = 1;
+    double latency = 0.0;
+    double request_throughput = std::numeric_limits<double>::infinity();
+  };
+  std::vector<RetrievalOption> retrieval_options;
+  if (has_retrieval) {
+    for (int64_t batch : options_.batch_sizes) {
+      const StagePerf perf =
+          provider.retrieval(static_cast<int>(batch), servers);
+      if (perf.feasible) {
+        retrieval_options.push_back(
+            RetrievalOption{batch, perf.latency, perf.throughput});
+      }
+    }
+    RAGO_REQUIRE(!retrieval_options.empty(),
+                 "no feasible retrieval configuration");
+  } else {
+    retrieval_options.push_back(RetrievalOption{});
+  }
+
+  // --- Pre-evaluated iterative retrieval rounds (Case III). ---
+  struct IterOption {
+    int64_t batch = 1;
+    double retrieval_latency = 0.0;
+  };
+  std::vector<IterOption> iter_options = {IterOption{}};
+  if (iterative) {
+    iter_options.clear();
+    for (int64_t batch : options_.batch_sizes) {
+      const StagePerf perf =
+          provider.retrieval(static_cast<int>(batch), servers);
+      if (perf.feasible) {
+        iter_options.push_back(IterOption{batch, perf.latency});
+      }
+    }
+  }
+  const int iter_rounds =
+      iterative ? model_.schema().retrieval.retrievals_per_sequence - 1 : 0;
+  const double retrieval_load =
+      has_retrieval ? model_.schema().retrieval.retrievals_per_sequence : 1.0;
+  const int retrieval_equiv =
+      has_retrieval ? model_.RetrievalChipEquivalents(servers) : 0;
+  const int decode_tokens = model_.schema().workload.decode_tokens;
+
+  const std::vector<std::vector<int>> placements = PlacementOptions();
+  for (size_t p = 0; p < placements.size(); ++p) {
+    if (options_.placement_filter >= 0 &&
+        static_cast<size_t>(options_.placement_filter) != p) {
+      continue;
+    }
+    const std::vector<int>& placement = placements[p];
+    const int groups = placement.back() + 1;
+    // Group that pauses for retrieval (collocated across the retrieval
+    // point), or -1 when retrieval sits between disaggregated groups.
+    const size_t after_retrieval =
+        has_retrieval ? model_.PostRetrievalChainIndex() : 0;
+    const int span_group =
+        (has_retrieval && after_retrieval > 0 &&
+         placement[after_retrieval] == placement[after_retrieval - 1])
+            ? placement[after_retrieval]
+            : -1;
+
+    // --- Per-group option tables (chips x batch), Pareto pruned. ---
+    // Option sets are keyed by a shared batch index when
+    // per_group_batching is off so one batch spans the whole chain.
+    auto group_options_for = [&](int g, int64_t forced_batch) {
+      std::vector<GroupOption> options;
+      for (int chips = 1; chips <= budget; chips *= 2) {
+        for (int64_t batch : options_.batch_sizes) {
+          if (forced_batch > 0 && batch != forced_batch) {
+            continue;
+          }
+          GroupOption option;
+          option.chips = chips;
+          option.batch = batch;
+          bool feasible = true;
+          double mem = 0.0;
+          for (size_t i = 0; i < chain.size(); ++i) {
+            if (placement[i] != g) {
+              continue;
+            }
+            const StagePerf perf = provider.chain(chain[i], chips, batch);
+            if (!perf.feasible) {
+              feasible = false;
+              break;
+            }
+            option.latency += perf.latency;
+            option.seconds_per_request += 1.0 / perf.throughput;
+            mem += perf.mem_per_chip;
+          }
+          if (!feasible || mem > model_.cluster().xpu.hbm_bytes) {
+            continue;
+          }
+          options.push_back(option);
+        }
+      }
+      if (options_.per_stage_pareto_pruning) {
+        options = PruneOptions(std::move(options), DominatesOption);
+      }
+      return options;
+    };
+
+    // --- Decode option table. ---
+    std::vector<DecodeOption> decode_options;
+    for (int chips = 1; chips <= budget; chips *= 2) {
+      for (int64_t batch : options_.decode_batch_sizes) {
+        const StagePerf perf = provider.decode(chips, batch);
+        if (!perf.feasible) {
+          continue;
+        }
+        DecodeOption option;
+        option.chips = chips;
+        option.batch = batch;
+        option.latency = perf.latency;
+        option.throughput = perf.throughput;
+        decode_options.push_back(option);
+      }
+    }
+    if (options_.per_stage_pareto_pruning) {
+      decode_options = PruneOptions(std::move(decode_options), DominatesDecode);
+    }
+
+    // --- Enumerate schedules (pure arithmetic in the hot loop;
+    // schedules are only materialized for accepted frontier points). ---
+    auto run_combination = [&](const std::vector<GroupOption>& chosen,
+                               int used_chips, const DecodeOption& decode) {
+      double chain_latency = 0.0;
+      // Throughput split into the groups unaffected by the retrieval
+      // pause and the (single) group that pauses, which depends on the
+      // retrieval option below.
+      double fixed_throughput = std::numeric_limits<double>::infinity();
+      double span_spr = 0.0;
+      for (int g = 0; g < groups; ++g) {
+        const GroupOption& option = chosen[static_cast<size_t>(g)];
+        chain_latency += option.latency;
+        if (g == span_group) {
+          span_spr = option.seconds_per_request;
+        } else {
+          fixed_throughput =
+              std::min(fixed_throughput, 1.0 / option.seconds_per_request);
+        }
+      }
+      const int prefix_chips = chosen.back().chips;  // Prefix: last group.
+      const int chip_equiv =
+          std::max(used_chips + decode.chips, retrieval_equiv);
+
+      auto make_schedule = [&](const RetrievalOption& retr,
+                               const IterOption& iter) {
+        Schedule schedule;
+        schedule.chain_group = placement;
+        schedule.group_chips.resize(static_cast<size_t>(groups));
+        schedule.chain_batch.resize(chain.size());
+        for (int g = 0; g < groups; ++g) {
+          schedule.group_chips[static_cast<size_t>(g)] =
+              chosen[static_cast<size_t>(g)].chips;
+        }
+        for (size_t i = 0; i < chain.size(); ++i) {
+          schedule.chain_batch[i] =
+              chosen[static_cast<size_t>(placement[i])].batch;
+        }
+        schedule.decode_chips = decode.chips;
+        schedule.decode_batch = decode.batch;
+        schedule.retrieval_servers = servers;
+        schedule.retrieval_batch = retr.batch;
+        schedule.iterative_batch = iter.batch;
+        return schedule;
+      };
+
+      std::string plan_label;
+      if (options_.keep_plan_frontiers) {
+        plan_label = PlacementLabel(placement) + " chips=";
+        for (int g = 0; g < groups; ++g) {
+          plan_label += std::to_string(chosen[static_cast<size_t>(g)].chips) +
+                        (g + 1 < groups ? "," : "");
+        }
+        plan_label += " dec=" + std::to_string(decode.chips);
+      }
+
+      for (const RetrievalOption& retr : retrieval_options) {
+        const double ttft = chain_latency + retr.latency;
+        double chain_throughput = fixed_throughput;
+        if (span_group >= 0) {
+          const double paused_spr =
+              span_spr + retr.latency / static_cast<double>(retr.batch);
+          chain_throughput = std::min(chain_throughput, 1.0 / paused_spr);
+        }
+        for (const IterOption& iter : iter_options) {
+          ++result.schedules_evaluated;
+          double decode_throughput = decode.throughput;
+          if (iterative) {
+            // Mirror PipelineModel::EvaluateWith's stall model.
+            const StagePerf ingest =
+                provider.ingest(prefix_chips, iter.batch);
+            if (!ingest.feasible) {
+              continue;
+            }
+            const double lambda = static_cast<double>(decode.batch) *
+                                  iter_rounds /
+                                  (decode_tokens * decode.latency);
+            const double wait =
+                (static_cast<double>(iter.batch) - 1.0) / (2.0 * lambda);
+            const double stall_total =
+                iter_rounds *
+                (iter.retrieval_latency + ingest.latency + wait);
+            decode_throughput =
+                static_cast<double>(decode.batch) /
+                (decode_tokens * decode.latency + stall_total);
+          }
+          const double qps =
+              std::min({chain_throughput,
+                        retr.request_throughput / retrieval_load,
+                        decode_throughput});
+          const double qpc = qps / chip_equiv;
+          ++result.schedules_feasible;
+          if (front.WouldAccept(ttft, qpc)) {
+            front.Offer(ttft, qpc, make_schedule(retr, iter));
+          }
+          if (options_.keep_plan_frontiers) {
+            auto& plan_front = plan_fronts[plan_label];
+            if (plan_front.WouldAccept(ttft, qpc)) {
+              plan_front.Offer(ttft, qpc, make_schedule(retr, iter));
+            }
+          }
+        }
+      }
+    };
+
+    auto enumerate_with_batches = [&](int64_t forced_batch) {
+      std::vector<std::vector<GroupOption>> tables(
+          static_cast<size_t>(groups));
+      for (int g = 0; g < groups; ++g) {
+        tables[static_cast<size_t>(g)] = group_options_for(g, forced_batch);
+        if (tables[static_cast<size_t>(g)].empty()) {
+          return;  // Some stage cannot run at this granularity.
+        }
+      }
+      std::vector<GroupOption> chosen(static_cast<size_t>(groups));
+      std::function<void(int, int)> recurse = [&](int g, int used) {
+        if (g == groups) {
+          for (const DecodeOption& decode : decode_options) {
+            if (used + decode.chips > budget) {
+              continue;
+            }
+            run_combination(chosen, used, decode);
+          }
+          return;
+        }
+        for (const GroupOption& option : tables[static_cast<size_t>(g)]) {
+          if (used + option.chips + (groups - g - 1) + 1 > budget) {
+            continue;
+          }
+          chosen[static_cast<size_t>(g)] = option;
+          recurse(g + 1, used + option.chips);
+        }
+      };
+      recurse(0, 0);
+    };
+
+    if (options_.per_group_batching) {
+      enumerate_with_batches(/*forced_batch=*/-1);
+    } else {
+      for (int64_t batch : options_.batch_sizes) {
+        enumerate_with_batches(batch);
+      }
+    }
+  }
+
+  // --- Final Pareto frontier, re-evaluated through the canonical
+  // pipeline model so the reported metrics come from one code path. ---
+  auto finalize = [&](std::vector<ParetoPoint<Schedule>> raw) {
+    std::vector<ParetoPoint<ScheduledPoint>> rescored;
+    rescored.reserve(raw.size());
+    for (auto& point : raw) {
+      const EndToEndPerf perf = model_.Evaluate(point.payload);
+      RAGO_CHECK(perf.feasible, "frontier schedule must be feasible");
+      ParetoPoint<ScheduledPoint> out;
+      out.latency = perf.ttft;
+      out.throughput = perf.qps_per_chip;
+      out.payload = ScheduledPoint{std::move(point.payload), perf};
+      rescored.push_back(std::move(out));
+    }
+    std::vector<ScheduledPoint> frontier;
+    for (auto& point : ParetoFrontier(std::move(rescored))) {
+      frontier.push_back(std::move(point.payload));
+    }
+    return frontier;
+  };
+
+  result.pareto = finalize(front.Take());
+  if (options_.keep_plan_frontiers) {
+    for (auto& [label, plan_front] : plan_fronts) {
+      PlanFrontier frontier;
+      frontier.plan_label = label;
+      frontier.points = finalize(plan_front.Take());
+      result.plan_frontiers.push_back(std::move(frontier));
+    }
+    std::sort(result.plan_frontiers.begin(), result.plan_frontiers.end(),
+              [](const PlanFrontier& a, const PlanFrontier& b) {
+                return a.plan_label < b.plan_label;
+              });
+  }
+  return result;
+}
+
+OptimizerResult
+Optimizer::SearchBaseline() const {
+  // Paper §7.1: every auxiliary stage collocated with the main-LLM
+  // prefix; prefix:decode chips 1:1 (time consumption is within
+  // 1.2-1.4:1 across the 8B/70B models); batching policies tuned.
+  const auto& chain = model_.chain();
+  const bool has_retrieval = model_.schema().retrieval_enabled;
+  const int budget = Budget();
+  const int servers =
+      has_retrieval ? std::min(model_.MinRetrievalServers(),
+                               model_.cluster().num_servers)
+                    : 1;
+  const int half = std::max(1, budget / 2);
+
+  MemoProvider memo(model_);
+  const StagePerfProvider provider = memo.Provider();
+
+  OptimizerResult result;
+  std::vector<ParetoPoint<ScheduledPoint>> points;
+
+  std::vector<int64_t> iter_batches = {1};
+  if (model_.schema().IterativeRetrieval()) {
+    iter_batches = options_.batch_sizes;
+  }
+  std::vector<int64_t> retrieval_batches =
+      has_retrieval ? options_.batch_sizes : std::vector<int64_t>{1};
+
+  Schedule schedule;
+  schedule.chain_group.assign(chain.size(), 0);
+  schedule.group_chips = {half};
+  schedule.chain_batch.assign(chain.size(), 1);
+  schedule.decode_chips = half;
+  schedule.retrieval_servers = servers;
+
+  for (int64_t batch : options_.batch_sizes) {
+    std::fill(schedule.chain_batch.begin(), schedule.chain_batch.end(),
+              batch);
+    for (int64_t decode_batch : options_.decode_batch_sizes) {
+      schedule.decode_batch = decode_batch;
+      for (int64_t retrieval_batch : retrieval_batches) {
+        schedule.retrieval_batch = retrieval_batch;
+        for (int64_t iter_batch : iter_batches) {
+          schedule.iterative_batch = iter_batch;
+          ++result.schedules_evaluated;
+          const EndToEndPerf perf = model_.EvaluateWith(schedule, provider);
+          if (!perf.feasible) {
+            continue;
+          }
+          ++result.schedules_feasible;
+          ParetoPoint<ScheduledPoint> point;
+          point.latency = perf.ttft;
+          point.throughput = perf.qps_per_chip;
+          point.payload = ScheduledPoint{schedule, perf};
+          points.push_back(point);
+        }
+      }
+    }
+  }
+
+  points = ParetoFrontier(std::move(points));
+  for (auto& point : points) {
+    result.pareto.push_back(std::move(point.payload));
+  }
+  return result;
+}
+
+}  // namespace rago::opt

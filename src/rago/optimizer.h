@@ -1,0 +1,116 @@
+/**
+ * @file optimizer.h
+ * RAGO: exhaustive search for optimal RAG serving schedules.
+ *
+ * Implements the paper's Algorithm 1. Given a RAGSchema and resource
+ * constraints, RAGO explores:
+ *  - task placement: contiguous collocation of prefix-chain stages
+ *    (neighbor-only grouping, paper Fig. 13);
+ *  - resource allocation: power-of-two XPU counts per group and for
+ *    decode, within the cluster budget;
+ *  - batching policy: per-group batch sizes, decode continuous batch,
+ *    and the iterative retrieval batch where applicable.
+ *
+ * Step 1 profiles every stage at every (chips, batch) setting once
+ * (with optional per-stage Pareto pruning); Steps 2-3 enumerate
+ * schedules and assemble end-to-end performance from the profiles,
+ * keeping the TTFT x QPS/Chip Pareto frontier.
+ */
+#ifndef RAGO_RAGO_OPTIMIZER_H
+#define RAGO_RAGO_OPTIMIZER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline_model.h"
+
+namespace rago::opt {
+
+/// Search-space granularity knobs (paper: user-defined granularity).
+struct SearchOptions {
+  /// Batch sizes explored for prefix-chain groups (powers of two).
+  std::vector<int64_t> batch_sizes = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  /// Batch sizes explored for the decode stage.
+  std::vector<int64_t> decode_batch_sizes = {1,  2,   4,   8,   16,  32,
+                                             64, 128, 256, 512, 1024};
+  /// XPU budget; 0 means the full cluster.
+  int max_total_xpus = 0;
+  /// Each collocation group picks its own batch size; if false, one
+  /// batch size is shared by all pre-decode stages.
+  bool per_group_batching = true;
+  /// Apply per-stage Pareto pruning after profiling (Algorithm 1
+  /// step 1). Disabling is exposed for the pruning ablation bench.
+  bool per_stage_pareto_pruning = true;
+  /// Keep one Pareto frontier per (placement, allocation) plan for
+  /// Pareto-composition plots (paper Fig. 16/18). Costs memory.
+  bool keep_plan_frontiers = false;
+  /// Restrict the search to one placement (index into
+  /// PlacementOptions()); -1 searches all placements.
+  int placement_filter = -1;
+};
+
+/// A schedule together with its evaluated end-to-end performance.
+struct ScheduledPoint {
+  core::Schedule schedule;
+  core::EndToEndPerf perf;
+};
+
+/// Pareto frontier of one (placement, allocation) plan.
+struct PlanFrontier {
+  std::string plan_label;  ///< e.g. "[encode][prefix] chips=64,16 dec=16".
+  std::vector<ScheduledPoint> points;
+};
+
+/// Output of one optimizer run.
+struct OptimizerResult {
+  /// Global Pareto frontier over (TTFT down, QPS/Chip up), TTFT-sorted.
+  std::vector<ScheduledPoint> pareto;
+  /// Per-plan frontiers (only when keep_plan_frontiers is set).
+  std::vector<PlanFrontier> plan_frontiers;
+  int64_t schedules_evaluated = 0;
+  int64_t schedules_feasible = 0;
+
+  /// Highest-QPS/Chip point on the frontier (requires non-empty).
+  const ScheduledPoint& MaxQpsPerChip() const;
+  /// Lowest-TTFT point on the frontier (requires non-empty).
+  const ScheduledPoint& MinTtft() const;
+};
+
+/// The RAGO search engine for one pipeline model.
+class Optimizer {
+ public:
+  Optimizer(const core::PipelineModel& model, SearchOptions options = {});
+
+  /// Full Algorithm 1 search.
+  OptimizerResult Search() const;
+
+  /**
+   * Baseline from the paper's evaluation (§7.1): all auxiliary stages
+   * collocated with the main-LLM prefix partition, prefix:decode chips
+   * fixed at 1:1, batching still tuned.
+   */
+  OptimizerResult SearchBaseline() const;
+
+  /**
+   * Placement candidates: every contiguous partition of the prefix
+   * chain into collocation groups (2^(k-1) options for k stages).
+   * Each entry is a chain_group vector.
+   */
+  std::vector<std::vector<int>> PlacementOptions() const;
+
+  /// Human-readable label of a placement option.
+  std::string PlacementLabel(const std::vector<int>& chain_group) const;
+
+  /// XPU budget used by this optimizer instance.
+  int Budget() const;
+
+ private:
+  const core::PipelineModel& model_;
+  SearchOptions options_;
+};
+
+}  // namespace rago::opt
+
+#endif  // RAGO_RAGO_OPTIMIZER_H

@@ -1,0 +1,61 @@
+#include "rago/provisioner.h"
+
+#include "common/check.h"
+
+namespace rago::opt {
+namespace {
+
+bool MeetsSlo(const core::EndToEndPerf& perf, const SloSpec& slo) {
+  if (slo.max_ttft > 0 && perf.ttft > slo.max_ttft) {
+    return false;
+  }
+  if (slo.max_tpot > 0 && perf.tpot > slo.max_tpot) {
+    return false;
+  }
+  if (slo.min_qps > 0 && perf.qps < slo.min_qps) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ProvisionResult
+Provision(const core::PipelineModel& model, const SloSpec& slo,
+          const SearchOptions& options) {
+  RAGO_REQUIRE(slo.max_ttft > 0 || slo.max_tpot > 0 || slo.min_qps > 0,
+               "provisioning needs at least one SLO constraint");
+  ProvisionResult result;
+
+  for (int budget = 1; budget <= model.cluster().TotalXpus(); budget *= 2) {
+    result.budgets_tried.push_back(budget);
+    SearchOptions constrained = options;
+    constrained.max_total_xpus = budget;
+    const Optimizer optimizer(model, constrained);
+    const OptimizerResult search = optimizer.Search();
+
+    const ScheduledPoint* best = nullptr;
+    for (const ScheduledPoint& point : search.pareto) {
+      if (!MeetsSlo(point.perf, slo)) {
+        continue;
+      }
+      if (best == nullptr ||
+          point.schedule.AllocatedXpus() <
+              best->schedule.AllocatedXpus() ||
+          (point.schedule.AllocatedXpus() ==
+               best->schedule.AllocatedXpus() &&
+           point.perf.qps > best->perf.qps)) {
+        best = &point;
+      }
+    }
+    if (best != nullptr) {
+      result.satisfiable = true;
+      result.xpu_budget = budget;
+      result.chosen = *best;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace rago::opt

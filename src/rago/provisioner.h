@@ -1,0 +1,46 @@
+/**
+ * @file provisioner.h
+ * SLO-driven capacity planning on top of the RAGO search.
+ *
+ * The paper's optimizer answers "what is the best schedule for a
+ * fixed cluster?". Deployments usually ask the inverse: "how few XPUs
+ * can serve this workload within its SLOs?". The provisioner runs the
+ * RAGO search under increasing power-of-two XPU budgets and returns
+ * the cheapest schedule meeting the targets — an extension the paper
+ * lists under cost efficiency in its future-work discussion (§9).
+ */
+#ifndef RAGO_RAGO_PROVISIONER_H
+#define RAGO_RAGO_PROVISIONER_H
+
+#include "rago/optimizer.h"
+
+namespace rago::opt {
+
+/// Service-level objectives for one RAG deployment.
+struct SloSpec {
+  double max_ttft = 0.0;  ///< Seconds; 0 disables the constraint.
+  double max_tpot = 0.0;  ///< Seconds per output token; 0 disables.
+  double min_qps = 0.0;   ///< Sustained requests/second; 0 disables.
+};
+
+/// Outcome of provisioning.
+struct ProvisionResult {
+  bool satisfiable = false;
+  int xpu_budget = 0;  ///< Smallest budget that met the SLOs.
+  ScheduledPoint chosen;
+  /// Budgets probed, in order (for reporting).
+  std::vector<int> budgets_tried;
+};
+
+/**
+ * Finds the smallest power-of-two XPU budget (up to the cluster size)
+ * whose optimized frontier contains a schedule meeting `slo`, and the
+ * cheapest such schedule (fewest allocated XPUs, then max QPS).
+ */
+ProvisionResult Provision(const core::PipelineModel& model,
+                          const SloSpec& slo,
+                          const SearchOptions& options = {});
+
+}  // namespace rago::opt
+
+#endif  // RAGO_RAGO_PROVISIONER_H

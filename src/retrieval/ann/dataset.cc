@@ -1,0 +1,52 @@
+#include "retrieval/ann/dataset.h"
+
+namespace rago::ann {
+
+Matrix
+GenUniform(size_t n, size_t dim, Rng& rng, float lo, float hi) {
+  Matrix data(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = data.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.NextUniform(lo, hi));
+    }
+  }
+  return data;
+}
+
+Matrix
+GenClustered(size_t n, size_t dim, int clusters, float spread, Rng& rng) {
+  Matrix centers(static_cast<size_t>(clusters), dim);
+  for (size_t c = 0; c < static_cast<size_t>(clusters); ++c) {
+    float* row = centers.Row(c);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.NextUniform(0.0, 10.0));
+    }
+  }
+  Matrix data(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* center =
+        centers.Row(rng.NextBounded(static_cast<uint64_t>(clusters)));
+    float* row = data.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = center[d] +
+               spread * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return data;
+}
+
+Matrix
+GenQueriesNear(const Matrix& data, size_t n, float noise, Rng& rng) {
+  Matrix queries(n, data.dim());
+  for (size_t i = 0; i < n; ++i) {
+    const float* base = data.Row(rng.NextBounded(data.rows()));
+    float* row = queries.Row(i);
+    for (size_t d = 0; d < data.dim(); ++d) {
+      row[d] = base[d] + noise * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return queries;
+}
+
+}  // namespace rago::ann

@@ -1,0 +1,37 @@
+/**
+ * @file dataset.h
+ * Synthetic vector dataset generators for the functional ANN library.
+ *
+ * The paper's databases are proprietary hyperscale corpora; for the
+ * functional substrate we generate seeded synthetic data with
+ * controllable cluster structure so recall/speed trade-offs (paper
+ * Fig. 7b's P_scan axis) can be exercised deterministically.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_DATASET_H
+#define RAGO_RETRIEVAL_ANN_DATASET_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "retrieval/ann/matrix.h"
+
+namespace rago::ann {
+
+/// i.i.d. uniform vectors in [lo, hi)^dim.
+Matrix GenUniform(size_t n, size_t dim, Rng& rng, float lo = 0.0f,
+                  float hi = 1.0f);
+
+/**
+ * Gaussian mixture: `clusters` centers drawn uniformly in [0,10)^dim,
+ * points scattered around them with standard deviation `spread`.
+ * Clustered data is the regime where IVF-style indexes shine.
+ */
+Matrix GenClustered(size_t n, size_t dim, int clusters, float spread,
+                    Rng& rng);
+
+/// Queries perturbed from random database rows (realistic near-duplicates).
+Matrix GenQueriesNear(const Matrix& data, size_t n, float noise, Rng& rng);
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_DATASET_H

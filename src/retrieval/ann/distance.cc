@@ -1,0 +1,35 @@
+#include "retrieval/ann/distance.h"
+
+namespace rago::ann {
+
+float
+L2Sq(const float* a, const float* b, size_t dim) {
+  float sum = 0.0f;
+  for (size_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float
+Dot(const float* a, const float* b, size_t dim) {
+  float sum = 0.0f;
+  for (size_t d = 0; d < dim; ++d) {
+    sum += a[d] * b[d];
+  }
+  return sum;
+}
+
+float
+Distance(Metric metric, const float* a, const float* b, size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Sq(a, b, dim);
+    case Metric::kInnerProduct:
+      return -Dot(a, b, dim);
+  }
+  return 0.0f;  // Unreachable.
+}
+
+}  // namespace rago::ann

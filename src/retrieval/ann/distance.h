@@ -1,0 +1,33 @@
+/**
+ * @file distance.h
+ * Distance kernels for the functional ANN library.
+ *
+ * Distances follow the "smaller is better" convention: inner-product
+ * similarity is negated so the same top-k machinery serves both
+ * metrics.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_DISTANCE_H
+#define RAGO_RETRIEVAL_ANN_DISTANCE_H
+
+#include <cstddef>
+
+namespace rago::ann {
+
+/// Supported similarity metrics.
+enum class Metric {
+  kL2,            ///< Squared Euclidean distance.
+  kInnerProduct,  ///< Negated dot product (maximum inner product search).
+};
+
+/// Squared L2 distance between two `dim`-wide vectors.
+float L2Sq(const float* a, const float* b, size_t dim);
+
+/// Dot product between two `dim`-wide vectors.
+float Dot(const float* a, const float* b, size_t dim);
+
+/// Metric dispatch; returns a value where smaller means more similar.
+float Distance(Metric metric, const float* a, const float* b, size_t dim);
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_DISTANCE_H

@@ -1,0 +1,22 @@
+#include "retrieval/ann/flat_index.h"
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+FlatIndex::FlatIndex(Matrix data, Metric metric)
+    : data_(std::move(data)), metric_(metric) {
+  RAGO_REQUIRE(!data_.empty(), "flat index requires a non-empty database");
+}
+
+std::vector<Neighbor>
+FlatIndex::Search(const float* query, size_t k) const {
+  TopK topk(k);
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    topk.Push(Distance(metric_, query, data_.Row(i), data_.dim()),
+              static_cast<int64_t>(i));
+  }
+  return topk.SortedTake();
+}
+
+}  // namespace rago::ann

@@ -1,0 +1,217 @@
+#include "retrieval/ann/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
+                     Rng& rng)
+    : data_(std::move(data)), metric_(metric), options_(options) {
+  RAGO_REQUIRE(!data_.empty(), "HNSW requires a non-empty database");
+  RAGO_REQUIRE(options_.max_degree >= 2, "max_degree must be at least 2");
+  RAGO_REQUIRE(options_.ef_construction >= options_.max_degree,
+               "ef_construction should be at least max_degree");
+  level_multiplier_ = options_.level_multiplier > 0
+                          ? options_.level_multiplier
+                          : 1.0 / std::log(options_.max_degree);
+
+  nodes_.resize(data_.rows());
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    const auto id = static_cast<int32_t>(i);
+    const int level = DrawLevel(rng);
+    Node& node = nodes_[i];
+    node.level = level;
+    node.links.resize(static_cast<size_t>(level) + 1);
+
+    if (entry_point_ < 0) {
+      entry_point_ = id;
+      max_level_ = level;
+      continue;
+    }
+
+    // Phase 1: greedy descent from the global entry down to level+1.
+    int32_t entry = entry_point_;
+    for (int layer = max_level_; layer > level; --layer) {
+      entry = GreedyStep(data_.Row(i), entry, layer);
+    }
+
+    // Phase 2: beam search and link at each layer from min(level,
+    // max_level_) down to 0.
+    for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+      const std::vector<Neighbor> found =
+          SearchLayer(data_.Row(i), entry, options_.ef_construction, layer);
+      // Base layer allows 2M links (standard HNSW practice).
+      const int m = layer == 0 ? 2 * options_.max_degree
+                               : options_.max_degree;
+      const std::vector<int32_t> selected = SelectNeighbors(found, m);
+      for (int32_t nb : selected) {
+        node.links[static_cast<size_t>(layer)].push_back(nb);
+        auto& back = nodes_[static_cast<size_t>(nb)]
+                         .links[static_cast<size_t>(layer)];
+        back.push_back(id);
+        if (static_cast<int>(back.size()) > m) {
+          // Re-prune the neighbor's links with the same diversity
+          // heuristic used at insertion. Keeping only the m *nearest*
+          // would sever inter-cluster bridges and disconnect the
+          // graph on clustered data.
+          std::vector<Neighbor> candidates;
+          candidates.reserve(back.size());
+          for (int32_t other : back) {
+            candidates.push_back(
+                Neighbor{Dist(data_.Row(static_cast<size_t>(nb)), other),
+                         other});
+          }
+          std::sort(candidates.begin(), candidates.end());
+          back = SelectNeighbors(candidates, m);
+        }
+      }
+      if (!found.empty()) {
+        entry = static_cast<int32_t>(found.front().id);
+      }
+    }
+
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = id;
+    }
+  }
+}
+
+int
+HnswIndex::DrawLevel(Rng& rng) const {
+  const double u = std::max(rng.NextDouble(), 1e-12);
+  return static_cast<int>(-std::log(u) * level_multiplier_);
+}
+
+float
+HnswIndex::Dist(const float* query, int32_t id) const {
+  ++last_distance_evals_;
+  return Distance(metric_, query, data_.Row(static_cast<size_t>(id)),
+                  data_.dim());
+}
+
+int32_t
+HnswIndex::GreedyStep(const float* query, int32_t entry, int layer) const {
+  int32_t current = entry;
+  float best = Dist(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int32_t nb :
+         nodes_[static_cast<size_t>(current)].links[static_cast<size_t>(
+             layer)]) {
+      const float d = Dist(query, nb);
+      if (d < best) {
+        best = d;
+        current = nb;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Neighbor>
+HnswIndex::SearchLayer(const float* query, int32_t entry, int ef,
+                       int layer) const {
+  std::unordered_set<int32_t> visited = {entry};
+  // Min-heap of candidates to expand; bounded max-heap of results.
+  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                      std::greater<Neighbor>>
+      candidates;
+  TopK results(static_cast<size_t>(ef));
+  const float entry_dist = Dist(query, entry);
+  candidates.push(Neighbor{entry_dist, entry});
+  results.Push(entry_dist, entry);
+
+  while (!candidates.empty()) {
+    const Neighbor current = candidates.top();
+    candidates.pop();
+    if (current.dist > results.Threshold()) {
+      break;  // No candidate can improve the result set.
+    }
+    for (int32_t nb :
+         nodes_[static_cast<size_t>(current.id)].links[static_cast<size_t>(
+             layer)]) {
+      if (!visited.insert(nb).second) {
+        continue;
+      }
+      const float d = Dist(query, nb);
+      if (d < results.Threshold()) {
+        candidates.push(Neighbor{d, nb});
+        results.Push(d, nb);
+      }
+    }
+  }
+  return results.SortedTake();
+}
+
+std::vector<int32_t>
+HnswIndex::SelectNeighbors(const std::vector<Neighbor>& found, int m) const {
+  // Heuristic diversity selection: keep a candidate only if it is
+  // closer to the query than to every already-selected neighbor.
+  std::vector<int32_t> selected;
+  for (const Neighbor& candidate : found) {
+    if (static_cast<int>(selected.size()) >= m) {
+      break;
+    }
+    bool diverse = true;
+    for (int32_t chosen : selected) {
+      const float to_chosen =
+          Distance(metric_, data_.Row(static_cast<size_t>(candidate.id)),
+                   data_.Row(static_cast<size_t>(chosen)), data_.dim());
+      if (to_chosen < candidate.dist) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.push_back(static_cast<int32_t>(candidate.id));
+    }
+  }
+  // Fall back to plain nearest if diversity pruned too aggressively.
+  for (const Neighbor& candidate : found) {
+    if (static_cast<int>(selected.size()) >= m) {
+      break;
+    }
+    if (std::find(selected.begin(), selected.end(),
+                  static_cast<int32_t>(candidate.id)) == selected.end()) {
+      selected.push_back(static_cast<int32_t>(candidate.id));
+    }
+  }
+  return selected;
+}
+
+std::vector<Neighbor>
+HnswIndex::Search(const float* query, size_t k, int ef_search) const {
+  RAGO_REQUIRE(ef_search >= 1, "ef_search must be positive");
+  last_distance_evals_ = 0;
+  int32_t entry = entry_point_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    entry = GreedyStep(query, entry, layer);
+  }
+  std::vector<Neighbor> found = SearchLayer(
+      query, entry, std::max<int>(ef_search, static_cast<int>(k)), 0);
+  if (found.size() > k) {
+    found.resize(k);
+  }
+  return found;
+}
+
+int64_t
+HnswIndex::GraphBytes() const {
+  int64_t total = 0;
+  for (const Node& node : nodes_) {
+    for (const auto& layer : node.links) {
+      total += static_cast<int64_t>(layer.size()) * sizeof(int32_t);
+    }
+  }
+  return total;
+}
+
+}  // namespace rago::ann

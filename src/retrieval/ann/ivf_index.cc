@@ -1,0 +1,65 @@
+#include "retrieval/ann/ivf_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+IvfIndex::IvfIndex(Matrix data, Metric metric, const IvfOptions& options,
+                   Rng& rng)
+    : data_(std::move(data)), metric_(metric), nlist_(options.nlist) {
+  RAGO_REQUIRE(!data_.empty(), "IVF requires a non-empty database");
+  RAGO_REQUIRE(options.nlist > 0, "nlist must be positive");
+  RAGO_REQUIRE(static_cast<size_t>(options.nlist) <= data_.rows(),
+               "nlist cannot exceed the database size");
+
+  KMeansOptions kmeans_options;
+  kmeans_options.max_iterations = options.kmeans_iterations;
+  KMeansResult trained = TrainKMeans(data_, nlist_, rng, kmeans_options);
+  centroids_ = std::move(trained.centroids);
+
+  lists_.resize(static_cast<size_t>(nlist_));
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    lists_[static_cast<size_t>(trained.assignments[i])].push_back(
+        static_cast<int64_t>(i));
+  }
+}
+
+std::vector<int32_t>
+IvfIndex::NearestClusters(const float* query, int nprobe) const {
+  // Rank all centroids by distance and take the closest nprobe.
+  TopK topk(static_cast<size_t>(std::min(nprobe, nlist_)));
+  for (int c = 0; c < nlist_; ++c) {
+    topk.Push(L2Sq(query, centroids_.Row(static_cast<size_t>(c)),
+                   centroids_.dim()),
+              c);
+  }
+  std::vector<int32_t> out;
+  for (const Neighbor& nb : topk.SortedTake()) {
+    out.push_back(static_cast<int32_t>(nb.id));
+  }
+  return out;
+}
+
+std::vector<Neighbor>
+IvfIndex::Search(const float* query, size_t k, int nprobe) const {
+  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+  TopK topk(k);
+  for (int32_t cluster : NearestClusters(query, nprobe)) {
+    for (int64_t id : lists_[static_cast<size_t>(cluster)]) {
+      topk.Push(Distance(metric_, query, data_.Row(static_cast<size_t>(id)),
+                         data_.dim()),
+                id);
+    }
+  }
+  return topk.SortedTake();
+}
+
+double
+IvfIndex::ExpectedScannedVectors(int nprobe) const {
+  const double probed = std::min(nprobe, nlist_);
+  return static_cast<double>(data_.rows()) * probed / nlist_;
+}
+
+}  // namespace rago::ann

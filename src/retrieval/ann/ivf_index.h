@@ -1,0 +1,65 @@
+/**
+ * @file ivf_index.h
+ * Inverted-file (IVF) index with exact in-list distances.
+ *
+ * Vectors are partitioned into `nlist` clusters by a trained coarse
+ * quantizer; a query scans only the `nprobe` nearest clusters. This is
+ * the uncompressed building block beneath IVF-PQ.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_IVF_INDEX_H
+#define RAGO_RETRIEVAL_ANN_IVF_INDEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kmeans.h"
+#include "retrieval/ann/matrix.h"
+#include "retrieval/ann/topk.h"
+
+namespace rago::ann {
+
+/// IVF build parameters.
+struct IvfOptions {
+  int nlist = 64;          ///< Number of coarse clusters.
+  int kmeans_iterations = 10;
+};
+
+/// Inverted-file index over an in-memory database.
+class IvfIndex {
+ public:
+  IvfIndex(Matrix data, Metric metric, const IvfOptions& options, Rng& rng);
+
+  /**
+   * Approximate top-k: scans the `nprobe` clusters whose centroids are
+   * nearest to the query.
+   */
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               int nprobe) const;
+
+  /// Number of database vectors a query with `nprobe` scans on average.
+  double ExpectedScannedVectors(int nprobe) const;
+
+  int nlist() const { return nlist_; }
+  size_t size() const { return data_.rows(); }
+  const Matrix& centroids() const { return centroids_; }
+  const std::vector<int64_t>& list(int cluster) const {
+    return lists_[static_cast<size_t>(cluster)];
+  }
+
+ private:
+  std::vector<int32_t> NearestClusters(const float* query, int nprobe) const;
+
+  Matrix data_;
+  Metric metric_;
+  int nlist_ = 0;
+  Matrix centroids_;
+  std::vector<std::vector<int64_t>> lists_;
+
+  friend class IvfPqIndex;
+};
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_IVF_INDEX_H

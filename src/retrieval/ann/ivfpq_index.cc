@@ -1,0 +1,123 @@
+#include "retrieval/ann/ivfpq_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kmeans.h"
+#include "retrieval/ann/topk.h"
+
+namespace rago::ann {
+
+IvfPqIndex::IvfPqIndex(Matrix data, const IvfPqOptions& options, Rng& rng)
+    : num_vectors_(data.rows()),
+      nlist_(options.nlist),
+      encode_residuals_(options.encode_residuals) {
+  RAGO_REQUIRE(!data.empty(), "IVF-PQ requires a non-empty database");
+  RAGO_REQUIRE(options.nlist > 0, "nlist must be positive");
+  RAGO_REQUIRE(static_cast<size_t>(options.nlist) <= data.rows(),
+               "nlist cannot exceed the database size");
+
+  const size_t dim = data.dim();
+
+  KMeansOptions kmeans_options;
+  kmeans_options.max_iterations = options.kmeans_iterations;
+  KMeansResult coarse = TrainKMeans(data, nlist_, rng, kmeans_options);
+  centroids_ = std::move(coarse.centroids);
+
+  // Training material for PQ: residuals against the assigned centroid
+  // (tighter codebooks) or the raw vectors.
+  Matrix train(data.rows(), dim);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const float* row = data.Row(i);
+    const float* centroid =
+        centroids_.Row(static_cast<size_t>(coarse.assignments[i]));
+    float* dst = train.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      dst[d] = encode_residuals_ ? row[d] - centroid[d] : row[d];
+    }
+  }
+  pq_ = std::make_unique<ProductQuantizer>(train, options.pq_subspaces, rng,
+                                           options.kmeans_iterations);
+
+  ids_.resize(static_cast<size_t>(nlist_));
+  codes_.resize(static_cast<size_t>(nlist_));
+  std::vector<uint8_t> code(pq_->CodeBytes());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const auto cluster = static_cast<size_t>(coarse.assignments[i]);
+    pq_->Encode(train.Row(i), code.data());
+    ids_[cluster].push_back(static_cast<int64_t>(i));
+    codes_[cluster].insert(codes_[cluster].end(), code.begin(), code.end());
+  }
+
+  if (options.keep_raw_vectors) {
+    raw_ = std::move(data);
+  }
+}
+
+std::vector<Neighbor>
+IvfPqIndex::Search(const float* query, size_t k, int nprobe,
+                   int rerank) const {
+  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+  RAGO_REQUIRE(rerank == 0 || !raw_.empty(),
+               "re-ranking requires keep_raw_vectors at build time");
+  const size_t dim = centroids_.dim();
+
+  // Rank coarse clusters.
+  TopK cluster_rank(static_cast<size_t>(std::min(nprobe, nlist_)));
+  for (int c = 0; c < nlist_; ++c) {
+    cluster_rank.Push(
+        L2Sq(query, centroids_.Row(static_cast<size_t>(c)), dim), c);
+  }
+
+  // ADC scan inside probed lists. The candidate pool is max(k, rerank)
+  // wide so re-ranking has material to work with.
+  const size_t pool = std::max(k, static_cast<size_t>(rerank));
+  TopK candidates(pool);
+  std::vector<float> shifted(dim);
+  for (const Neighbor& cluster : cluster_rank.SortedTake()) {
+    const auto c = static_cast<size_t>(cluster.id);
+    const float* centroid = centroids_.Row(c);
+    const float* table_query = query;
+    if (encode_residuals_) {
+      for (size_t d = 0; d < dim; ++d) {
+        shifted[d] = query[d] - centroid[d];
+      }
+      table_query = shifted.data();
+    }
+    const std::vector<float> table = pq_->BuildAdcTable(table_query);
+    const std::vector<uint8_t>& list_codes = codes_[c];
+    const std::vector<int64_t>& list_ids = ids_[c];
+    const size_t code_bytes = pq_->CodeBytes();
+    for (size_t i = 0; i < list_ids.size(); ++i) {
+      const float dist =
+          pq_->AdcDistance(table, list_codes.data() + i * code_bytes);
+      candidates.Push(dist, list_ids[i]);
+    }
+  }
+
+  std::vector<Neighbor> approx = candidates.SortedTake();
+  if (rerank <= 0) {
+    if (approx.size() > k) {
+      approx.resize(k);
+    }
+    return approx;
+  }
+
+  // Exact re-ranking of the PQ shortlist.
+  TopK exact(k);
+  for (const Neighbor& nb : approx) {
+    exact.Push(L2Sq(query, raw_.Row(static_cast<size_t>(nb.id)), dim),
+               nb.id);
+  }
+  return exact.SortedTake();
+}
+
+double
+IvfPqIndex::ExpectedScannedBytes(int nprobe) const {
+  const double probed = std::min(nprobe, nlist_);
+  return static_cast<double>(num_vectors_) * probed / nlist_ *
+         static_cast<double>(pq_->CodeBytes());
+}
+
+}  // namespace rago::ann

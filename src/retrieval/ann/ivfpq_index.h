@@ -1,0 +1,68 @@
+/**
+ * @file ivfpq_index.h
+ * IVF-PQ: inverted lists of product-quantized codes.
+ *
+ * The workhorse algorithm for hyperscale RAG retrieval (paper §2):
+ * memory-efficient PQ codes (96 bytes for 768 dims at 1 byte per 8
+ * dims) scanned with ADC lookup tables inside the probed IVF lists.
+ * Optionally re-ranks the top PQ candidates with exact distances.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_IVFPQ_INDEX_H
+#define RAGO_RETRIEVAL_ANN_IVFPQ_INDEX_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "retrieval/ann/ivf_index.h"
+#include "retrieval/ann/pq.h"
+
+namespace rago::ann {
+
+/// IVF-PQ build parameters.
+struct IvfPqOptions {
+  int nlist = 64;
+  int pq_subspaces = 8;  ///< Code bytes per vector.
+  int kmeans_iterations = 10;
+  bool encode_residuals = true;  ///< PQ on (vector - centroid) residuals.
+  /// Keep the raw vectors to allow exact re-ranking (costs memory).
+  bool keep_raw_vectors = true;
+};
+
+/// IVF index whose lists store PQ codes instead of raw vectors.
+class IvfPqIndex {
+ public:
+  IvfPqIndex(Matrix data, const IvfPqOptions& options, Rng& rng);
+
+  /**
+   * Approximate top-k via ADC scan of `nprobe` lists.
+   *
+   * @param rerank if positive, the top `rerank` PQ candidates are
+   *   re-scored with exact distances (requires keep_raw_vectors).
+   */
+  std::vector<Neighbor> Search(const float* query, size_t k, int nprobe,
+                               int rerank = 0) const;
+
+  /// Bytes of PQ codes scanned by a query with `nprobe` (average).
+  double ExpectedScannedBytes(int nprobe) const;
+
+  int nlist() const { return nlist_; }
+  size_t size() const { return num_vectors_; }
+  const ProductQuantizer& pq() const { return *pq_; }
+
+ private:
+  size_t num_vectors_ = 0;
+  int nlist_ = 0;
+  bool encode_residuals_ = true;
+  Matrix centroids_;
+  Matrix raw_;  ///< Empty when keep_raw_vectors is false.
+  std::unique_ptr<ProductQuantizer> pq_;
+  /// Per-list vector ids and concatenated codes.
+  std::vector<std::vector<int64_t>> ids_;
+  std::vector<std::vector<uint8_t>> codes_;
+};
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_IVFPQ_INDEX_H

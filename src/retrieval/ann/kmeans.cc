@@ -1,0 +1,158 @@
+#include "retrieval/ann/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "retrieval/ann/distance.h"
+
+namespace rago::ann {
+namespace {
+
+/// k-means++ seeding: each new centroid is drawn proportionally to the
+/// squared distance from the nearest already-chosen centroid.
+Matrix SeedPlusPlus(const Matrix& data, int k, Rng& rng) {
+  const size_t n = data.rows();
+  const size_t dim = data.dim();
+  Matrix centroids(static_cast<size_t>(k), dim);
+
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  size_t first = rng.NextBounded(n);
+  centroids.CopyRowFrom(data, first, 0);
+
+  for (int c = 1; c < k; ++c) {
+    const float* last = centroids.Row(static_cast<size_t>(c - 1));
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float d = L2Sq(data.Row(i), last, dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.NextBounded(n);  // All points identical.
+    }
+    centroids.CopyRowFrom(data, chosen, static_cast<size_t>(c));
+  }
+  return centroids;
+}
+
+Matrix SeedRandom(const Matrix& data, int k, Rng& rng) {
+  Matrix centroids(static_cast<size_t>(k), data.dim());
+  for (int c = 0; c < k; ++c) {
+    centroids.CopyRowFrom(data, rng.NextBounded(data.rows()),
+                          static_cast<size_t>(c));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+int32_t
+NearestCentroid(const Matrix& centroids, const float* vec) {
+  int32_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const float d = L2Sq(centroids.Row(c), vec, centroids.dim());
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult
+TrainKMeans(const Matrix& data, int k, Rng& rng, const KMeansOptions& options) {
+  RAGO_REQUIRE(k > 0, "k must be positive");
+  RAGO_REQUIRE(static_cast<size_t>(k) <= data.rows(),
+               "k-means requires at least k input rows");
+  const size_t n = data.rows();
+  const size_t dim = data.dim();
+
+  KMeansResult result;
+  result.centroids = options.plus_plus_seeding ? SeedPlusPlus(data, k, rng)
+                                               : SeedRandom(data, k, rng);
+  result.assignments.assign(n, 0);
+
+  std::vector<double> sums(static_cast<size_t>(k) * dim);
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    std::vector<size_t> farthest_per_cluster(static_cast<size_t>(k), 0);
+    std::vector<float> farthest_dist(static_cast<size_t>(k), -1.0f);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t c = NearestCentroid(result.centroids, data.Row(i));
+      result.assignments[i] = c;
+      const float d =
+          L2Sq(result.centroids.Row(static_cast<size_t>(c)), data.Row(i), dim);
+      inertia += d;
+      if (d > farthest_dist[static_cast<size_t>(c)]) {
+        farthest_dist[static_cast<size_t>(c)] = d;
+        farthest_per_cluster[static_cast<size_t>(c)] = i;
+      }
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(result.assignments[i]);
+      const float* row = data.Row(i);
+      for (size_t d = 0; d < dim; ++d) {
+        sums[c * dim + d] += row[d];
+      }
+      ++counts[c];
+    }
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the globally farthest point of
+        // the largest cluster to keep k live centroids.
+        size_t donor = 0;
+        float worst = -1.0f;
+        for (size_t cc = 0; cc < static_cast<size_t>(k); ++cc) {
+          if (farthest_dist[cc] > worst) {
+            worst = farthest_dist[cc];
+            donor = cc;
+          }
+        }
+        result.centroids.CopyRowFrom(data, farthest_per_cluster[donor], c);
+        continue;
+      }
+      float* centroid = result.centroids.Row(c);
+      for (size_t d = 0; d < dim; ++d) {
+        centroid[d] =
+            static_cast<float>(sums[c * dim + d] / counts[c]);
+      }
+    }
+
+    // Convergence check on relative inertia improvement.
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      const double rel =
+          (prev_inertia - inertia) / std::max(prev_inertia, 1e-30);
+      if (rel >= 0.0 && rel < options.tolerance) {
+        break;
+      }
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace rago::ann

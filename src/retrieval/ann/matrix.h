@@ -1,0 +1,64 @@
+/**
+ * @file matrix.h
+ * Row-major dense float matrix used by the functional ANN library.
+ *
+ * The functional library (k-means, IVF, PQ, ScaNN-style tree) operates
+ * on in-memory float vectors. A thin owning container keeps the code
+ * free of raw pointer arithmetic at call sites.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_MATRIX_H
+#define RAGO_RETRIEVAL_ANN_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+/// Owning row-major matrix of floats: `rows` vectors of width `dim`.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(size_t rows, size_t dim)
+      : rows_(rows), dim_(dim), data_(rows * dim, 0.0f) {
+    RAGO_REQUIRE(dim > 0, "matrix dim must be positive");
+  }
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return rows_ == 0; }
+
+  float* Row(size_t i) {
+    RAGO_CHECK(i < rows_, "row index out of range");
+    return data_.data() + i * dim_;
+  }
+
+  const float* Row(size_t i) const {
+    RAGO_CHECK(i < rows_, "row index out of range");
+    return data_.data() + i * dim_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Copies row `src_row` of `src` into row `dst_row` of this matrix.
+  void CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row) {
+    RAGO_CHECK(src.dim() == dim_, "dimensionality mismatch");
+    const float* from = src.Row(src_row);
+    float* to = Row(dst_row);
+    for (size_t d = 0; d < dim_; ++d) {
+      to[d] = from[d];
+    }
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_MATRIX_H

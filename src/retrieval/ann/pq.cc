@@ -1,0 +1,104 @@
+#include "retrieval/ann/pq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kmeans.h"
+
+namespace rago::ann {
+
+ProductQuantizer::ProductQuantizer(const Matrix& data, int m, Rng& rng,
+                                   int kmeans_iterations)
+    : m_(m), dim_(data.dim()) {
+  RAGO_REQUIRE(m > 0, "PQ requires at least one subspace");
+  RAGO_REQUIRE(dim_ % static_cast<size_t>(m) == 0,
+               "vector dim must be divisible by the subspace count");
+  RAGO_REQUIRE(data.rows() >= kCentroids,
+               "PQ training needs at least 256 vectors");
+  sub_dim_ = dim_ / static_cast<size_t>(m);
+  codebooks_.resize(static_cast<size_t>(m_) * kCentroids * sub_dim_);
+
+  // Train an independent k-means codebook per subspace.
+  KMeansOptions options;
+  options.max_iterations = kmeans_iterations;
+  for (int s = 0; s < m_; ++s) {
+    Matrix sub(data.rows(), sub_dim_);
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const float* row = data.Row(i) + static_cast<size_t>(s) * sub_dim_;
+      float* dst = sub.Row(i);
+      std::copy(row, row + sub_dim_, dst);
+    }
+    const KMeansResult trained = TrainKMeans(sub, kCentroids, rng, options);
+    for (int c = 0; c < kCentroids; ++c) {
+      const float* src = trained.centroids.Row(static_cast<size_t>(c));
+      float* dst = codebooks_.data() +
+                   (static_cast<size_t>(s) * kCentroids + c) * sub_dim_;
+      std::copy(src, src + sub_dim_, dst);
+    }
+  }
+}
+
+void
+ProductQuantizer::Encode(const float* vec, uint8_t* out) const {
+  for (int s = 0; s < m_; ++s) {
+    const float* sub_vec = vec + static_cast<size_t>(s) * sub_dim_;
+    int best = 0;
+    float best_dist = std::numeric_limits<float>::max();
+    for (int c = 0; c < kCentroids; ++c) {
+      const float d = L2Sq(sub_vec, Centroid(s, c), sub_dim_);
+      if (d < best_dist) {
+        best_dist = d;
+        best = c;
+      }
+    }
+    out[s] = static_cast<uint8_t>(best);
+  }
+}
+
+std::vector<uint8_t>
+ProductQuantizer::EncodeAll(const Matrix& data) const {
+  RAGO_REQUIRE(data.dim() == dim_, "dimensionality mismatch");
+  std::vector<uint8_t> codes(data.rows() * CodeBytes());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    Encode(data.Row(i), codes.data() + i * CodeBytes());
+  }
+  return codes;
+}
+
+void
+ProductQuantizer::Decode(const uint8_t* code, float* out) const {
+  for (int s = 0; s < m_; ++s) {
+    const float* centroid = Centroid(s, code[s]);
+    float* dst = out + static_cast<size_t>(s) * sub_dim_;
+    std::copy(centroid, centroid + sub_dim_, dst);
+  }
+}
+
+std::vector<float>
+ProductQuantizer::BuildAdcTable(const float* query) const {
+  std::vector<float> table(static_cast<size_t>(m_) * kCentroids);
+  for (int s = 0; s < m_; ++s) {
+    const float* sub_query = query + static_cast<size_t>(s) * sub_dim_;
+    for (int c = 0; c < kCentroids; ++c) {
+      table[static_cast<size_t>(s) * kCentroids + c] =
+          L2Sq(sub_query, Centroid(s, c), sub_dim_);
+    }
+  }
+  return table;
+}
+
+float
+ProductQuantizer::AdcDistance(const std::vector<float>& table,
+                              const uint8_t* code) const {
+  RAGO_CHECK(table.size() == static_cast<size_t>(m_) * kCentroids,
+             "ADC table size mismatch");
+  float dist = 0.0f;
+  for (int s = 0; s < m_; ++s) {
+    dist += table[static_cast<size_t>(s) * kCentroids + code[s]];
+  }
+  return dist;
+}
+
+}  // namespace rago::ann

@@ -1,0 +1,44 @@
+#include "retrieval/ann/recall.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+double
+RecallAtK(const std::vector<Neighbor>& approx,
+          const std::vector<Neighbor>& truth, size_t k) {
+  RAGO_REQUIRE(k > 0, "recall requires k >= 1");
+  const size_t want = std::min(k, truth.size());
+  if (want == 0) {
+    return 1.0;
+  }
+  std::unordered_set<int64_t> found;
+  for (const Neighbor& nb : approx) {
+    found.insert(nb.id);
+  }
+  size_t hits = 0;
+  for (size_t i = 0; i < want; ++i) {
+    if (found.count(truth[i].id) > 0) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(want);
+}
+
+double
+MeanRecallAtK(const std::vector<std::vector<Neighbor>>& approx,
+              const std::vector<std::vector<Neighbor>>& truth, size_t k) {
+  RAGO_REQUIRE(approx.size() == truth.size(),
+               "approx/truth query counts must match");
+  RAGO_REQUIRE(!approx.empty(), "need at least one query");
+  double total = 0.0;
+  for (size_t q = 0; q < approx.size(); ++q) {
+    total += RecallAtK(approx[q], truth[q], k);
+  }
+  return total / static_cast<double>(approx.size());
+}
+
+}  // namespace rago::ann

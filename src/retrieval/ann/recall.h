@@ -1,0 +1,28 @@
+/**
+ * @file recall.h
+ * Recall evaluation against exact ground truth.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_RECALL_H
+#define RAGO_RETRIEVAL_ANN_RECALL_H
+
+#include <vector>
+
+#include "retrieval/ann/topk.h"
+
+namespace rago::ann {
+
+/**
+ * Recall@k of one query: fraction of the first k ground-truth ids
+ * present anywhere in `approx`.
+ */
+double RecallAtK(const std::vector<Neighbor>& approx,
+                 const std::vector<Neighbor>& truth, size_t k);
+
+/// Mean recall@k over per-query result lists (sizes must match).
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& approx,
+                     const std::vector<std::vector<Neighbor>>& truth,
+                     size_t k);
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_RECALL_H

@@ -1,0 +1,80 @@
+/**
+ * @file topk.h
+ * Bounded top-k accumulator for nearest-neighbor search.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_TOPK_H
+#define RAGO_RETRIEVAL_ANN_TOPK_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+/// One search hit: distance (smaller is better) and database id.
+struct Neighbor {
+  float dist = 0.0f;
+  int64_t id = -1;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) {
+      return a.dist < b.dist;
+    }
+    return a.id < b.id;  // Deterministic tie-break.
+  }
+
+  friend bool operator>(const Neighbor& a, const Neighbor& b) {
+    return b < a;
+  }
+};
+
+/// Keeps the k smallest-distance candidates seen so far.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {
+    RAGO_REQUIRE(k > 0, "top-k requires k >= 1");
+  }
+
+  /// Offers a candidate; cheap rejection once the heap is full.
+  void Push(float dist, int64_t id) {
+    if (heap_.size() < k_) {
+      heap_.push(Neighbor{dist, id});
+    } else if (dist < heap_.top().dist) {
+      heap_.pop();
+      heap_.push(Neighbor{dist, id});
+    }
+  }
+
+  /// Current admission threshold (worst kept distance), or +inf.
+  float Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<float>::infinity()
+                             : heap_.top().dist;
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts results sorted by ascending distance; empties the heap.
+  std::vector<Neighbor> SortedTake() {
+    std::vector<Neighbor> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  // Max-heap on distance so the worst candidate is evictable in O(log k).
+  std::priority_queue<Neighbor> heap_;
+};
+
+}  // namespace rago::ann
+
+#endif  // RAGO_RETRIEVAL_ANN_TOPK_H

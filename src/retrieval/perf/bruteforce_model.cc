@@ -1,0 +1,42 @@
+#include "retrieval/perf/bruteforce_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace rago::retrieval {
+
+BruteForceModel::BruteForceModel(int64_t num_vectors, int dim,
+                                 double bytes_per_dim, CpuServerSpec server)
+    : num_vectors_(num_vectors),
+      dim_(dim),
+      bytes_per_dim_(bytes_per_dim),
+      server_(server) {
+  RAGO_REQUIRE(num_vectors_ > 0, "database must contain vectors");
+  RAGO_REQUIRE(dim_ > 0, "dimensionality must be positive");
+  RAGO_REQUIRE(bytes_per_dim_ > 0, "bytes per dimension must be positive");
+}
+
+double
+BruteForceModel::BytesScannedPerQuery() const {
+  return static_cast<double>(num_vectors_) * dim_ * bytes_per_dim_;
+}
+
+RetrievalCost
+BruteForceModel::Search(int64_t batch_queries) const {
+  RAGO_REQUIRE(batch_queries > 0, "batch must be positive");
+  const double bytes = BytesScannedPerQuery();
+  const int64_t concurrent = std::min<int64_t>(batch_queries, server_.cores);
+  const double per_core_rate =
+      std::min(server_.scan_bytes_per_core,
+               server_.EffectiveMemBw() / static_cast<double>(concurrent));
+  const int64_t waves = CeilDiv(batch_queries, server_.cores);
+
+  RetrievalCost cost;
+  cost.latency = static_cast<double>(waves) * bytes / per_core_rate;
+  cost.throughput = static_cast<double>(batch_queries) / cost.latency;
+  return cost;
+}
+
+}  // namespace rago::retrieval

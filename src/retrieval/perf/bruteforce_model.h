@@ -1,0 +1,44 @@
+/**
+ * @file bruteforce_model.h
+ * Brute-force kNN cost model for small, per-request databases.
+ *
+ * Long-context RAG (paper Case II) builds a database of only 1K-100K
+ * vectors from the user's uploaded document. Indexing costs would
+ * dominate for such ephemeral data, so search is an exact scan of all
+ * vectors, stored full precision (fp16) in host memory.
+ */
+#ifndef RAGO_RETRIEVAL_PERF_BRUTEFORCE_MODEL_H
+#define RAGO_RETRIEVAL_PERF_BRUTEFORCE_MODEL_H
+
+#include <cstdint>
+
+#include "hardware/cpu_server.h"
+#include "retrieval/perf/retrieval_model.h"
+
+namespace rago::retrieval {
+
+/// Exact-scan retrieval over an in-memory per-request database.
+class BruteForceModel : public RetrievalModel {
+ public:
+  /**
+   * @param num_vectors database vectors (context_tokens / chunk_len).
+   * @param dim embedding dimensionality.
+   * @param bytes_per_dim storage width (2 for fp16).
+   * @param server host executing the scan.
+   */
+  BruteForceModel(int64_t num_vectors, int dim, double bytes_per_dim,
+                  CpuServerSpec server);
+
+  RetrievalCost Search(int64_t batch_queries) const override;
+  double BytesScannedPerQuery() const override;
+
+ private:
+  int64_t num_vectors_;
+  int dim_;
+  double bytes_per_dim_;
+  CpuServerSpec server_;
+};
+
+}  // namespace rago::retrieval
+
+#endif  // RAGO_RETRIEVAL_PERF_BRUTEFORCE_MODEL_H

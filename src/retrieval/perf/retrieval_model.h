@@ -1,0 +1,38 @@
+/**
+ * @file retrieval_model.h
+ * Abstract retrieval cost model interface.
+ *
+ * Retrieval in the paper runs on host CPU servers, not XPUs, and is
+ * characterized by the bytes of database vectors scanned per query
+ * (§3.3). Two concrete models implement this interface: the ScaNN
+ * multi-level-tree model for hyperscale ANN search, and a brute-force
+ * kNN model for the small per-request databases of long-context RAG.
+ */
+#ifndef RAGO_RETRIEVAL_PERF_RETRIEVAL_MODEL_H
+#define RAGO_RETRIEVAL_PERF_RETRIEVAL_MODEL_H
+
+#include <cstdint>
+
+namespace rago::retrieval {
+
+/// Latency/throughput of a retrieval batch.
+struct RetrievalCost {
+  double latency = 0.0;     ///< Seconds until the whole batch completes.
+  double throughput = 0.0;  ///< Sustained queries per second at this batch.
+};
+
+/// Cost model for one retrieval tier.
+class RetrievalModel {
+ public:
+  virtual ~RetrievalModel() = default;
+
+  /// Cost of a batch of `batch_queries` query vectors.
+  virtual RetrievalCost Search(int64_t batch_queries) const = 0;
+
+  /// Database bytes scanned per query (the paper's B_retrieval).
+  virtual double BytesScannedPerQuery() const = 0;
+};
+
+}  // namespace rago::retrieval
+
+#endif  // RAGO_RETRIEVAL_PERF_RETRIEVAL_MODEL_H

@@ -1,0 +1,103 @@
+#include "retrieval/perf/scann_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace rago::retrieval {
+
+void
+DatabaseSpec::Validate() const {
+  RAGO_REQUIRE(num_vectors > 0, "database must contain vectors");
+  RAGO_REQUIRE(dim > 0, "vector dimensionality must be positive");
+  RAGO_REQUIRE(pq_bytes_per_vector > 0, "PQ code size must be positive");
+  RAGO_REQUIRE(scan_fraction > 0 && scan_fraction <= 1.0,
+               "scan_fraction must be in (0, 1]");
+  RAGO_REQUIRE(tree_fanout > 1, "tree fanout must exceed one");
+  RAGO_REQUIRE(tree_levels >= 1 && tree_levels <= 4,
+               "tree levels must be in [1, 4]");
+  RAGO_REQUIRE(centroid_select_fraction > 0 && centroid_select_fraction <= 1,
+               "centroid_select_fraction must be in (0, 1]");
+}
+
+ScannModel::ScannModel(DatabaseSpec db, CpuServerSpec server, int num_servers)
+    : db_(db), server_(server), num_servers_(num_servers) {
+  db_.Validate();
+  RAGO_REQUIRE(num_servers_ > 0, "need at least one retrieval server");
+  RAGO_REQUIRE(num_servers_ >= MinServersForCapacity(),
+               "quantized database does not fit in host DRAM: need at least " +
+                   std::to_string(MinServersForCapacity()) + " servers");
+}
+
+int
+ScannModel::MinServersForCapacity() const {
+  return static_cast<int>(
+      std::ceil(db_.QuantizedBytes() / server_.dram_bytes));
+}
+
+std::vector<ScanOp>
+ScannModel::ScanOps() const {
+  std::vector<ScanOp> ops;
+  // Internal levels hold full-precision centroids. The root level is
+  // scanned completely; at deeper internal levels the query scans all
+  // children of the selected parents (beam = centroid_select_fraction
+  // of the level above).
+  double selected_nodes = 1.0;  // Virtual root.
+  for (int level = 1; level < db_.tree_levels; ++level) {
+    const double scanned = selected_nodes * db_.tree_fanout;
+    ScanOp op;
+    op.level = level;
+    op.bytes = scanned * db_.centroid_bytes_per_vector();
+    ops.push_back(op);
+    selected_nodes =
+        std::max(1.0, scanned * db_.centroid_select_fraction);
+  }
+  // Leaf level: scan_fraction of all quantized database vectors. This
+  // is the paper's B_retrieval ~= N_dbvec * B_vec * P_scan term and
+  // dominates total bytes for hyperscale databases.
+  ScanOp leaf;
+  leaf.level = db_.tree_levels;
+  leaf.bytes = static_cast<double>(db_.num_vectors) * db_.scan_fraction *
+               db_.pq_bytes_per_vector;
+  ops.push_back(leaf);
+  return ops;
+}
+
+double
+ScannModel::BytesScannedPerQuery() const {
+  double total = 0.0;
+  for (const ScanOp& op : ScanOps()) {
+    total += op.bytes;
+  }
+  return total;
+}
+
+double
+ScannModel::BytesPerQueryPerServer() const {
+  return BytesScannedPerQuery() / num_servers_;
+}
+
+RetrievalCost
+ScannModel::Search(int64_t batch_queries) const {
+  RAGO_REQUIRE(batch_queries > 0, "batch must be positive");
+  const double bytes_per_server = BytesPerQueryPerServer();
+
+  // One thread per query. With q concurrent queries on a server, each
+  // core sustains min(per-core scan rate, fair share of memory BW).
+  const int64_t concurrent = std::min<int64_t>(batch_queries, server_.cores);
+  const double per_core_rate =
+      std::min(server_.scan_bytes_per_core,
+               server_.EffectiveMemBw() / static_cast<double>(concurrent));
+
+  // Queries beyond the core count run in successive waves.
+  const int64_t waves = CeilDiv(batch_queries, server_.cores);
+  RetrievalCost cost;
+  cost.latency =
+      static_cast<double>(waves) * bytes_per_server / per_core_rate;
+  cost.throughput = static_cast<double>(batch_queries) / cost.latency;
+  return cost;
+}
+
+}  // namespace rago::retrieval

@@ -1,0 +1,89 @@
+/**
+ * @file scann_model.h
+ * ScaNN-style multi-level tree retrieval performance model.
+ *
+ * Implements the published model of [Sun et al., "Automating Nearest
+ * Neighbor Search Configuration with Constrained Optimization"] as
+ * used by the paper (§4b): search is a sequence of vector-scan
+ * operators, one per tree level, each costed with a roofline over
+ * per-core PQ-scan throughput and server memory bandwidth. ScaNN
+ * dedicates one thread per query and parallelizes batches across
+ * threads; large databases are sharded across servers, with every
+ * query visiting every shard and negligible broadcast/gather cost.
+ */
+#ifndef RAGO_RETRIEVAL_PERF_SCANN_MODEL_H
+#define RAGO_RETRIEVAL_PERF_SCANN_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hardware/cpu_server.h"
+#include "retrieval/perf/retrieval_model.h"
+
+namespace rago::retrieval {
+
+/// Hyperscale vector database description (paper defaults: RETRO-scale).
+struct DatabaseSpec {
+  int64_t num_vectors = 64'000'000'000;  ///< 64B passages.
+  int dim = 768;                         ///< Embedding dimensionality.
+  double pq_bytes_per_vector = 96.0;     ///< 1 byte per 8 dims.
+  double scan_fraction = 0.001;          ///< P_scan: leaf vectors scanned.
+  int tree_fanout = 4000;                ///< Balanced fanout per node.
+  int tree_levels = 3;                   ///< (64e9)^(1/3) ~= 4e3.
+  /// Fraction of each intermediate level's candidate children scanned
+  /// whose parents were selected (centroid beam width).
+  double centroid_select_fraction = 0.01;
+  /// Bytes per centroid at internal levels (full-precision float).
+  double centroid_bytes_per_vector() const { return 4.0 * dim; }
+
+  /// Total quantized database size in bytes (leaf PQ codes).
+  double QuantizedBytes() const {
+    return static_cast<double>(num_vectors) * pq_bytes_per_vector;
+  }
+
+  /// Throws ConfigError on malformed specs.
+  void Validate() const;
+};
+
+/// One per-level scan operator (for introspection and tests).
+struct ScanOp {
+  int level = 0;         ///< 1-based tree level (1 = root centroids).
+  double bytes = 0.0;    ///< Bytes scanned per query at this level.
+};
+
+/**
+ * Distributed ScaNN search cost model.
+ *
+ * The database is sharded evenly across `num_servers` hosts with
+ * independent indexes; each query scans its P_scan fraction of every
+ * shard in parallel and results are aggregated (broadcast/gather
+ * overhead is negligible per the paper).
+ */
+class ScannModel : public RetrievalModel {
+ public:
+  ScannModel(DatabaseSpec db, CpuServerSpec server, int num_servers);
+
+  RetrievalCost Search(int64_t batch_queries) const override;
+  double BytesScannedPerQuery() const override;
+
+  /// Per-level scan operators for a single query over the full database.
+  std::vector<ScanOp> ScanOps() const;
+
+  /// Bytes a single query scans within one shard (server).
+  double BytesPerQueryPerServer() const;
+
+  /// Hosts required so the quantized database fits in DRAM.
+  int MinServersForCapacity() const;
+
+  const DatabaseSpec& db() const { return db_; }
+  int num_servers() const { return num_servers_; }
+
+ private:
+  DatabaseSpec db_;
+  CpuServerSpec server_;
+  int num_servers_;
+};
+
+}  // namespace rago::retrieval
+
+#endif  // RAGO_RETRIEVAL_PERF_SCANN_MODEL_H

@@ -1,0 +1,190 @@
+#include "sim/iterative_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rago::sim {
+namespace {
+
+/// Per-sequence simulation state.
+struct Sequence {
+  double start_time = 0.0;
+  int tokens = 0;  ///< Tokens generated so far.
+  std::vector<int> triggers;  ///< Ascending token positions; next at back.
+  bool active = false;        ///< Currently in the decode batch.
+
+  bool TriggersAt(int position) const {
+    return !triggers.empty() && triggers.back() == position;
+  }
+};
+
+/// Draws `count` distinct ascending trigger positions in [1, tokens-1].
+std::vector<int> DrawTriggers(int count, int tokens, Rng& rng) {
+  std::vector<int> positions;
+  if (count <= 0 || tokens <= 2) {
+    return positions;
+  }
+  // Sample without replacement via rejection (count << tokens).
+  while (static_cast<int>(positions.size()) < count) {
+    const int p = 1 + static_cast<int>(rng.NextBounded(
+                          static_cast<uint64_t>(tokens - 1)));
+    if (std::find(positions.begin(), positions.end(), p) ==
+        positions.end()) {
+      positions.push_back(p);
+    }
+  }
+  // Descending so the soonest trigger sits at the back for O(1) pops.
+  std::sort(positions.rbegin(), positions.rend());
+  return positions;
+}
+
+}  // namespace
+
+IterativeSimResult
+SimulateIterativeDecode(const IterativeSimConfig& config) {
+  RAGO_REQUIRE(config.decode_batch > 0, "decode batch must be positive");
+  RAGO_REQUIRE(config.iterative_batch > 0,
+               "iterative batch must be positive");
+  RAGO_REQUIRE(config.decode_tokens > 1, "need at least two decode tokens");
+  RAGO_REQUIRE(config.retrievals_per_sequence >= 1,
+               "at least the initial retrieval is required");
+  RAGO_REQUIRE(config.step_latency > 0, "step latency must be positive");
+  RAGO_REQUIRE(config.num_sequences > 0, "horizon must be positive");
+  RAGO_REQUIRE(config.retrievals_per_sequence - 1 <= config.decode_tokens - 2,
+               "more triggers than distinct token positions");
+
+  const int rounds_per_seq = config.retrievals_per_sequence - 1;
+  Rng rng(config.seed);
+
+  // Slot-based continuous batching: finished sequences are replaced
+  // immediately until num_sequences have been started.
+  std::vector<Sequence> sequences;
+  sequences.reserve(static_cast<size_t>(config.num_sequences));
+  int started = 0;
+  auto start_sequence = [&](double now) -> int {
+    Sequence seq;
+    seq.start_time = now;
+    seq.active = true;
+    seq.triggers = DrawTriggers(rounds_per_seq, config.decode_tokens, rng);
+    sequences.push_back(std::move(seq));
+    ++started;
+    return static_cast<int>(sequences.size()) - 1;
+  };
+
+  double now = 0.0;
+  std::vector<int> active;   // Sequence ids currently decoding.
+  std::vector<int> queue;    // Waiting for a retrieval round.
+  // In-flight rounds: (completion time, members).
+  struct Round {
+    double done = 0.0;
+    std::vector<int> members;
+  };
+  std::vector<Round> in_flight;
+
+  for (int i = 0; i < config.decode_batch &&
+                  started < config.num_sequences; ++i) {
+    active.push_back(start_sequence(now));
+  }
+
+  IterativeSimResult result;
+  std::vector<double> tpots;
+  tpots.reserve(static_cast<size_t>(config.num_sequences));
+  int completed = 0;
+
+  auto fire_round = [&](bool flush) {
+    Round round;
+    round.done = now + config.round_latency;
+    const int take = flush ? static_cast<int>(queue.size())
+                           : config.iterative_batch;
+    round.members.assign(queue.begin(), queue.begin() + take);
+    queue.erase(queue.begin(), queue.begin() + take);
+    ++result.rounds_executed;
+    if (flush && take < config.iterative_batch) {
+      ++result.flushed_rounds;
+    }
+    in_flight.push_back(std::move(round));
+  };
+
+  while (completed < config.num_sequences) {
+    // Fire full rounds, then re-admit completed rounds; the order
+    // matters so zero-latency rounds rejoin before the next step.
+    while (static_cast<int>(queue.size()) >= config.iterative_batch) {
+      fire_round(/*flush=*/false);
+    }
+    for (size_t r = 0; r < in_flight.size();) {
+      if (in_flight[r].done <= now) {
+        for (int id : in_flight[r].members) {
+          sequences[static_cast<size_t>(id)].active = true;
+          active.push_back(id);
+        }
+        in_flight.erase(in_flight.begin() + static_cast<long>(r));
+      } else {
+        ++r;
+      }
+    }
+
+    if (active.empty()) {
+      if (!in_flight.empty()) {
+        // Fast-forward to the earliest round completion.
+        double earliest = std::numeric_limits<double>::infinity();
+        for (const Round& round : in_flight) {
+          earliest = std::min(earliest, round.done);
+        }
+        now = earliest;
+        continue;
+      }
+      // Deadlock: everyone is queued but the batch will never fill.
+      RAGO_CHECK(!queue.empty(), "simulation stalled with no work");
+      fire_round(/*flush=*/true);
+      now = std::max(now, in_flight.back().done);
+      continue;
+    }
+
+    // One decode step for all active sequences.
+    now += config.step_latency;
+    std::vector<int> still_active;
+    still_active.reserve(active.size());
+    for (int id : active) {
+      Sequence& seq = sequences[static_cast<size_t>(id)];
+      ++seq.tokens;
+      if (seq.tokens >= config.decode_tokens) {
+        // Sequence complete; its slot is refilled immediately.
+        seq.active = false;
+        tpots.push_back((now - seq.start_time) / config.decode_tokens);
+        ++completed;
+        if (started < config.num_sequences) {
+          still_active.push_back(start_sequence(now));
+        }
+        continue;
+      }
+      if (seq.TriggersAt(seq.tokens)) {
+        seq.triggers.pop_back();
+        seq.active = false;
+        queue.push_back(id);
+        continue;
+      }
+      still_active.push_back(id);
+    }
+    active = std::move(still_active);
+  }
+
+  RAGO_CHECK(!tpots.empty(), "no sequences completed");
+  double sum = 0.0;
+  double worst = 0.0;
+  for (double t : tpots) {
+    sum += t;
+    worst = std::max(worst, t);
+  }
+  result.avg_tpot = sum / static_cast<double>(tpots.size());
+  result.worst_tpot = worst;
+  result.normalized_latency = result.avg_tpot / config.step_latency;
+  result.total_time = now;
+  result.throughput = static_cast<double>(completed) / now;
+  return result;
+}
+
+}  // namespace rago::sim

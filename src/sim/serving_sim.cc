@@ -1,0 +1,381 @@
+#include "sim/serving_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rago::sim {
+namespace {
+
+using core::PipelineModel;
+using core::Schedule;
+using core::StageType;
+
+/// One pipeline processing step in execution order.
+struct SimStage {
+  StageType type = StageType::kPrefix;
+  int server = 0;       ///< Server index (group id, or dedicated ids).
+  int64_t batch = 1;    ///< Configured batch size.
+  double latency = 0.0; ///< Completion time for one batch.
+  /// Time the server is occupied per batch. Pipeline-parallel plans
+  /// overlap batches, so the initiation interval (batch / stage
+  /// throughput) can be shorter than the completion latency.
+  double interval = 0.0;
+  std::deque<int> queue;
+  double oldest_enqueue = 0.0;
+};
+
+struct Request {
+  double arrival = 0.0;
+  double ttft = -1.0;       ///< Set when the prefix stage completes.
+  double decode_start = -1.0;
+  double completion = -1.0;
+};
+
+/// Event-queue entry.
+struct Event {
+  double time = 0.0;
+  int kind = 0;  // 0 = arrival, 1 = server-done, 2 = flush, 3 = step.
+  int a = 0;     // arrival: request id; server-done/flush: stage index.
+
+  friend bool operator>(const Event& lhs, const Event& rhs) {
+    if (lhs.time != rhs.time) {
+      return lhs.time > rhs.time;
+    }
+    return lhs.kind > rhs.kind;  // Prefer arrivals first at ties.
+  }
+};
+
+}  // namespace
+
+ArrivalTrace
+UniformTrace(int count, double qps) {
+  RAGO_REQUIRE(count > 0 && qps > 0, "trace needs positive count and rate");
+  ArrivalTrace trace;
+  trace.arrivals.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    trace.arrivals.push_back(i / qps);
+  }
+  return trace;
+}
+
+ArrivalTrace
+PoissonTrace(int count, double qps, uint64_t seed) {
+  RAGO_REQUIRE(count > 0 && qps > 0, "trace needs positive count and rate");
+  Rng rng(seed);
+  ArrivalTrace trace;
+  trace.arrivals.reserve(static_cast<size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += -std::log(std::max(rng.NextDouble(), 1e-12)) / qps;
+    trace.arrivals.push_back(t);
+  }
+  return trace;
+}
+
+ArrivalTrace
+BurstTrace(int count) {
+  RAGO_REQUIRE(count > 0, "trace needs positive count");
+  ArrivalTrace trace;
+  trace.arrivals.assign(static_cast<size_t>(count), 0.0);
+  return trace;
+}
+
+ServingSimResult
+SimulateServing(const PipelineModel& model, const Schedule& schedule,
+                const ArrivalTrace& trace,
+                const ServingSimOptions& options) {
+  RAGO_REQUIRE(!trace.arrivals.empty(), "empty arrival trace");
+  RAGO_REQUIRE(!model.schema().IterativeRetrieval(),
+               "iterative retrieval uses SimulateIterativeDecode");
+  schedule.Validate(model.chain().size());
+
+  // --- Build the stage sequence with precomputed service times. ---
+  const auto& chain = model.chain();
+  std::vector<SimStage> stages;
+  const int retrieval_server = schedule.NumGroups();
+  size_t chain_index = 0;
+  for (StageType type : model.schema().AllStages()) {
+    if (type == StageType::kDecode) {
+      continue;  // Decode is handled by the continuous-batching pool.
+    }
+    SimStage stage;
+    stage.type = type;
+    if (type == StageType::kRetrieval) {
+      stage.server = retrieval_server;
+      stage.batch = schedule.retrieval_batch;
+      const core::StagePerf perf = model.EvalRetrieval(
+          static_cast<int>(stage.batch), schedule.retrieval_servers);
+      RAGO_REQUIRE(perf.feasible, "retrieval infeasible under schedule");
+      stage.latency = perf.latency;
+      stage.interval = static_cast<double>(stage.batch) / perf.throughput;
+    } else {
+      RAGO_CHECK(chain_index < chain.size(), "chain/stage walk mismatch");
+      const int group = schedule.chain_group[chain_index];
+      stage.server = group;
+      stage.batch = schedule.chain_batch[chain_index];
+      const core::StagePerf perf = model.EvalChainStage(
+          type, schedule.group_chips[static_cast<size_t>(group)],
+          stage.batch);
+      RAGO_REQUIRE(perf.feasible, "stage infeasible under schedule");
+      stage.latency = perf.latency;
+      stage.interval = static_cast<double>(stage.batch) / perf.throughput;
+      ++chain_index;
+    }
+    stages.push_back(std::move(stage));
+  }
+  const int num_servers = retrieval_server + 1;
+
+  const core::StagePerf decode_perf =
+      model.EvalDecode(schedule.decode_chips, schedule.decode_batch);
+  RAGO_REQUIRE(decode_perf.feasible, "decode infeasible under schedule");
+  // Step cadence: the pool emits `batch` tokens per step and sustains
+  // the plan's request throughput (pipeline-parallel plans interleave
+  // batches, so the cadence can beat the raw step latency).
+  const int decode_tokens = model.schema().workload.decode_tokens;
+  const double step_latency =
+      static_cast<double>(schedule.decode_batch) /
+      (decode_perf.throughput * decode_tokens);
+
+  // --- Simulation state. ---
+  std::vector<Request> requests(trace.arrivals.size());
+  for (size_t i = 0; i < trace.arrivals.size(); ++i) {
+    requests[i].arrival = trace.arrivals[i];
+  }
+  std::vector<double> server_busy_until(static_cast<size_t>(num_servers),
+                                        0.0);
+  std::vector<double> server_busy_time(static_cast<size_t>(num_servers),
+                                       0.0);
+  std::deque<int> decode_waiting;
+  struct ActiveSeq {
+    int id = 0;
+    int tokens = 0;
+  };
+  std::vector<ActiveSeq> decode_active;
+  double decode_busy_time = 0.0;
+  bool step_scheduled = false;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events;
+  for (size_t i = 0; i < trace.arrivals.size(); ++i) {
+    events.push(Event{trace.arrivals[i], 0, static_cast<int>(i)});
+  }
+
+  int64_t completed = 0;
+  double now = 0.0;
+
+  // In-flight batches keyed by stage; completion events pop the
+  // oldest batch of their stage (FIFO per server).
+  struct InFlight {
+    size_t stage = 0;
+    std::vector<int> members;
+  };
+  std::vector<InFlight> in_flight;
+
+  auto start_batches = [&](bool force) {
+    for (size_t s = 0; s < stages.size(); ++s) {
+      SimStage& stage = stages[s];
+      const auto server = static_cast<size_t>(stage.server);
+      // A server may start several queued stages back to back only
+      // when it frees up, so loop while it can start.
+      while (!stage.queue.empty() && server_busy_until[server] <= now) {
+        const bool full =
+            static_cast<int64_t>(stage.queue.size()) >= stage.batch;
+        // Tolerant comparison: a flush event fires at exactly
+        // oldest + timeout, and (oldest + timeout) - oldest can round
+        // below timeout in floating point.
+        const bool timed_out =
+            now >= stage.oldest_enqueue + options.batch_timeout - 1e-9;
+        if (!full && !force && !timed_out) {
+          break;
+        }
+        const auto take = static_cast<size_t>(std::min<int64_t>(
+            stage.batch, static_cast<int64_t>(stage.queue.size())));
+        InFlight batch;
+        batch.stage = s;
+        batch.members.assign(stage.queue.begin(),
+                             stage.queue.begin() + static_cast<long>(take));
+        stage.queue.erase(stage.queue.begin(),
+                          stage.queue.begin() + static_cast<long>(take));
+        stage.oldest_enqueue = now;
+        server_busy_until[server] = now + stage.interval;
+        server_busy_time[server] += stage.interval;
+        in_flight.push_back(std::move(batch));
+        events.push(Event{now + stage.latency, 1, static_cast<int>(s)});
+      }
+      if (!stage.queue.empty() && server_busy_until[server] <= now) {
+        // Re-check at the flush deadline.
+        events.push(
+            Event{stage.oldest_enqueue + options.batch_timeout, 2,
+                  static_cast<int>(s)});
+      }
+    }
+  };
+
+  auto enqueue = [&](size_t s, int request) {
+    SimStage& stage = stages[s];
+    if (stage.queue.empty()) {
+      stage.oldest_enqueue = now;
+      events.push(Event{now + options.batch_timeout, 2,
+                        static_cast<int>(s)});
+    }
+    stage.queue.push_back(request);
+  };
+
+  auto admit_decode = [&]() {
+    while (static_cast<int64_t>(decode_active.size()) <
+               schedule.decode_batch &&
+           !decode_waiting.empty()) {
+      const int id = decode_waiting.front();
+      decode_waiting.pop_front();
+      requests[static_cast<size_t>(id)].decode_start = now;
+      decode_active.push_back(ActiveSeq{id, 0});
+    }
+    if (!decode_active.empty() && !step_scheduled) {
+      events.push(Event{now + step_latency, 3, 0});
+      step_scheduled = true;
+      decode_busy_time += step_latency;
+    }
+  };
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    now = std::max(now, event.time);
+
+    switch (event.kind) {
+      case 0: {  // Arrival.
+        enqueue(0, event.a);
+        break;
+      }
+      case 1: {  // Server done: complete the oldest batch of stage a.
+        const auto s = static_cast<size_t>(event.a);
+        for (size_t b = 0; b < in_flight.size(); ++b) {
+          if (in_flight[b].stage != s) {
+            continue;
+          }
+          for (int id : in_flight[b].members) {
+            if (s + 1 < stages.size()) {
+              enqueue(s + 1, id);
+            } else {
+              // Prefix complete: first token emitted.
+              requests[static_cast<size_t>(id)].ttft =
+                  now - requests[static_cast<size_t>(id)].arrival;
+              decode_waiting.push_back(id);
+            }
+          }
+          in_flight.erase(in_flight.begin() + static_cast<long>(b));
+          break;
+        }
+        admit_decode();
+        break;
+      }
+      case 2: {  // Flush deadline.
+        break;     // start_batches below handles it.
+      }
+      case 3: {  // Decode step.
+        step_scheduled = false;
+        std::vector<ActiveSeq> still;
+        still.reserve(decode_active.size());
+        for (ActiveSeq& seq : decode_active) {
+          if (++seq.tokens >= decode_tokens) {
+            Request& request = requests[static_cast<size_t>(seq.id)];
+            request.completion = now;
+            ++completed;
+          } else {
+            still.push_back(seq);
+          }
+        }
+        decode_active = std::move(still);
+        admit_decode();
+        break;
+      }
+      default:
+        RAGO_CHECK(false, "unknown event kind");
+    }
+    start_batches(/*force=*/false);
+  }
+
+  // Drain any remainder (partial batches below timeout at the end).
+  while (completed < static_cast<int64_t>(requests.size())) {
+    start_batches(/*force=*/true);
+    if (events.empty()) {
+      break;
+    }
+    const Event event = events.top();
+    events.pop();
+    now = std::max(now, event.time);
+    if (event.kind == 1) {
+      const auto s = static_cast<size_t>(event.a);
+      for (size_t b = 0; b < in_flight.size(); ++b) {
+        if (in_flight[b].stage != s) {
+          continue;
+        }
+        for (int id : in_flight[b].members) {
+          if (s + 1 < stages.size()) {
+            enqueue(s + 1, id);
+          } else {
+            requests[static_cast<size_t>(id)].ttft =
+                now - requests[static_cast<size_t>(id)].arrival;
+            decode_waiting.push_back(id);
+          }
+        }
+        in_flight.erase(in_flight.begin() + static_cast<long>(b));
+        break;
+      }
+      admit_decode();
+    } else if (event.kind == 3) {
+      step_scheduled = false;
+      std::vector<ActiveSeq> still;
+      for (ActiveSeq& seq : decode_active) {
+        if (++seq.tokens >= decode_tokens) {
+          requests[static_cast<size_t>(seq.id)].completion = now;
+          ++completed;
+        } else {
+          still.push_back(seq);
+        }
+      }
+      decode_active = std::move(still);
+      admit_decode();
+    }
+  }
+
+  RAGO_CHECK(completed == static_cast<int64_t>(requests.size()),
+             "serving simulation failed to drain all requests");
+
+  // --- Aggregate. ---
+  ServingSimResult result;
+  result.completed = completed;
+  result.makespan = now;
+  result.throughput = completed / std::max(now, 1e-12);
+  std::vector<double> ttfts;
+  double ttft_sum = 0.0;
+  double tpot_sum = 0.0;
+  for (const Request& request : requests) {
+    RAGO_CHECK(request.ttft >= 0 && request.completion >= 0,
+               "request did not finish");
+    ttfts.push_back(request.ttft);
+    ttft_sum += request.ttft;
+    tpot_sum += (request.completion - request.decode_start) / decode_tokens;
+  }
+  std::sort(ttfts.begin(), ttfts.end());
+  result.avg_ttft = ttft_sum / static_cast<double>(requests.size());
+  result.p99_ttft = ttfts[static_cast<size_t>(
+      0.99 * static_cast<double>(ttfts.size() - 1))];
+  result.avg_tpot = tpot_sum / static_cast<double>(requests.size());
+  result.group_utilization.resize(static_cast<size_t>(schedule.NumGroups()));
+  for (int g = 0; g < schedule.NumGroups(); ++g) {
+    result.group_utilization[static_cast<size_t>(g)] =
+        server_busy_time[static_cast<size_t>(g)] / now;
+  }
+  result.retrieval_utilization =
+      server_busy_time[static_cast<size_t>(retrieval_server)] / now;
+  result.decode_utilization = decode_busy_time / now;
+  return result;
+}
+
+}  // namespace rago::sim

@@ -1,0 +1,318 @@
+/**
+ * @file test_common.cc
+ * Unit and property tests for src/common: units, checks, RNG, math
+ * helpers, Pareto utilities, and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/pareto.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace rago {
+namespace {
+
+TEST(Units, DecimalAndBinaryMultipliers) {
+  EXPECT_DOUBLE_EQ(kKilo, 1e3);
+  EXPECT_DOUBLE_EQ(kGiga, 1e9);
+  EXPECT_DOUBLE_EQ(kTera, 1e12);
+  EXPECT_DOUBLE_EQ(kKiB, 1024.0);
+  EXPECT_DOUBLE_EQ(kGiB, 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(kTiB, 1024.0 * kGiB);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ToMillis(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(ToMicros(0.001), 1000.0);
+}
+
+TEST(Check, RequireThrowsConfigError) {
+  EXPECT_THROW(RAGO_REQUIRE(false, "bad config"), ConfigError);
+  EXPECT_NO_THROW(RAGO_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsInternalErrorWithLocation) {
+  try {
+    RAGO_CHECK(false, "invariant broken");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant broken"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cc"),
+              std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBoundedRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.NextBounded(0), InternalError);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2);
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(1, 128), 1);
+  EXPECT_EQ(CeilDiv(0, 3), 0);
+}
+
+TEST(MathUtil, PowerOfTwoPredicates) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(-4));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(64), 64);
+  EXPECT_EQ(NextPowerOfTwo(65), 128);
+}
+
+TEST(MathUtil, PowersOfTwoInRange) {
+  const auto powers = PowersOfTwoInRange(4, 32);
+  EXPECT_EQ(powers, (std::vector<int64_t>{4, 8, 16, 32}));
+  EXPECT_TRUE(PowersOfTwoInRange(9, 8).empty());
+}
+
+TEST(MathUtil, LogSpaceEndpointsAndMonotonicity) {
+  const auto values = LogSpace(1.0, 1000.0, 4);
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_NEAR(values.front(), 1.0, 1e-9);
+  EXPECT_NEAR(values.back(), 1000.0, 1e-6);
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GT(values[i], values[i - 1]);
+  }
+}
+
+TEST(MathUtil, RelDiff) {
+  EXPECT_NEAR(RelDiff(100.0, 110.0), 10.0 / 110.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RelDiff(0.0, 0.0), 0.0);
+}
+
+TEST(Pareto, DominanceSemantics) {
+  ParetoPoint<int> fast_slow{1.0, 10.0, 0};
+  ParetoPoint<int> slow_fast{2.0, 20.0, 0};
+  ParetoPoint<int> dominated{2.5, 9.0, 0};
+  EXPECT_FALSE(Dominates(fast_slow, slow_fast));
+  EXPECT_FALSE(Dominates(slow_fast, fast_slow));
+  EXPECT_TRUE(Dominates(fast_slow, dominated));
+  EXPECT_TRUE(Dominates(slow_fast, dominated));
+  EXPECT_FALSE(Dominates(dominated, dominated));  // No self-dominance.
+}
+
+TEST(Pareto, FrontierDropsDominatedKeepsRest) {
+  std::vector<ParetoPoint<int>> points = {
+      {1.0, 10.0, 1}, {2.0, 20.0, 2}, {1.5, 5.0, 3}, {3.0, 19.0, 4}};
+  const auto frontier = ParetoFrontier(points);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].payload, 1);
+  EXPECT_EQ(frontier[1].payload, 2);
+  EXPECT_TRUE(IsParetoFrontier(frontier));
+}
+
+TEST(Pareto, FrontierSortedByLatency) {
+  std::vector<ParetoPoint<int>> points = {
+      {5.0, 50.0, 0}, {1.0, 10.0, 0}, {3.0, 30.0, 0}};
+  const auto frontier = ParetoFrontier(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].latency, frontier[i - 1].latency);
+    EXPECT_GT(frontier[i].throughput, frontier[i - 1].throughput);
+  }
+}
+
+TEST(Pareto, EmptyAndSingleton) {
+  std::vector<ParetoPoint<int>> empty;
+  EXPECT_TRUE(ParetoFrontier(empty).empty());
+  std::vector<ParetoPoint<int>> one = {{1.0, 1.0, 7}};
+  const auto frontier = ParetoFrontier(one);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].payload, 7);
+}
+
+/// Property: for random point clouds, the frontier (a) contains no
+/// dominated pair and (b) every dropped point is dominated by some
+/// frontier point.
+class ParetoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParetoPropertyTest, FrontierIsSoundAndComplete) {
+  Rng rng(GetParam());
+  std::vector<ParetoPoint<size_t>> points;
+  const size_t n = 100 + rng.NextBounded(200);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.NextUniform(0.0, 1.0), rng.NextUniform(0.0, 1.0),
+                      i});
+  }
+  const auto frontier = ParetoFrontier(points);
+  EXPECT_TRUE(IsParetoFrontier(frontier));
+  // Completeness: every input point is dominated by or equal to some
+  // frontier point.
+  for (const auto& point : points) {
+    bool covered = false;
+    for (const auto& front : frontier) {
+      if (front.payload == point.payload ||
+          Dominates(front, point)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "point " << point.payload << " not covered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(OnlinePareto, AcceptsAndRejectsCorrectly) {
+  OnlineParetoFront<int> front;
+  EXPECT_TRUE(front.Offer(1.0, 10.0, 1));
+  EXPECT_TRUE(front.Offer(2.0, 20.0, 2));      // Better throughput.
+  EXPECT_FALSE(front.Offer(2.5, 15.0, 3));     // Dominated by (2, 20).
+  EXPECT_FALSE(front.WouldAccept(3.0, 20.0));  // Dominated (tie tput).
+  EXPECT_TRUE(front.WouldAccept(0.5, 1.0));    // New low-latency point.
+  EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(OnlinePareto, EvictsDominatedPredecessors) {
+  OnlineParetoFront<int> front;
+  front.Offer(1.0, 10.0, 1);
+  front.Offer(2.0, 20.0, 2);
+  front.Offer(3.0, 30.0, 3);
+  // A point that dominates the first two.
+  EXPECT_TRUE(front.Offer(0.5, 25.0, 4));
+  const auto points = front.Take();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].payload, 4);
+  EXPECT_EQ(points[1].payload, 3);
+}
+
+TEST(OnlinePareto, IdenticalLatencyKeepsBetterThroughput) {
+  OnlineParetoFront<int> front;
+  front.Offer(1.0, 10.0, 1);
+  EXPECT_TRUE(front.Offer(1.0, 15.0, 2));   // Replaces at same latency.
+  EXPECT_FALSE(front.Offer(1.0, 12.0, 3));  // Worse at same latency.
+  const auto points = front.Take();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].payload, 2);
+}
+
+/// Property: streaming points through OnlineParetoFront yields exactly
+/// the frontier the batch algorithm computes.
+class OnlineParetoPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(OnlineParetoPropertyTest, MatchesBatchFrontier) {
+  Rng rng(GetParam());
+  std::vector<ParetoPoint<size_t>> points;
+  OnlineParetoFront<size_t> front;
+  const size_t n = 200 + rng.NextBounded(200);
+  for (size_t i = 0; i < n; ++i) {
+    // Discrete grid so exact duplicates occur.
+    const double latency = 0.1 * static_cast<double>(rng.NextBounded(20));
+    const double throughput =
+        0.1 * static_cast<double>(rng.NextBounded(20));
+    points.push_back({latency, throughput, i});
+    if (front.WouldAccept(latency, throughput)) {
+      front.Offer(latency, throughput, i);
+    }
+  }
+  const auto batch = ParetoFrontier(points);
+  const auto online = front.Take();
+  ASSERT_EQ(online.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(online[i].latency, batch[i].latency);
+    EXPECT_DOUBLE_EQ(online[i].throughput, batch[i].throughput);
+  }
+  EXPECT_TRUE(IsParetoFrontier(online));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineParetoPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(Table, RendersAlignedColumnsWithHeader) {
+  TextTable table("Title");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"long-name", "2.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| long-name"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsSignificantDigits) {
+  EXPECT_EQ(TextTable::Num(3.14159, 3), "3.14");
+  EXPECT_EQ(TextTable::Num(1234.5, 5), "1234.5");
+}
+
+}  // namespace
+}  // namespace rago

@@ -1,0 +1,103 @@
+/**
+ * @file test_hardware.cc
+ * Tests for the hardware specifications (paper Table 2 and §4).
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "hardware/cluster.h"
+#include "hardware/cpu_server.h"
+#include "hardware/xpu.h"
+
+namespace rago {
+namespace {
+
+TEST(Xpu, Table2SpecsMatchPaper) {
+  const XpuSpec a = MakeXpu(XpuVersion::kA);
+  EXPECT_EQ(a.name, "XPU-A");
+  EXPECT_DOUBLE_EQ(a.peak_flops, 197e12);
+  EXPECT_DOUBLE_EQ(a.hbm_bytes, 16 * kGiB);
+  EXPECT_DOUBLE_EQ(a.hbm_bw, 819e9);
+  EXPECT_DOUBLE_EQ(a.ici_bw, 200e9);
+
+  const XpuSpec b = MakeXpu(XpuVersion::kB);
+  EXPECT_DOUBLE_EQ(b.peak_flops, 275e12);
+  EXPECT_DOUBLE_EQ(b.hbm_bytes, 32 * kGiB);
+
+  const XpuSpec c = MakeXpu(XpuVersion::kC);
+  EXPECT_DOUBLE_EQ(c.peak_flops, 459e12);
+  EXPECT_DOUBLE_EQ(c.hbm_bytes, 96 * kGiB);
+  EXPECT_DOUBLE_EQ(c.hbm_bw, 2765e9);
+  EXPECT_DOUBLE_EQ(c.ici_bw, 600e9);
+}
+
+TEST(Xpu, GenerationsStrictlyImprove) {
+  const XpuSpec a = MakeXpu(XpuVersion::kA);
+  const XpuSpec b = MakeXpu(XpuVersion::kB);
+  const XpuSpec c = MakeXpu(XpuVersion::kC);
+  EXPECT_LT(a.peak_flops, b.peak_flops);
+  EXPECT_LT(b.peak_flops, c.peak_flops);
+  EXPECT_LT(a.hbm_bw, b.hbm_bw);
+  EXPECT_LT(b.hbm_bw, c.hbm_bw);
+}
+
+TEST(Xpu, EffectiveRatesApplyDerates) {
+  const XpuSpec c = DefaultXpu();
+  EXPECT_DOUBLE_EQ(c.EffectiveFlops(), c.peak_flops * c.flops_efficiency);
+  EXPECT_DOUBLE_EQ(c.EffectiveMemBw(), c.hbm_bw * c.mem_efficiency);
+  EXPECT_DOUBLE_EQ(c.EffectiveNetBw(), c.ici_bw * c.net_efficiency);
+  EXPECT_LT(c.EffectiveFlops(), c.peak_flops);
+}
+
+TEST(CpuServer, PaperCalibrationDefaults) {
+  const CpuServerSpec server = DefaultCpuServer();
+  EXPECT_EQ(server.cores, 96);
+  EXPECT_DOUBLE_EQ(server.dram_bytes, 384 * kGiB);
+  EXPECT_DOUBLE_EQ(server.mem_bw, 460e9);
+  EXPECT_DOUBLE_EQ(server.scan_bytes_per_core, 18e9);
+}
+
+TEST(CpuServer, ScanThroughputSaturatesAtCoreCount) {
+  const CpuServerSpec server = DefaultCpuServer();
+  EXPECT_DOUBLE_EQ(server.ScanThroughput(1), 18e9);
+  EXPECT_DOUBLE_EQ(server.ScanThroughput(10), 180e9);
+  EXPECT_DOUBLE_EQ(server.ScanThroughput(96), server.ScanThroughput(200));
+}
+
+TEST(Cluster, DefaultsMatchPaperSetup) {
+  const ClusterConfig cluster = DefaultCluster();
+  EXPECT_EQ(cluster.num_servers, 16);
+  EXPECT_EQ(cluster.xpus_per_server, 4);
+  EXPECT_EQ(cluster.TotalXpus(), 64);
+  EXPECT_NO_THROW(cluster.Validate());
+
+  const ClusterConfig large = LargeCluster();
+  EXPECT_EQ(large.TotalXpus(), 128);
+}
+
+TEST(Cluster, HostDramFitsPaperDatabaseAtSixteenServers) {
+  // 64B vectors x 96 B = 5.59 TiB quantized; 16 x 384 GiB = 6 TiB.
+  const ClusterConfig cluster = DefaultCluster();
+  const double db_bytes = 64e9 * 96.0;
+  EXPECT_GT(cluster.TotalHostDram(), db_bytes);
+  // 14 servers would not be enough.
+  ClusterConfig small = cluster;
+  small.num_servers = 14;
+  EXPECT_LT(small.TotalHostDram(), db_bytes);
+}
+
+TEST(Cluster, ValidateRejectsDegenerateConfigs) {
+  ClusterConfig cluster = DefaultCluster();
+  cluster.num_servers = 0;
+  EXPECT_THROW(cluster.Validate(), ConfigError);
+  cluster = DefaultCluster();
+  cluster.xpus_per_server = 0;
+  EXPECT_THROW(cluster.Validate(), ConfigError);
+  cluster = DefaultCluster();
+  cluster.xpu.peak_flops = 0;
+  EXPECT_THROW(cluster.Validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace rago

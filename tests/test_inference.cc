@@ -1,0 +1,193 @@
+/**
+ * @file test_inference.cc
+ * Tests for the roofline inference model and sharding search.
+ */
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hardware/xpu.h"
+#include "models/inference.h"
+#include "models/transformer.h"
+
+namespace rago::models {
+namespace {
+
+InferenceModel Model8B() { return InferenceModel(Llama8B(), rago::DefaultXpu()); }
+InferenceModel Model70B() {
+  return InferenceModel(Llama70B(), rago::DefaultXpu());
+}
+
+TEST(Inference, PrefixLatencyNearComputeRoofline) {
+  // 8B prefix of 512 tokens on one chip: compute-bound, so latency
+  // should be close to FLOPs / effective FLOPS.
+  const InferenceModel model = Model8B();
+  const PhaseCost cost = model.BestPrefix(1, 1, 512);
+  ASSERT_TRUE(cost.feasible);
+  const double flops = 2.0 * 8.0e9 * 512;
+  const double lower = flops / model.xpu().EffectiveFlops();
+  EXPECT_GT(cost.latency, lower * 0.8);
+  EXPECT_LT(cost.latency, lower * 2.0);
+}
+
+TEST(Inference, DecodeStepIsMemoryBoundAtSmallBatch) {
+  // Small-batch decode reads all weights once per step: latency is at
+  // least weights / effective bandwidth.
+  const InferenceModel model = Model70B();
+  const PhaseCost cost = model.BestDecode(8, 1, 512, 768);
+  ASSERT_TRUE(cost.feasible);
+  const double weight_time = model.config().WeightBytes() / 8.0 /
+                             model.xpu().EffectiveMemBw();
+  EXPECT_GE(cost.latency, weight_time * 0.9);
+}
+
+TEST(Inference, MoreChipsNeverHurtBestPrefixLatency) {
+  const InferenceModel model = Model70B();
+  double prev = 1e30;
+  for (int chips = 1; chips <= 64; chips *= 2) {
+    const PhaseCost cost = model.BestPrefix(chips, 4, 512);
+    if (!cost.feasible) {
+      continue;
+    }
+    EXPECT_LE(cost.latency, prev * 1.001)
+        << "latency regressed at " << chips << " chips";
+    prev = cost.latency;
+  }
+}
+
+TEST(Inference, ThroughputScalesWithBatchInPrefix) {
+  const InferenceModel model = Model8B();
+  const PhaseCost b1 = model.BestPrefix(4, 1, 512);
+  const PhaseCost b32 = model.BestPrefix(4, 32, 512);
+  ASSERT_TRUE(b1.feasible && b32.feasible);
+  // Prefix is compute-bound: batch-32 throughput should be no worse.
+  EXPECT_GE(b32.throughput, b1.throughput * 0.99);
+}
+
+TEST(Inference, DecodeThroughputImprovesWithBatch) {
+  const InferenceModel model = Model8B();
+  const PhaseCost b1 = model.BestDecode(4, 1, 512, 768);
+  const PhaseCost b64 = model.BestDecode(4, 64, 512, 768);
+  ASSERT_TRUE(b1.feasible && b64.feasible);
+  // Weight reads amortize across the batch.
+  EXPECT_GT(b64.throughput, 10.0 * b1.throughput);
+}
+
+TEST(Inference, InfeasibleWhenWeightsExceedHbm) {
+  // 405B INT8 = 405 GB does not fit on a single 96 GB chip.
+  const InferenceModel model(Llama405B(), rago::DefaultXpu());
+  const PhaseCost cost = model.BestPrefix(1, 1, 128);
+  EXPECT_FALSE(cost.feasible);
+  // With 8 chips (768 GB) it fits.
+  EXPECT_TRUE(model.BestPrefix(8, 1, 128).feasible);
+}
+
+TEST(Inference, MemoryPerChipShrinksWithChips) {
+  const InferenceModel model = Model70B();
+  const PhaseCost c2 = model.BestPrefix(2, 1, 512);
+  const PhaseCost c8 = model.BestPrefix(8, 1, 512);
+  ASSERT_TRUE(c2.feasible && c8.feasible);
+  EXPECT_GT(c2.mem_per_chip, c8.mem_per_chip);
+}
+
+TEST(Inference, PipelinePlanBoostsThroughputOverPureTensor) {
+  // With many chips, some Pareto plan should beat pure tensor
+  // parallelism on throughput (pipelining multiplies completions).
+  const InferenceModel model = Model8B();
+  const auto options = model.PrefixOptions(32, 16, 512);
+  double tensor_only_thpt = 0.0;
+  double best_thpt = 0.0;
+  for (const PhaseCost& cost : options) {
+    if (!cost.feasible) {
+      continue;
+    }
+    best_thpt = std::max(best_thpt, cost.throughput);
+    if (cost.plan.pipeline == 1) {
+      tensor_only_thpt = std::max(tensor_only_thpt, cost.throughput);
+    }
+  }
+  EXPECT_GT(best_thpt, tensor_only_thpt);
+}
+
+TEST(Inference, MaxDecodeBatchShrinksWithContext) {
+  const InferenceModel model = Model70B();
+  const int64_t short_ctx = model.MaxDecodeBatch(8, 512);
+  const int64_t long_ctx = model.MaxDecodeBatch(8, 8192);
+  EXPECT_GT(short_ctx, long_ctx);
+  EXPECT_GT(long_ctx, 0);
+}
+
+TEST(Inference, MaxDecodeBatchZeroWhenWeightsDontFit) {
+  // 405 GB of INT8 weights exceed 2 x 96 GiB of HBM.
+  const InferenceModel model(Llama405B(), rago::DefaultXpu());
+  EXPECT_EQ(model.MaxDecodeBatch(2, 1024), 0);
+}
+
+TEST(Inference, LongContextKvCacheExhaustsMemory) {
+  // Paper §5.2: long-context LLMs need KV for every token. A 1M-token
+  // context on a 70B model wants ~330 GB of KV per sequence: two chips
+  // cannot hold even one sequence, eight can.
+  const InferenceModel model = Model70B();
+  EXPECT_EQ(model.MaxDecodeBatch(2, 1'000'000), 0);
+  EXPECT_GE(model.MaxDecodeBatch(8, 1'000'000), 1);
+}
+
+TEST(Inference, EncodeMatchesPrefixShapeForEncoders) {
+  const InferenceModel encoder(Encoder120M(), rago::DefaultXpu());
+  const PhaseCost cost = encoder.BestEncode(1, 64, 128);
+  ASSERT_TRUE(cost.feasible);
+  EXPECT_GT(cost.throughput, 0.0);
+  // 64 chunks of 128 tokens at 120M params ~= 2*M*tokens flops.
+  const double flops = 2.0 * 110e6 * 64 * 128;
+  const double lower = flops / encoder.xpu().EffectiveFlops();
+  EXPECT_GT(cost.latency, 0.5 * lower);
+}
+
+TEST(Inference, XpuGenerationsImprovePrefixLatency) {
+  const InferenceModel a(Llama8B(), rago::MakeXpu(rago::XpuVersion::kA));
+  const InferenceModel c(Llama8B(), rago::MakeXpu(rago::XpuVersion::kC));
+  const PhaseCost cost_a = a.BestPrefix(4, 8, 512);
+  const PhaseCost cost_c = c.BestPrefix(4, 8, 512);
+  ASSERT_TRUE(cost_a.feasible && cost_c.feasible);
+  EXPECT_LT(cost_c.latency, cost_a.latency);
+}
+
+TEST(Inference, PlanChipsPartitionConsistently) {
+  const InferenceModel model = Model8B();
+  for (const PhaseCost& cost : model.PrefixOptions(16, 4, 256)) {
+    EXPECT_EQ(cost.plan.Chips(), 16);
+    EXPECT_LE(cost.plan.tensor, model.config().num_heads);
+    EXPECT_LE(cost.plan.pipeline, model.config().num_layers);
+  }
+}
+
+/// Property sweep: latency positive and finite across a grid.
+class InferenceGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int64_t>> {};
+
+TEST_P(InferenceGridTest, CostsAreFiniteAndConsistent) {
+  const auto [chips, batch, seq] = GetParam();
+  const InferenceModel model = Model8B();
+  const PhaseCost prefix = model.BestPrefix(chips, batch, seq);
+  if (prefix.feasible) {
+    EXPECT_GT(prefix.latency, 0.0);
+    EXPECT_GT(prefix.throughput, 0.0);
+    // Throughput can't exceed batch / latency by more than the
+    // pipeline factor (chips).
+    EXPECT_LE(prefix.throughput,
+              static_cast<double>(batch) / prefix.latency * chips * 1.01);
+  }
+  const PhaseCost decode = model.BestDecode(chips, batch, seq, seq + 256);
+  if (decode.feasible) {
+    EXPECT_GT(decode.latency, 0.0);
+    EXPECT_GT(decode.throughput, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InferenceGridTest,
+    ::testing::Combine(::testing::Values(1, 4, 16, 64),
+                       ::testing::Values<int64_t>(1, 8, 64),
+                       ::testing::Values<int64_t>(128, 512, 2048)));
+
+}  // namespace
+}  // namespace rago::models

@@ -1,0 +1,183 @@
+/**
+ * @file test_iterative_sim.cc
+ * Tests for the discrete-event iterative-retrieval decode simulator
+ * (paper §5.3, Figs. 9-10).
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/iterative_sim.h"
+
+namespace rago::sim {
+namespace {
+
+IterativeSimConfig BaseConfig() {
+  IterativeSimConfig config;
+  config.decode_batch = 32;
+  config.iterative_batch = 4;
+  config.decode_tokens = 128;
+  config.retrievals_per_sequence = 4;
+  config.step_latency = 1.0;
+  config.round_latency = 0.0;
+  config.num_sequences = 256;
+  config.seed = 7;
+  return config;
+}
+
+TEST(IterativeSim, NoMidDecodeRetrievalMeansNoSlowdown) {
+  IterativeSimConfig config = BaseConfig();
+  config.retrievals_per_sequence = 1;  // Initial retrieval only.
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  EXPECT_NEAR(result.normalized_latency, 1.0, 1e-9);
+  EXPECT_EQ(result.rounds_executed, 0);
+}
+
+TEST(IterativeSim, DeterministicForFixedSeed) {
+  const IterativeSimResult a = SimulateIterativeDecode(BaseConfig());
+  const IterativeSimResult b = SimulateIterativeDecode(BaseConfig());
+  EXPECT_DOUBLE_EQ(a.avg_tpot, b.avg_tpot);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+}
+
+TEST(IterativeSim, ZeroLatencyRoundsStillCauseBatchingIdleness) {
+  // Paper Fig. 10: with zero-latency retrieval+prefix, waiting for the
+  // iterative batch to fill still slows decoding.
+  IterativeSimConfig config = BaseConfig();
+  config.decode_batch = 64;
+  config.iterative_batch = 64;
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  EXPECT_GT(result.normalized_latency, 1.5);
+}
+
+TEST(IterativeSim, UnitIterativeBatchHasNoWaitingCost) {
+  // Rounds of one depart immediately: with zero round latency the
+  // decode proceeds as if retrievals were free.
+  IterativeSimConfig config = BaseConfig();
+  config.iterative_batch = 1;
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  EXPECT_NEAR(result.normalized_latency, 1.0, 0.02);
+}
+
+TEST(IterativeSim, SlowdownGrowsWithIterativeBatch) {
+  // Fig. 10's row-wise trend at fixed decode batch.
+  IterativeSimConfig config = BaseConfig();
+  config.decode_batch = 64;
+  double prev = 0.0;
+  for (int iterative : {1, 8, 32, 64}) {
+    config.iterative_batch = iterative;
+    const double norm =
+        SimulateIterativeDecode(config).normalized_latency;
+    EXPECT_GE(norm, prev - 0.05) << "iterative batch " << iterative;
+    prev = norm;
+  }
+  EXPECT_GT(prev, 1.5);
+}
+
+TEST(IterativeSim, LargerDecodePoolAbsorbsBatching) {
+  // Fig. 10's column-wise trend: at fixed iterative batch, more
+  // concurrent sequences reduce the normalized latency.
+  IterativeSimConfig config = BaseConfig();
+  config.iterative_batch = 16;
+  config.decode_batch = 16;
+  const double small = SimulateIterativeDecode(config).normalized_latency;
+  config.decode_batch = 256;
+  config.num_sequences = 1024;
+  const double large = SimulateIterativeDecode(config).normalized_latency;
+  EXPECT_LT(large, small);
+}
+
+TEST(IterativeSim, RoundLatencyAddsToTpot) {
+  IterativeSimConfig config = BaseConfig();
+  config.iterative_batch = 1;
+  config.round_latency = 10.0;  // 10 steps worth per round.
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  // Three mid-decode rounds of >=10 steps each over 128 tokens adds
+  // >= 30/128 to the normalized latency.
+  EXPECT_GT(result.normalized_latency, 1.0 + 3 * 10.0 / 128 * 0.9);
+}
+
+TEST(IterativeSim, MoreRetrievalsPerSequenceSlowDecoding) {
+  IterativeSimConfig config = BaseConfig();
+  config.round_latency = 5.0;
+  config.iterative_batch = 8;
+  double prev = 0.0;
+  for (int k : {2, 4, 8}) {
+    config.retrievals_per_sequence = k;
+    const double norm =
+        SimulateIterativeDecode(config).normalized_latency;
+    EXPECT_GT(norm, prev) << "retrievals " << k;
+    prev = norm;
+  }
+}
+
+TEST(IterativeSim, RoundsExecutedMatchesTriggerCount) {
+  IterativeSimConfig config = BaseConfig();
+  config.iterative_batch = 1;  // Every trigger fires its own round.
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  const int64_t triggers =
+      static_cast<int64_t>(config.num_sequences) *
+      (config.retrievals_per_sequence - 1);
+  EXPECT_EQ(result.rounds_executed, triggers);
+}
+
+TEST(IterativeSim, OversizedIterativeBatchFlushesInsteadOfDeadlock) {
+  // Iterative batch far above the outstanding trigger count can never
+  // fill; the simulator must flush and terminate.
+  IterativeSimConfig config = BaseConfig();
+  config.decode_batch = 4;
+  config.iterative_batch = 256;
+  config.num_sequences = 32;
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  EXPECT_GT(result.flushed_rounds, 0);
+  EXPECT_GT(result.normalized_latency, 1.0);
+}
+
+TEST(IterativeSim, ThroughputConsistentWithMakespan) {
+  const IterativeSimResult result = SimulateIterativeDecode(BaseConfig());
+  EXPECT_NEAR(result.throughput, 256.0 / result.total_time,
+              result.throughput * 1e-9);
+}
+
+TEST(IterativeSim, WorstTpotAtLeastAverage) {
+  const IterativeSimResult result = SimulateIterativeDecode(BaseConfig());
+  EXPECT_GE(result.worst_tpot, result.avg_tpot);
+}
+
+TEST(IterativeSim, RejectsInvalidConfigs) {
+  IterativeSimConfig config = BaseConfig();
+  config.decode_batch = 0;
+  EXPECT_THROW(SimulateIterativeDecode(config), rago::ConfigError);
+  config = BaseConfig();
+  config.retrievals_per_sequence = 0;
+  EXPECT_THROW(SimulateIterativeDecode(config), rago::ConfigError);
+  config = BaseConfig();
+  config.retrievals_per_sequence = config.decode_tokens;
+  EXPECT_THROW(SimulateIterativeDecode(config), rago::ConfigError);
+}
+
+/// Fig. 10-style grid property: normalized latency is always >= 1 and
+/// bounded; ratios near 1 when iterative << decode batch.
+class IdlenessGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IdlenessGridTest, NormalizedLatencyBounds) {
+  const auto [decode_batch, iterative_batch] = GetParam();
+  IterativeSimConfig config = BaseConfig();
+  config.decode_batch = decode_batch;
+  config.iterative_batch = iterative_batch;
+  config.num_sequences = decode_batch * 6;
+  const IterativeSimResult result = SimulateIterativeDecode(config);
+  EXPECT_GE(result.normalized_latency, 0.999);
+  EXPECT_LT(result.normalized_latency, 10.0);
+  if (iterative_batch == 1) {
+    EXPECT_NEAR(result.normalized_latency, 1.0, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IdlenessGridTest,
+    ::testing::Combine(::testing::Values(4, 16, 64, 128),
+                       ::testing::Values(1, 4, 16, 64)));
+
+}  // namespace
+}  // namespace rago::sim

@@ -1,0 +1,181 @@
+/**
+ * @file test_ops.cc
+ * Tests for the operator graph builders: the totals must agree with
+ * the paper's closed-form approximations (FLOPs ~= 2*M*L for short
+ * sequences, §3.3) and scale correctly with batch/length/mode.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "models/ops.h"
+#include "models/transformer.h"
+
+namespace rago::models {
+namespace {
+
+double MatmulFlops(const std::vector<Op>& ops) {
+  double total = 0.0;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kMatmul) {
+      total += op.count * op.flops;
+    }
+  }
+  return total;
+}
+
+TEST(PrefixOps, FlopsMatchTwoMLApproximation) {
+  // For short sequences the paper approximates inference FLOPs as
+  // 2*M*L; projection FLOPs should land within ~15% of that (embeddings
+  // don't do matmuls, attention is excluded from the 2*M*L form).
+  const TransformerConfig config = Llama8B();
+  const int64_t seq = 512;
+  const auto ops = BuildPrefixOps(config, /*batch=*/1, seq);
+  const double expected = 2.0 * static_cast<double>(config.NumParams()) * seq;
+  EXPECT_NEAR(MatmulFlops(ops) / expected, 1.0, 0.15);
+}
+
+TEST(PrefixOps, FlopsScaleLinearlyWithBatch) {
+  const TransformerConfig config = Llama1B();
+  const auto one = BuildPrefixOps(config, 1, 256);
+  const auto eight = BuildPrefixOps(config, 8, 256);
+  EXPECT_NEAR(TotalFlops(eight) / TotalFlops(one), 8.0, 1e-6);
+}
+
+TEST(PrefixOps, AttentionQuadraticInSequenceLength) {
+  const TransformerConfig config = Llama8B();
+  auto attention_flops = [&](int64_t len) {
+    double total = 0.0;
+    for (const Op& op : BuildPrefixOps(config, 1, len)) {
+      if (op.kind == OpKind::kAttention) {
+        total += op.count * op.flops;
+      }
+    }
+    return total;
+  };
+  // Doubling the sequence quadruples attention score work.
+  EXPECT_NEAR(attention_flops(1024) / attention_flops(512), 4.0, 1e-6);
+}
+
+TEST(PrefixOps, WeightBytesIndependentOfBatch) {
+  const TransformerConfig config = Llama8B();
+  auto weight_bytes = [&](int64_t batch) {
+    double total = 0.0;
+    for (const Op& op : BuildPrefixOps(config, batch, 128)) {
+      total += op.count * op.weight_bytes;
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(weight_bytes(1), weight_bytes(64));
+  // All matmul weights are touched once; embedding-table lookups are
+  // not streamed, so the total sits slightly below the full model.
+  EXPECT_NEAR(weight_bytes(1) / config.WeightBytes(), 0.95, 0.05);
+}
+
+TEST(PrefixOps, HybridAttentionCutsLongContextWork) {
+  // The long-context LLM variant (paper §5.2): global attention in one
+  // of four layers, local windows elsewhere.
+  const TransformerConfig config = Llama70B();
+  const int64_t len = 100'000;
+  const auto full = BuildPrefixOps(config, 1, len, FullAttention());
+  const auto hybrid = BuildPrefixOps(config, 1, len, HybridLocalAttention());
+  double full_attn = 0.0;
+  double hybrid_attn = 0.0;
+  for (const Op& op : full) {
+    if (op.kind == OpKind::kAttention) {
+      full_attn += op.count * op.flops;
+    }
+  }
+  for (const Op& op : hybrid) {
+    if (op.kind == OpKind::kAttention) {
+      hybrid_attn += op.count * op.flops;
+    }
+  }
+  // 1/4 of layers keep quadratic cost; locals are negligible at 100K.
+  EXPECT_LT(hybrid_attn, 0.30 * full_attn);
+  EXPECT_GT(hybrid_attn, 0.20 * full_attn);
+}
+
+TEST(DecodeOps, KvTrafficDominatesAndScalesWithContext) {
+  const TransformerConfig config = Llama70B();
+  auto kv_bytes = [&](int64_t ctx) {
+    for (const Op& op : BuildDecodeStepOps(config, 1, ctx)) {
+      if (op.kind == OpKind::kAttention) {
+        return op.count * op.act_bytes;
+      }
+    }
+    return 0.0;
+  };
+  // KV reads scale linearly with the context length.
+  EXPECT_NEAR(kv_bytes(2048) / kv_bytes(1024), 2.0, 0.01);
+  // And match the config's per-token KV footprint.
+  EXPECT_NEAR(kv_bytes(1024),
+              1024.0 * config.KvBytesPerToken() +
+                  2.0 * config.d_model * 2.0 * config.num_layers,
+              1024.0 * config.KvBytesPerToken() * 0.01);
+}
+
+TEST(DecodeOps, FlopsMatchTwoMApproximation) {
+  const TransformerConfig config = Llama8B();
+  const auto ops = BuildDecodeStepOps(config, 1, 256);
+  const double expected = 2.0 * static_cast<double>(config.NumParams());
+  EXPECT_NEAR(MatmulFlops(ops) / expected, 1.0, 0.15);
+}
+
+TEST(DecodeOps, RejectsEncoderModels) {
+  EXPECT_THROW(BuildDecodeStepOps(Encoder120M(), 1, 128),
+               rago::ConfigError);
+}
+
+TEST(EncodeOps, BidirectionalAttentionCostsDoubleCausal) {
+  // Encoders attend to the full sequence; decoders to half on average.
+  TransformerConfig encoder = Encoder120M();
+  TransformerConfig as_decoder = encoder;
+  as_decoder.kind = ModelKind::kDecoder;
+  auto attention_flops = [](const std::vector<Op>& ops) {
+    double total = 0.0;
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kAttention) {
+        total += op.count * op.flops;
+      }
+    }
+    return total;
+  };
+  const double enc = attention_flops(BuildEncodeOps(encoder, 1, 128));
+  const double dec =
+      attention_flops(BuildPrefixOps(as_decoder, 1, 128));
+  EXPECT_NEAR(enc / dec, 2.0, 1e-6);
+}
+
+TEST(EncodeOps, NoLmHead) {
+  const auto ops = BuildEncodeOps(Encoder120M(), 4, 128);
+  for (const Op& op : ops) {
+    EXPECT_NE(op.name, "lm_head");
+  }
+}
+
+TEST(EncodeOps, RequiresEncoderModel) {
+  EXPECT_THROW(BuildEncodeOps(Llama8B(), 1, 128), rago::ConfigError);
+}
+
+TEST(Ops, InvalidArgumentsRejected) {
+  EXPECT_THROW(BuildPrefixOps(Llama1B(), 0, 128), rago::ConfigError);
+  EXPECT_THROW(BuildPrefixOps(Llama1B(), 1, 0), rago::ConfigError);
+  EXPECT_THROW(BuildDecodeStepOps(Llama1B(), 1, 0), rago::ConfigError);
+}
+
+TEST(Ops, TotalsAreSumOverCounts) {
+  std::vector<Op> ops(2);
+  ops[0].count = 3;
+  ops[0].flops = 10;
+  ops[0].weight_bytes = 1;
+  ops[0].act_bytes = 2;
+  ops[1].count = 1;
+  ops[1].flops = 5;
+  ops[1].act_bytes = 4;
+  EXPECT_DOUBLE_EQ(TotalFlops(ops), 35.0);
+  EXPECT_DOUBLE_EQ(TotalBytes(ops), 13.0);
+}
+
+}  // namespace
+}  // namespace rago::models

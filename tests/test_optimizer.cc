@@ -1,0 +1,242 @@
+/**
+ * @file test_optimizer.cc
+ * Tests for the RAGO search engine (paper Algorithm 1): placement
+ * enumeration, frontier validity, pruning soundness, and the
+ * LLM-extension baseline.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "rago/optimizer.h"
+
+namespace rago::opt {
+namespace {
+
+/// Small grids keep unit-test searches fast.
+SearchOptions SmallGrid() {
+  SearchOptions options;
+  options.batch_sizes = {1, 8, 64};
+  options.decode_batch_sizes = {8, 64, 256};
+  return options;
+}
+
+TEST(Optimizer, PlacementCountIsTwoToTheStages) {
+  const core::PipelineModel case1(core::MakeHyperscaleSchema(8, 1),
+                                  rago::DefaultCluster());
+  EXPECT_EQ(Optimizer(case1).PlacementOptions().size(), 1u);  // 1 stage.
+
+  const core::PipelineModel case2(core::MakeLongContextSchema(8, 100'000),
+                                  rago::DefaultCluster());
+  EXPECT_EQ(Optimizer(case2).PlacementOptions().size(), 2u);  // 2 stages.
+
+  const core::PipelineModel case4(core::MakeRewriterRerankerSchema(8),
+                                  rago::DefaultCluster());
+  EXPECT_EQ(Optimizer(case4).PlacementOptions().size(), 8u);  // 4 stages.
+}
+
+TEST(Optimizer, PlacementsAreContiguousAndDistinct) {
+  const core::PipelineModel model(core::MakeRewriterRerankerSchema(8),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model);
+  std::set<std::vector<int>> seen;
+  for (const auto& placement : optimizer.PlacementOptions()) {
+    EXPECT_TRUE(seen.insert(placement).second) << "duplicate placement";
+    EXPECT_EQ(placement.front(), 0);
+    for (size_t i = 1; i < placement.size(); ++i) {
+      const int step = placement[i] - placement[i - 1];
+      EXPECT_TRUE(step == 0 || step == 1);
+    }
+  }
+}
+
+TEST(Optimizer, PlacementLabelsReadable) {
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 100'000),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model);
+  EXPECT_EQ(optimizer.PlacementLabel({0, 0}), "[encode+prefix]");
+  EXPECT_EQ(optimizer.PlacementLabel({0, 1}), "[encode][prefix]");
+}
+
+TEST(Optimizer, FrontierIsValidPareto) {
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model, SmallGrid());
+  const OptimizerResult result = optimizer.Search();
+  ASSERT_FALSE(result.pareto.empty());
+  // Sorted by TTFT with strictly increasing QPS/Chip.
+  for (size_t i = 1; i < result.pareto.size(); ++i) {
+    EXPECT_GT(result.pareto[i].perf.ttft, result.pareto[i - 1].perf.ttft);
+    EXPECT_GT(result.pareto[i].perf.qps_per_chip,
+              result.pareto[i - 1].perf.qps_per_chip);
+  }
+}
+
+TEST(Optimizer, FrontierPointsReproduceUnderCanonicalEvaluate) {
+  // Every reported point must be exactly what PipelineModel::Evaluate
+  // says about its schedule (no fast-path drift).
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model, SmallGrid());
+  const OptimizerResult result = optimizer.Search();
+  for (const ScheduledPoint& point : result.pareto) {
+    const core::EndToEndPerf perf = model.Evaluate(point.schedule);
+    ASSERT_TRUE(perf.feasible);
+    EXPECT_DOUBLE_EQ(perf.ttft, point.perf.ttft);
+    EXPECT_DOUBLE_EQ(perf.qps_per_chip, point.perf.qps_per_chip);
+  }
+}
+
+TEST(Optimizer, SchedulesRespectBudget) {
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  SearchOptions options = SmallGrid();
+  options.max_total_xpus = 16;
+  const Optimizer optimizer(model, options);
+  const OptimizerResult result = optimizer.Search();
+  for (const ScheduledPoint& point : result.pareto) {
+    EXPECT_LE(point.schedule.AllocatedXpus(), 16);
+  }
+}
+
+TEST(Optimizer, RagoDominatesBaseline) {
+  // The baseline's (placement, allocation) lies inside RAGO's search
+  // space, so RAGO must match or beat it on both frontier ends.
+  for (auto make : {&core::MakeLongContextSchema}) {
+    const core::PipelineModel model(make(8, 1'000'000),
+                                    rago::DefaultCluster());
+    const Optimizer optimizer(model, SmallGrid());
+    const OptimizerResult rago_result = optimizer.Search();
+    const OptimizerResult baseline = optimizer.SearchBaseline();
+    ASSERT_FALSE(rago_result.pareto.empty());
+    ASSERT_FALSE(baseline.pareto.empty());
+    EXPECT_GE(rago_result.MaxQpsPerChip().perf.qps_per_chip,
+              baseline.MaxQpsPerChip().perf.qps_per_chip * 0.999);
+    EXPECT_LE(rago_result.MinTtft().perf.ttft,
+              baseline.MinTtft().perf.ttft * 1.001);
+  }
+}
+
+TEST(Optimizer, CaseTwoRagoBeatsBaselineOnThroughput) {
+  // Paper Fig. 15a: ~1.7x max QPS/Chip in the long-context case. Our
+  // reproduction should land in the 1.3x-2.5x band.
+  const core::PipelineModel model(core::MakeLongContextSchema(70, 1'000'000),
+                                  rago::LargeCluster());
+  SearchOptions options;
+  options.batch_sizes = {1, 2, 8, 32, 128, 512};
+  options.decode_batch_sizes = {16, 64, 256, 1024};
+  const Optimizer optimizer(model, options);
+  const double rago_best =
+      optimizer.Search().MaxQpsPerChip().perf.qps_per_chip;
+  const double base_best =
+      optimizer.SearchBaseline().MaxQpsPerChip().perf.qps_per_chip;
+  EXPECT_GT(rago_best / base_best, 1.3);
+  EXPECT_LT(rago_best / base_best, 2.5);
+}
+
+TEST(Optimizer, BaselineUsesCollocatedOneToOneSplit) {
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 100'000),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model, SmallGrid());
+  const OptimizerResult baseline = optimizer.SearchBaseline();
+  for (const ScheduledPoint& point : baseline.pareto) {
+    EXPECT_EQ(point.schedule.NumGroups(), 1);
+    EXPECT_EQ(point.schedule.group_chips[0], point.schedule.decode_chips);
+    EXPECT_EQ(point.schedule.group_chips[0], 32);  // Half of 64.
+  }
+}
+
+TEST(Optimizer, PruningPreservesTheFrontier) {
+  // Per-stage Pareto pruning is an optimization, not an approximation:
+  // the frontier must be identical with and without it.
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  SearchOptions with = SmallGrid();
+  with.per_stage_pareto_pruning = true;
+  SearchOptions without = SmallGrid();
+  without.per_stage_pareto_pruning = false;
+  const OptimizerResult pruned = Optimizer(model, with).Search();
+  const OptimizerResult full = Optimizer(model, without).Search();
+  ASSERT_EQ(pruned.pareto.size(), full.pareto.size());
+  for (size_t i = 0; i < pruned.pareto.size(); ++i) {
+    EXPECT_NEAR(pruned.pareto[i].perf.ttft, full.pareto[i].perf.ttft,
+                1e-12);
+    EXPECT_NEAR(pruned.pareto[i].perf.qps_per_chip,
+                full.pareto[i].perf.qps_per_chip, 1e-12);
+  }
+  EXPECT_LE(pruned.schedules_evaluated, full.schedules_evaluated);
+}
+
+TEST(Optimizer, PlacementFilterRestrictsSearch) {
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  SearchOptions options = SmallGrid();
+  options.placement_filter = 0;  // Fully collocated.
+  const Optimizer optimizer(model, options);
+  const OptimizerResult result = optimizer.Search();
+  for (const ScheduledPoint& point : result.pareto) {
+    EXPECT_EQ(point.schedule.NumGroups(), 1);
+  }
+}
+
+TEST(Optimizer, PlanFrontiersComposeGlobalFrontier) {
+  // Fig. 16: the global frontier is the upper envelope of per-plan
+  // frontiers; every global point appears in some plan frontier.
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  SearchOptions options = SmallGrid();
+  options.keep_plan_frontiers = true;
+  const OptimizerResult result = Optimizer(model, options).Search();
+  ASSERT_FALSE(result.plan_frontiers.empty());
+  for (const ScheduledPoint& global : result.pareto) {
+    bool found = false;
+    for (const PlanFrontier& plan : result.plan_frontiers) {
+      for (const ScheduledPoint& point : plan.points) {
+        if (std::fabs(point.perf.ttft - global.perf.ttft) < 1e-12 &&
+            std::fabs(point.perf.qps_per_chip -
+                      global.perf.qps_per_chip) < 1e-12) {
+          found = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Optimizer, IterativeSearchPicksIterativeBatch) {
+  const core::PipelineModel model(core::MakeIterativeSchema(8, 4),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model, SmallGrid());
+  const OptimizerResult result = optimizer.Search();
+  ASSERT_FALSE(result.pareto.empty());
+  // The throughput-optimal point should batch iterative retrievals.
+  EXPECT_GE(result.MaxQpsPerChip().schedule.iterative_batch, 1);
+}
+
+TEST(Optimizer, UniformBatchModeTiesChainBatches) {
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  SearchOptions options = SmallGrid();
+  options.per_group_batching = false;
+  const OptimizerResult result = Optimizer(model, options).Search();
+  for (const ScheduledPoint& point : result.pareto) {
+    const auto& batches = point.schedule.chain_batch;
+    for (size_t i = 1; i < batches.size(); ++i) {
+      EXPECT_EQ(batches[i], batches[0]);
+    }
+  }
+}
+
+TEST(OptimizerResult, AccessorsRejectEmptyFrontier) {
+  OptimizerResult empty;
+  EXPECT_THROW(empty.MaxQpsPerChip(), rago::ConfigError);
+  EXPECT_THROW(empty.MinTtft(), rago::ConfigError);
+}
+
+}  // namespace
+}  // namespace rago::opt

@@ -1,0 +1,140 @@
+/**
+ * @file test_provisioner.cc
+ * Tests for SLO-driven capacity planning and for the KV prefix-cache
+ * workload extension.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/provisioner.h"
+
+namespace rago::opt {
+namespace {
+
+SearchOptions SmallGrid() {
+  SearchOptions options;
+  options.batch_sizes = {1, 8, 64};
+  options.decode_batch_sizes = {16, 128};
+  return options;
+}
+
+TEST(Provisioner, FindsMinimalBudgetForModestSlo) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  DefaultCluster());
+  SloSpec slo;
+  slo.min_qps = 10.0;
+  slo.max_ttft = 0.5;
+  const ProvisionResult result = Provision(model, slo, SmallGrid());
+  ASSERT_TRUE(result.satisfiable);
+  EXPECT_LE(result.chosen.schedule.AllocatedXpus(), result.xpu_budget);
+  EXPECT_GE(result.chosen.perf.qps, 10.0);
+  EXPECT_LE(result.chosen.perf.ttft, 0.5);
+  // A modest target should not need the whole cluster.
+  EXPECT_LT(result.xpu_budget, DefaultCluster().TotalXpus());
+}
+
+TEST(Provisioner, BudgetGrowsWithThroughputTarget) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  DefaultCluster());
+  SloSpec low;
+  low.min_qps = 5.0;
+  SloSpec high;
+  high.min_qps = 400.0;
+  const ProvisionResult low_result = Provision(model, low, SmallGrid());
+  const ProvisionResult high_result = Provision(model, high, SmallGrid());
+  ASSERT_TRUE(low_result.satisfiable);
+  ASSERT_TRUE(high_result.satisfiable);
+  EXPECT_LE(low_result.xpu_budget, high_result.xpu_budget);
+  EXPECT_LT(low_result.chosen.schedule.AllocatedXpus(),
+            high_result.chosen.schedule.AllocatedXpus());
+}
+
+TEST(Provisioner, UnsatisfiableSloReported) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  DefaultCluster());
+  SloSpec impossible;
+  impossible.min_qps = 1e9;  // Far beyond the retrieval tier.
+  const ProvisionResult result = Provision(model, impossible, SmallGrid());
+  EXPECT_FALSE(result.satisfiable);
+  EXPECT_FALSE(result.budgets_tried.empty());
+}
+
+TEST(Provisioner, TpotConstraintHonored) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(70, 1),
+                                  DefaultCluster());
+  SloSpec slo;
+  slo.min_qps = 1.0;
+  slo.max_tpot = 0.040;
+  const ProvisionResult result = Provision(model, slo, SmallGrid());
+  if (result.satisfiable) {
+    EXPECT_LE(result.chosen.perf.tpot, 0.040);
+  }
+}
+
+TEST(Provisioner, RequiresAtLeastOneConstraint) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  DefaultCluster());
+  EXPECT_THROW(Provision(model, SloSpec{}, SmallGrid()),
+               rago::ConfigError);
+}
+
+TEST(PrefixCache, HitRateCutsPrefixCost) {
+  // RAGCache-style document KV caching (paper §8): prefix compute for
+  // the retrieved content shrinks with the hit rate.
+  core::RAGSchema schema = core::MakeHyperscaleSchema(70, 1);
+  const core::PipelineModel cold(schema, DefaultCluster());
+  schema.workload.prefix_cache_hit_rate = 0.9;
+  const core::PipelineModel warm(schema, DefaultCluster());
+  const core::StagePerf cold_prefix =
+      cold.EvalChainStage(core::StageType::kPrefix, 16, 8);
+  const core::StagePerf warm_prefix =
+      warm.EvalChainStage(core::StageType::kPrefix, 16, 8);
+  ASSERT_TRUE(cold_prefix.feasible && warm_prefix.feasible);
+  // 90% of the 480 retrieved tokens skipped: ~7x less prefix work.
+  EXPECT_GT(cold_prefix.latency / warm_prefix.latency, 3.0);
+}
+
+TEST(PrefixCache, ShiftsBreakdownTowardRetrieval) {
+  // The paper's related-work discussion: KV caching makes retrieval
+  // and decode relatively more important.
+  core::RAGSchema schema = core::MakeHyperscaleSchema(70, 1);
+  auto retrieval_share = [&](double hit) {
+    core::RAGSchema s = schema;
+    s.workload.prefix_cache_hit_rate = hit;
+    const core::PipelineModel model(s, DefaultCluster());
+    for (const core::StageShare& share : model.TimeBreakdown()) {
+      if (share.stage == core::StageType::kRetrieval) {
+        return share.fraction;
+      }
+    }
+    return 0.0;
+  };
+  EXPECT_GT(retrieval_share(0.9), retrieval_share(0.0) * 1.2);
+}
+
+TEST(PrefixCache, ValidationRejectsFullHitRate) {
+  core::RAGSchema schema = core::MakeHyperscaleSchema(8, 1);
+  schema.workload.prefix_cache_hit_rate = 1.0;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+  schema.workload.prefix_cache_hit_rate = -0.1;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+}
+
+TEST(PrefixCache, NoEffectWithoutRetrieval) {
+  core::RAGSchema schema = core::MakeLlmOnlySchema(8);
+  schema.workload.prefix_cache_hit_rate = 0.5;
+  const core::PipelineModel model(schema, DefaultCluster());
+  core::RAGSchema plain = core::MakeLlmOnlySchema(8);
+  const core::PipelineModel reference(plain, DefaultCluster());
+  const core::StagePerf a =
+      model.EvalChainStage(core::StageType::kPrefix, 8, 4);
+  const core::StagePerf b =
+      reference.EvalChainStage(core::StageType::kPrefix, 8, 4);
+  EXPECT_DOUBLE_EQ(a.latency, b.latency);
+}
+
+}  // namespace
+}  // namespace rago::opt

@@ -1,0 +1,203 @@
+/**
+ * @file test_retrieval_perf.cc
+ * Tests for the analytical retrieval cost models (paper §4b).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "hardware/cpu_server.h"
+#include "retrieval/perf/bruteforce_model.h"
+#include "retrieval/perf/scann_model.h"
+
+namespace rago::retrieval {
+namespace {
+
+ScannModel PaperModel(int servers = 16) {
+  return ScannModel(DatabaseSpec{}, rago::DefaultCpuServer(), servers);
+}
+
+TEST(DatabaseSpec, PaperDefaultsAndQuantizedSize) {
+  DatabaseSpec spec;
+  EXPECT_EQ(spec.num_vectors, 64'000'000'000);
+  EXPECT_EQ(spec.dim, 768);
+  EXPECT_DOUBLE_EQ(spec.pq_bytes_per_vector, 96.0);
+  // 64B x 96 bytes = 6.14e12 bytes ~= 5.59 TiB (paper: 5.6 TiB).
+  EXPECT_NEAR(spec.QuantizedBytes() / rago::kTiB, 5.59, 0.02);
+  EXPECT_NO_THROW(spec.Validate());
+}
+
+TEST(DatabaseSpec, ValidationRejectsBadValues) {
+  DatabaseSpec spec;
+  spec.scan_fraction = 0.0;
+  EXPECT_THROW(spec.Validate(), rago::ConfigError);
+  spec = DatabaseSpec{};
+  spec.scan_fraction = 1.5;
+  EXPECT_THROW(spec.Validate(), rago::ConfigError);
+  spec = DatabaseSpec{};
+  spec.num_vectors = 0;
+  EXPECT_THROW(spec.Validate(), rago::ConfigError);
+  spec = DatabaseSpec{};
+  spec.tree_fanout = 1;
+  EXPECT_THROW(spec.Validate(), rago::ConfigError);
+}
+
+TEST(ScannModel, MinServersMatchesPaperScale) {
+  // 5.59 TiB at 384 GiB per host: 15 servers is the strict capacity
+  // floor; the paper provisions 16.
+  const ScannModel model = PaperModel(16);
+  EXPECT_GE(model.MinServersForCapacity(), 15);
+  EXPECT_LE(model.MinServersForCapacity(), 16);
+  EXPECT_THROW(PaperModel(8), rago::ConfigError);
+}
+
+TEST(ScannModel, LeafScanDominatesBytesPerQuery) {
+  const ScannModel model = PaperModel();
+  // B_retrieval ~= N * B_vec * P_scan = 64e9 * 96 * 0.001; centroid
+  // levels add less than 10% on top.
+  const double leaf = 64e9 * 96.0 * 0.001;
+  EXPECT_GE(model.BytesScannedPerQuery(), leaf);
+  EXPECT_LT(model.BytesScannedPerQuery(), leaf * 1.10);
+}
+
+TEST(ScannModel, ScanOpsCoverAllTreeLevels) {
+  const ScannModel model = PaperModel();
+  const auto ops = model.ScanOps();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].level, 1);
+  EXPECT_EQ(ops[2].level, 3);
+  // Root level: 4000 centroids of 768 float dims.
+  EXPECT_DOUBLE_EQ(ops[0].bytes, 4000.0 * 768 * 4);
+  // The leaf PQ scan dwarfs the centroid levels.
+  EXPECT_LT(ops[0].bytes, 0.01 * ops[2].bytes);
+  EXPECT_LT(ops[1].bytes, 0.10 * ops[2].bytes);
+}
+
+TEST(ScannModel, SingleQueryLatencyMatchesPerCoreRoofline) {
+  // Batch 1 on 32 servers: the paper quotes ~10 ms (§7.1). One thread
+  // scans its shard at 18 GB/s.
+  const ScannModel model = PaperModel(32);
+  const RetrievalCost cost = model.Search(1);
+  const double expected =
+      model.BytesPerQueryPerServer() / (18 * rago::kGiga);
+  EXPECT_NEAR(cost.latency, expected, expected * 0.01);
+  EXPECT_NEAR(cost.latency, 0.0107, 0.002);
+}
+
+TEST(ScannModel, ThroughputSaturatesAtMemoryBandwidth) {
+  const ScannModel model = PaperModel(16);
+  // At large batch the tier is memory-bound: aggregate effective
+  // bandwidth over the scanned bytes.
+  const RetrievalCost cost = model.Search(4096);
+  const double bound = 16 * 460e9 * 0.8 / model.BytesScannedPerQuery();
+  EXPECT_NEAR(cost.throughput, bound, bound * 0.05);
+}
+
+TEST(ScannModel, ThroughputMonotoneUpToCoreCountAndAcrossFullWaves) {
+  // Throughput rises until all 96 cores are busy; partially filled
+  // extra waves dip (stair pattern), but full waves keep the peak.
+  const ScannModel model = PaperModel(16);
+  double prev = 0.0;
+  for (int64_t batch : {1, 2, 4, 8, 16, 32, 64, 96}) {
+    const RetrievalCost cost = model.Search(batch);
+    EXPECT_GE(cost.throughput, prev * 0.999) << "batch " << batch;
+    prev = cost.throughput;
+  }
+  const double peak = model.Search(96).throughput;
+  for (int64_t batch : {192, 384, 768}) {
+    EXPECT_NEAR(model.Search(batch).throughput, peak, peak * 0.01);
+  }
+  // Just past a wave boundary, throughput dips.
+  EXPECT_LT(model.Search(97).throughput, peak * 0.75);
+}
+
+TEST(ScannModel, LatencyGrowsInWavesBeyondCoreCount) {
+  const ScannModel model = PaperModel(16);
+  const double l96 = model.Search(96).latency;
+  const double l97 = model.Search(97).latency;
+  EXPECT_GT(l97, l96 * 1.5);  // Second wave starts.
+}
+
+TEST(ScannModel, MoreServersCutLatencyProportionally) {
+  const double l16 = PaperModel(16).Search(1).latency;
+  const double l32 = PaperModel(32).Search(1).latency;
+  EXPECT_NEAR(l16 / l32, 2.0, 0.01);
+}
+
+TEST(ScannModel, ScanFractionScalesWork) {
+  DatabaseSpec spec01;
+  spec01.scan_fraction = 0.0001;
+  DatabaseSpec spec10;
+  spec10.scan_fraction = 0.01;
+  const ScannModel low(spec01, rago::DefaultCpuServer(), 16);
+  const ScannModel high(spec10, rago::DefaultCpuServer(), 16);
+  // 100x scan fraction -> exactly 100x leaf bytes; centroid levels
+  // dilute the total-byte ratio somewhat.
+  EXPECT_NEAR(high.ScanOps().back().bytes / low.ScanOps().back().bytes,
+              100.0, 1e-6);
+  const double total_ratio =
+      high.BytesScannedPerQuery() / low.BytesScannedPerQuery();
+  EXPECT_GT(total_ratio, 50.0);
+  EXPECT_LE(total_ratio, 100.0);
+  EXPECT_GT(low.Search(64).throughput, high.Search(64).throughput * 50);
+}
+
+TEST(ScannModel, RejectsNonPositiveBatch) {
+  EXPECT_THROW(PaperModel().Search(0), rago::ConfigError);
+}
+
+TEST(BruteForce, BytesAreFullDatabaseScan) {
+  const BruteForceModel model(100'000, 768, 2.0, rago::DefaultCpuServer());
+  EXPECT_DOUBLE_EQ(model.BytesScannedPerQuery(), 100'000.0 * 768 * 2);
+}
+
+TEST(BruteForce, SmallDatabaseIsFast) {
+  // Case II: 1K-100K vectors. Even 100K vectors scan in ~10 ms on one
+  // thread, a negligible share of multi-second encode latency.
+  const BruteForceModel model(100'000, 768, 2.0, rago::DefaultCpuServer());
+  const RetrievalCost cost = model.Search(1);
+  EXPECT_LT(cost.latency, 0.02);
+  const BruteForceModel tiny(1'000, 768, 2.0, rago::DefaultCpuServer());
+  EXPECT_LT(tiny.Search(1).latency, 0.001);
+}
+
+TEST(BruteForce, ThroughputScalesWithBatchUntilMemoryBound) {
+  const BruteForceModel model(100'000, 768, 2.0, rago::DefaultCpuServer());
+  const double t1 = model.Search(1).throughput;
+  const double t16 = model.Search(16).throughput;
+  EXPECT_GT(t16, t1 * 8);
+}
+
+TEST(BruteForce, RejectsDegenerateConfigs) {
+  EXPECT_THROW(BruteForceModel(0, 768, 2.0, rago::DefaultCpuServer()),
+               rago::ConfigError);
+  EXPECT_THROW(BruteForceModel(10, 0, 2.0, rago::DefaultCpuServer()),
+               rago::ConfigError);
+}
+
+/// Property sweep over server counts and batches: throughput never
+/// exceeds the roofline bounds and latency stays positive.
+class ScannSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(ScannSweepTest, RooflineBoundsHold) {
+  const auto [servers, batch] = GetParam();
+  const ScannModel model = PaperModel(servers);
+  const RetrievalCost cost = model.Search(batch);
+  EXPECT_GT(cost.latency, 0.0);
+  const double mem_bound =
+      servers * 460e9 * 0.8 / model.BytesScannedPerQuery();
+  const double compute_bound =
+      servers * 96.0 * 18e9 / model.BytesScannedPerQuery();
+  EXPECT_LE(cost.throughput, std::min(mem_bound, compute_bound) * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScannSweepTest,
+    ::testing::Combine(::testing::Values(16, 24, 32),
+                       ::testing::Values<int64_t>(1, 8, 96, 512, 4096)));
+
+}  // namespace
+}  // namespace rago::retrieval

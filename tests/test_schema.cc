@@ -1,0 +1,131 @@
+/**
+ * @file test_schema.cc
+ * Tests for RAGSchema: presets for the four paper case studies,
+ * pipeline/stage derivation, and validation.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/schema.h"
+
+namespace rago::core {
+namespace {
+
+TEST(Schema, CaseOneHyperscaleShape) {
+  const RAGSchema schema = MakeHyperscaleSchema(8, 2);
+  EXPECT_FALSE(schema.document_encoder.has_value());
+  EXPECT_FALSE(schema.query_rewriter.has_value());
+  EXPECT_FALSE(schema.reranker.has_value());
+  EXPECT_TRUE(schema.retrieval_enabled);
+  EXPECT_EQ(schema.retrieval.num_db_vectors, 64'000'000'000);
+  EXPECT_EQ(schema.retrieval.queries_per_retrieval, 2);
+  EXPECT_EQ(schema.retrieval.retrievals_per_sequence, 1);
+  EXPECT_FALSE(schema.IterativeRetrieval());
+  // Paper workload defaults.
+  EXPECT_EQ(schema.workload.prefix_tokens, 512);
+  EXPECT_EQ(schema.workload.decode_tokens, 256);
+  EXPECT_EQ(schema.workload.question_tokens, 32);
+}
+
+TEST(Schema, CaseTwoLongContextShape) {
+  const RAGSchema schema = MakeLongContextSchema(70, 1'000'000);
+  ASSERT_TRUE(schema.document_encoder.has_value());
+  EXPECT_EQ(schema.document_encoder->kind, models::ModelKind::kEncoder);
+  EXPECT_TRUE(schema.retrieval.brute_force);
+  // 1M tokens / 128-token chunks = 7813 vectors (paper: 1K-100K range
+  // across 100K-10M contexts).
+  EXPECT_EQ(schema.retrieval.num_db_vectors, 7813);
+  EXPECT_EQ(schema.workload.context_tokens, 1'000'000);
+  // The generative prompt stays short thanks to retrieval.
+  EXPECT_EQ(schema.workload.prefix_tokens, 512);
+}
+
+TEST(Schema, CaseThreeIterativeShape) {
+  const RAGSchema schema = MakeIterativeSchema(70, 4);
+  EXPECT_TRUE(schema.IterativeRetrieval());
+  EXPECT_EQ(schema.retrieval.retrievals_per_sequence, 4);
+}
+
+TEST(Schema, CaseFourRewriterRerankerShape) {
+  const RAGSchema schema = MakeRewriterRerankerSchema(70);
+  ASSERT_TRUE(schema.query_rewriter.has_value());
+  ASSERT_TRUE(schema.reranker.has_value());
+  // Paper Table 3: 8B rewriter, 120M reranker.
+  EXPECT_NEAR(static_cast<double>(schema.query_rewriter->NumParams()),
+              8e9, 1e9);
+  EXPECT_NEAR(static_cast<double>(schema.reranker->NumParams()), 120e6,
+              20e6);
+  EXPECT_EQ(schema.workload.rerank_candidates, 16);
+  EXPECT_EQ(schema.workload.rewrite_output_tokens, 32);
+}
+
+TEST(Schema, LlmOnlyUsesQuestionLengthPrompt) {
+  const RAGSchema schema = MakeLlmOnlySchema(70);
+  EXPECT_FALSE(schema.retrieval_enabled);
+  EXPECT_EQ(schema.workload.prefix_tokens, 32);
+}
+
+TEST(Schema, LongContextLlmOnlyPutsContextInPrompt) {
+  const RAGSchema schema = MakeLongContextLlmOnlySchema(70, 100'000);
+  EXPECT_FALSE(schema.retrieval_enabled);
+  EXPECT_EQ(schema.workload.prefix_tokens, 100'032);
+}
+
+TEST(Schema, PrefixChainPerCase) {
+  using S = StageType;
+  EXPECT_EQ(MakeHyperscaleSchema(8, 1).PrefixChainStages(),
+            (std::vector<S>{S::kPrefix}));
+  EXPECT_EQ(MakeLongContextSchema(8, 100'000).PrefixChainStages(),
+            (std::vector<S>{S::kDatabaseEncode, S::kPrefix}));
+  EXPECT_EQ(MakeRewriterRerankerSchema(8).PrefixChainStages(),
+            (std::vector<S>{S::kRewritePrefix, S::kRewriteDecode, S::kRerank,
+                            S::kPrefix}));
+}
+
+TEST(Schema, AllStagesInsertsRetrievalAtRightPoint) {
+  using S = StageType;
+  // Case I: retrieval then prefix then decode.
+  EXPECT_EQ(MakeHyperscaleSchema(8, 1).AllStages(),
+            (std::vector<S>{S::kRetrieval, S::kPrefix, S::kDecode}));
+  // Case IV: retrieval between rewrite-decode and rerank.
+  EXPECT_EQ(MakeRewriterRerankerSchema(8).AllStages(),
+            (std::vector<S>{S::kRewritePrefix, S::kRewriteDecode,
+                            S::kRetrieval, S::kRerank, S::kPrefix,
+                            S::kDecode}));
+  // LLM-only: no retrieval stage at all.
+  EXPECT_EQ(MakeLlmOnlySchema(8).AllStages(),
+            (std::vector<S>{S::kPrefix, S::kDecode}));
+}
+
+TEST(Schema, ValidationCatchesInconsistencies) {
+  RAGSchema schema = MakeHyperscaleSchema(8, 1);
+  schema.retrieval.queries_per_retrieval = 0;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+
+  schema = MakeHyperscaleSchema(8, 1);
+  schema.retrieval.scan_fraction = 0.0;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+
+  schema = MakeHyperscaleSchema(8, 1);
+  schema.generative_llm = models::Encoder120M();
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+
+  // Encoder present but no context length.
+  schema = MakeLongContextSchema(8, 100'000);
+  schema.workload.context_tokens = 0;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+
+  // Reranker must be an encoder model.
+  schema = MakeRewriterRerankerSchema(8);
+  schema.reranker = models::Llama1B();
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+}
+
+TEST(Schema, StageNamesAreStable) {
+  EXPECT_STREQ(StageName(StageType::kDatabaseEncode), "encode");
+  EXPECT_STREQ(StageName(StageType::kRetrieval), "retrieval");
+  EXPECT_STREQ(StageName(StageType::kDecode), "decode");
+}
+
+}  // namespace
+}  // namespace rago::core
