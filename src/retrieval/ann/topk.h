@@ -41,11 +41,14 @@ class TopK {
 
   /// Offers a candidate; cheap rejection once the heap is full.
   void Push(float dist, int64_t id) {
+    const Neighbor candidate{dist, id};
     if (heap_.size() < k_) {
-      heap_.push(Neighbor{dist, id});
-    } else if (dist < heap_.top().dist) {
+      heap_.push(candidate);
+    } else if (candidate < heap_.top()) {
+      // Full Neighbor ordering (not just distance) so equal-distance
+      // ties resolve to the lower id regardless of push order.
       heap_.pop();
-      heap_.push(Neighbor{dist, id});
+      heap_.push(candidate);
     }
   }
 

@@ -11,47 +11,30 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "retrieval/ann/dataset.h"
-#include "retrieval/ann/flat_index.h"
 #include "retrieval/ann/hnsw_index.h"
 #include "retrieval/ann/recall.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::ann {
 namespace {
 
-struct Bed {
-  Matrix data;
-  Matrix queries;
-  std::vector<std::vector<Neighbor>> truth;
-};
+using Bed = rago::testing::AnnTestBed;
+using rago::testing::CopyMatrix;
 
 Bed MakeBed(size_t n = 3000, size_t dim = 16, size_t nq = 24) {
-  Bed bed;
-  Rng rng(31);
-  bed.data = GenClustered(n, dim, 24, 0.3f, rng);
-  bed.queries = GenQueriesNear(bed.data, nq, 0.1f, rng);
-  Matrix copy(bed.data.rows(), bed.data.dim());
-  for (size_t i = 0; i < bed.data.rows(); ++i) {
-    copy.CopyRowFrom(bed.data, i, i);
-  }
-  const FlatIndex flat(std::move(copy), Metric::kL2);
-  for (size_t q = 0; q < bed.queries.rows(); ++q) {
-    bed.truth.push_back(flat.Search(bed.queries.Row(q), 10));
-  }
-  return bed;
-}
-
-Matrix Copy(const Matrix& m) {
-  Matrix out(m.rows(), m.dim());
-  for (size_t i = 0; i < m.rows(); ++i) {
-    out.CopyRowFrom(m, i, i);
-  }
-  return out;
+  rago::testing::AnnTestBedOptions options;
+  options.rows = n;
+  options.dim = dim;
+  options.num_queries = nq;
+  options.seed = 31;
+  options.clusters = 24;
+  return rago::testing::MakeAnnTestBed(options);
 }
 
 TEST(Hnsw, HighRecallAtModerateEf) {
   const Bed bed = MakeBed();
   Rng rng(5);
-  const HnswIndex index(Copy(bed.data), Metric::kL2, HnswOptions{}, rng);
+  const HnswIndex index(CopyMatrix(bed.data), Metric::kL2, HnswOptions{}, rng);
   std::vector<std::vector<Neighbor>> results;
   for (size_t q = 0; q < bed.queries.rows(); ++q) {
     results.push_back(index.Search(bed.queries.Row(q), 10, 64));
@@ -62,7 +45,7 @@ TEST(Hnsw, HighRecallAtModerateEf) {
 TEST(Hnsw, RecallImprovesWithEf) {
   const Bed bed = MakeBed();
   Rng rng(6);
-  const HnswIndex index(Copy(bed.data), Metric::kL2, HnswOptions{}, rng);
+  const HnswIndex index(CopyMatrix(bed.data), Metric::kL2, HnswOptions{}, rng);
   std::vector<double> recalls;
   for (int ef : {10, 32, 128}) {
     std::vector<std::vector<Neighbor>> results;
@@ -80,7 +63,7 @@ TEST(Hnsw, DistanceEvalsFarBelowBruteForce) {
   // The point of the graph: sublinear work per query.
   const Bed bed = MakeBed(4000, 16, 8);
   Rng rng(7);
-  const HnswIndex index(Copy(bed.data), Metric::kL2, HnswOptions{}, rng);
+  const HnswIndex index(CopyMatrix(bed.data), Metric::kL2, HnswOptions{}, rng);
   for (size_t q = 0; q < bed.queries.rows(); ++q) {
     index.Search(bed.queries.Row(q), 10, 48);
     EXPECT_LT(index.last_distance_evals(), 4000 / 2)
@@ -94,7 +77,7 @@ TEST(Hnsw, GraphBytesReflectDegreeBound) {
   Rng rng(8);
   HnswOptions options;
   options.max_degree = 8;
-  const HnswIndex index(Copy(bed.data), Metric::kL2, options, rng);
+  const HnswIndex index(CopyMatrix(bed.data), Metric::kL2, options, rng);
   EXPECT_GT(index.GraphBytes(), 0);
   // Base layer allows 2M links per node (plus sparse upper layers).
   EXPECT_LT(index.GraphBytes(),
@@ -105,8 +88,8 @@ TEST(Hnsw, DeterministicForSeed) {
   const Bed bed = MakeBed(800, 8, 4);
   Rng a(9);
   Rng b(9);
-  const HnswIndex ia(Copy(bed.data), Metric::kL2, HnswOptions{}, a);
-  const HnswIndex ib(Copy(bed.data), Metric::kL2, HnswOptions{}, b);
+  const HnswIndex ia(CopyMatrix(bed.data), Metric::kL2, HnswOptions{}, a);
+  const HnswIndex ib(CopyMatrix(bed.data), Metric::kL2, HnswOptions{}, b);
   for (size_t q = 0; q < bed.queries.rows(); ++q) {
     const auto ra = ia.Search(bed.queries.Row(q), 5, 32);
     const auto rb = ib.Search(bed.queries.Row(q), 5, 32);
@@ -120,7 +103,7 @@ TEST(Hnsw, DeterministicForSeed) {
 TEST(Hnsw, SelfQueryFindsSelf) {
   const Bed bed = MakeBed(500, 8, 1);
   Rng rng(10);
-  const HnswIndex index(Copy(bed.data), Metric::kL2, HnswOptions{}, rng);
+  const HnswIndex index(CopyMatrix(bed.data), Metric::kL2, HnswOptions{}, rng);
   for (size_t i = 0; i < 20; ++i) {
     const auto result = index.Search(bed.data.Row(i), 1, 32);
     ASSERT_FALSE(result.empty());
@@ -133,18 +116,18 @@ TEST(Hnsw, RejectsDegenerateOptions) {
   Matrix data = GenUniform(100, 4, rng);
   HnswOptions options;
   options.max_degree = 1;
-  EXPECT_THROW(HnswIndex(Copy(data), Metric::kL2, options, rng),
+  EXPECT_THROW(HnswIndex(CopyMatrix(data), Metric::kL2, options, rng),
                rago::ConfigError);
   options = HnswOptions{};
   options.ef_construction = 2;
-  EXPECT_THROW(HnswIndex(Copy(data), Metric::kL2, options, rng),
+  EXPECT_THROW(HnswIndex(CopyMatrix(data), Metric::kL2, options, rng),
                rago::ConfigError);
 }
 
 TEST(Hnsw, HandlesTinyDatabases) {
   Rng rng(12);
   Matrix data = GenUniform(3, 4, rng);
-  const HnswIndex index(Copy(data), Metric::kL2, HnswOptions{}, rng);
+  const HnswIndex index(CopyMatrix(data), Metric::kL2, HnswOptions{}, rng);
   const auto result = index.Search(data.Row(0), 3, 8);
   EXPECT_EQ(result.size(), 3u);
 }

@@ -16,40 +16,22 @@
 #include "retrieval/ann/ivfpq_index.h"
 #include "retrieval/ann/recall.h"
 #include "retrieval/ann/scann_tree.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::ann {
 namespace {
 
-struct TestBed {
-  Matrix data;
-  Matrix queries;
-  std::vector<std::vector<Neighbor>> truth;
-};
+// The substrate defaults (seed 17, 32 clusters, 0.3 spread, 0.1 query
+// noise) are exactly this file's historical bed parameters.
+using TestBed = rago::testing::AnnTestBed;
+using rago::testing::MakeAnnTestBed;
 
 TestBed MakeBed(size_t n = 4000, size_t dim = 16, size_t num_queries = 32,
                 uint64_t seed = 17) {
-  TestBed bed;
-  Rng rng(seed);
-  bed.data = GenClustered(n, dim, 32, 0.3f, rng);
-  bed.queries = GenQueriesNear(bed.data, num_queries, 0.1f, rng);
-  Matrix data_copy(bed.data.rows(), bed.data.dim());
-  for (size_t i = 0; i < bed.data.rows(); ++i) {
-    data_copy.CopyRowFrom(bed.data, i, i);
-  }
-  const FlatIndex flat(std::move(data_copy), Metric::kL2);
-  for (size_t q = 0; q < bed.queries.rows(); ++q) {
-    bed.truth.push_back(flat.Search(bed.queries.Row(q), 10));
-  }
-  return bed;
+  return MakeAnnTestBed(n, dim, num_queries, seed);
 }
 
-Matrix Copy(const Matrix& m) {
-  Matrix out(m.rows(), m.dim());
-  for (size_t i = 0; i < m.rows(); ++i) {
-    out.CopyRowFrom(m, i, i);
-  }
-  return out;
-}
+Matrix Copy(const Matrix& m) { return rago::testing::CopyMatrix(m); }
 
 TEST(FlatIndex, ReturnsExactSortedNeighbors) {
   Rng rng(1);

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "tests/testing/test_support.h"
 
 namespace rago {
 namespace {
@@ -95,8 +96,10 @@ TEST(Rng, NextBoundedRejectsZeroBound) {
   EXPECT_THROW(rng.NextBounded(0), InternalError);
 }
 
-TEST(Rng, GaussianMomentsApproximatelyStandard) {
-  Rng rng(5);
+using RngSeeded = rago::testing::SeededTest;
+
+TEST_F(RngSeeded, GaussianMomentsApproximatelyStandard) {
+  Rng& rng = this->rng();
   const int n = 50000;
   double sum = 0.0;
   double sq = 0.0;

@@ -1,0 +1,114 @@
+/**
+ * @file test_determinism.cc
+ * Determinism regression tests: identical seeds must yield bitwise
+ * identical results across independent runs. Guards future
+ * parallelization of the optimizer search and the simulators.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline_model.h"
+#include "rago/optimizer.h"
+#include "retrieval/ann/dataset.h"
+#include "retrieval/ann/ivf_index.h"
+#include "sim/iterative_sim.h"
+#include "tests/testing/test_support.h"
+
+namespace rago {
+namespace {
+
+using rago::testing::CopyMatrix;
+using rago::testing::SmallSearchGrid;
+
+TEST(Determinism, RngStreamsReproduceFromSeed) {
+  Rng a(rago::testing::kDefaultSeed);
+  Rng b(rago::testing::kDefaultSeed);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64()) << "diverged at draw " << i;
+  }
+  // Distinct seeds must produce distinct streams.
+  Rng c(1);
+  Rng d(2);
+  bool any_difference = false;
+  for (int i = 0; i < 16; ++i) {
+    any_difference |= (c.NextU64() != d.NextU64());
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Determinism, OptimizerSearchIsRunToRunIdentical) {
+  // Two independent optimizer searches over the same model must emit
+  // identical Pareto frontiers — exact equality, not tolerance.
+  const core::PipelineModel model(
+      rago::testing::TinyLongContextSchema(1'000'000), DefaultCluster());
+  const opt::OptimizerResult first =
+      opt::Optimizer(model, SmallSearchGrid()).Search();
+  const opt::OptimizerResult second =
+      opt::Optimizer(model, SmallSearchGrid()).Search();
+  ASSERT_FALSE(first.pareto.empty());
+  ASSERT_EQ(first.pareto.size(), second.pareto.size());
+  EXPECT_EQ(first.schedules_evaluated, second.schedules_evaluated);
+  EXPECT_EQ(first.schedules_feasible, second.schedules_feasible);
+  for (size_t i = 0; i < first.pareto.size(); ++i) {
+    const opt::ScheduledPoint& x = first.pareto[i];
+    const opt::ScheduledPoint& y = second.pareto[i];
+    EXPECT_EQ(x.perf.ttft, y.perf.ttft);
+    EXPECT_EQ(x.perf.qps_per_chip, y.perf.qps_per_chip);
+    EXPECT_EQ(x.schedule.decode_chips, y.schedule.decode_chips);
+    EXPECT_EQ(x.schedule.decode_batch, y.schedule.decode_batch);
+    EXPECT_EQ(x.schedule.group_chips, y.schedule.group_chips);
+    EXPECT_EQ(x.schedule.chain_batch, y.schedule.chain_batch);
+    EXPECT_EQ(x.schedule.chain_group, y.schedule.chain_group);
+  }
+}
+
+TEST(Determinism, IterativeSimReproducesFromSeed) {
+  sim::IterativeSimConfig config;
+  config.decode_batch = 16;
+  config.iterative_batch = 4;
+  config.decode_tokens = 64;
+  config.retrievals_per_sequence = 3;
+  config.round_latency = 2.0;
+  config.num_sequences = 64;
+  config.seed = rago::testing::kDefaultSeed;
+  const sim::IterativeSimResult first = sim::SimulateIterativeDecode(config);
+  const sim::IterativeSimResult second = sim::SimulateIterativeDecode(config);
+  EXPECT_EQ(first.avg_tpot, second.avg_tpot);
+  EXPECT_EQ(first.worst_tpot, second.worst_tpot);
+  EXPECT_EQ(first.total_time, second.total_time);
+  EXPECT_EQ(first.rounds_executed, second.rounds_executed);
+  EXPECT_EQ(first.flushed_rounds, second.flushed_rounds);
+}
+
+TEST(Determinism, AnnBuildAndSearchReproduceFromSeed) {
+  auto run = [] {
+    Rng rng(rago::testing::kDefaultSeed);
+    ann::Matrix data = ann::GenClustered(800, 8, 16, 0.3f, rng);
+    ann::Matrix queries = ann::GenQueriesNear(data, 8, 0.1f, rng);
+    ann::IvfOptions options;
+    options.nlist = 8;
+    Rng build_rng(rago::testing::kDefaultSeed + 1);
+    const ann::IvfIndex index(CopyMatrix(data), ann::Metric::kL2, options,
+                              build_rng);
+    std::vector<std::vector<ann::Neighbor>> results;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      results.push_back(index.Search(queries.Row(q), 5, /*nprobe=*/2));
+    }
+    return results;
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t q = 0; q < first.size(); ++q) {
+    ASSERT_EQ(first[q].size(), second[q].size());
+    for (size_t i = 0; i < first[q].size(); ++i) {
+      EXPECT_EQ(first[q][i].id, second[q][i].id);
+      EXPECT_EQ(first[q][i].dist, second[q][i].dist);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rago

@@ -17,6 +17,7 @@
 #include "retrieval/ann/scann_tree.h"
 #include "retrieval/perf/scann_model.h"
 #include "sim/iterative_sim.h"
+#include "tests/testing/test_support.h"
 
 namespace rago {
 namespace {
@@ -76,11 +77,8 @@ TEST(Integration, FunctionalTreeAndCostModelAgreeOnScanTradeoff) {
   ann::Matrix data = ann::GenClustered(4000, 16, 32, 0.3f, rng);
   ann::Matrix queries = ann::GenQueriesNear(data, 16, 0.1f, rng);
 
-  ann::Matrix copy(data.rows(), data.dim());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    copy.CopyRowFrom(data, i, i);
-  }
-  const ann::FlatIndex flat(std::move(copy), ann::Metric::kL2);
+  const ann::FlatIndex flat(rago::testing::CopyMatrix(data),
+                            ann::Metric::kL2);
   std::vector<std::vector<ann::Neighbor>> truth;
   for (size_t q = 0; q < queries.rows(); ++q) {
     truth.push_back(flat.Search(queries.Row(q), 10));

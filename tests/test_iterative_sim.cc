@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "sim/iterative_sim.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::sim {
 namespace {
@@ -134,8 +135,7 @@ TEST(IterativeSim, OversizedIterativeBatchFlushesInsteadOfDeadlock) {
 
 TEST(IterativeSim, ThroughputConsistentWithMakespan) {
   const IterativeSimResult result = SimulateIterativeDecode(BaseConfig());
-  EXPECT_NEAR(result.throughput, 256.0 / result.total_time,
-              result.throughput * 1e-9);
+  RAGO_EXPECT_REL_NEAR(result.throughput, 256.0 / result.total_time, 1e-9);
 }
 
 TEST(IterativeSim, WorstTpotAtLeastAverage) {

@@ -10,6 +10,7 @@
 #include "common/math_util.h"
 #include "models/ops.h"
 #include "models/transformer.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::models {
 namespace {
@@ -32,7 +33,7 @@ TEST(PrefixOps, FlopsMatchTwoMLApproximation) {
   const int64_t seq = 512;
   const auto ops = BuildPrefixOps(config, /*batch=*/1, seq);
   const double expected = 2.0 * static_cast<double>(config.NumParams()) * seq;
-  EXPECT_NEAR(MatmulFlops(ops) / expected, 1.0, 0.15);
+  RAGO_EXPECT_REL_NEAR(MatmulFlops(ops), expected, 0.15);
 }
 
 TEST(PrefixOps, FlopsScaleLinearlyWithBatch) {
@@ -119,7 +120,7 @@ TEST(DecodeOps, FlopsMatchTwoMApproximation) {
   const TransformerConfig config = Llama8B();
   const auto ops = BuildDecodeStepOps(config, 1, 256);
   const double expected = 2.0 * static_cast<double>(config.NumParams());
-  EXPECT_NEAR(MatmulFlops(ops) / expected, 1.0, 0.15);
+  RAGO_EXPECT_REL_NEAR(MatmulFlops(ops), expected, 0.15);
 }
 
 TEST(DecodeOps, RejectsEncoderModels) {

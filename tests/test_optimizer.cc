@@ -13,17 +13,13 @@
 #include "core/pipeline_model.h"
 #include "core/schema.h"
 #include "rago/optimizer.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::opt {
 namespace {
 
 /// Small grids keep unit-test searches fast.
-SearchOptions SmallGrid() {
-  SearchOptions options;
-  options.batch_sizes = {1, 8, 64};
-  options.decode_batch_sizes = {8, 64, 256};
-  return options;
-}
+SearchOptions SmallGrid() { return rago::testing::SmallSearchGrid(); }
 
 TEST(Optimizer, PlacementCountIsTwoToTheStages) {
   const core::PipelineModel case1(core::MakeHyperscaleSchema(8, 1),

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "core/pipeline_model.h"
 #include "core/schema.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::core {
 namespace {
@@ -139,7 +140,7 @@ TEST(PipelineModel, QpsIsMinOfStageThroughputs) {
   const StagePerf decode = model.EvalDecode(8, 64);
   const double expected = std::min(
       {prefix.throughput, retrieval.throughput, decode.throughput});
-  EXPECT_NEAR(perf.qps, expected, expected * 1e-9);
+  RAGO_EXPECT_REL_NEAR(perf.qps, expected, 1e-9);
 }
 
 TEST(PipelineModel, ChipEquivalentsReserveRetrievalHosts) {

@@ -10,13 +10,13 @@
 #include "core/schema.h"
 #include "hardware/cluster.h"
 #include "rago/provisioner.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::opt {
 namespace {
 
 SearchOptions SmallGrid() {
-  SearchOptions options;
-  options.batch_sizes = {1, 8, 64};
+  SearchOptions options = rago::testing::SmallSearchGrid();
   options.decode_batch_sizes = {16, 128};
   return options;
 }

@@ -11,6 +11,7 @@
 #include "hardware/cpu_server.h"
 #include "retrieval/perf/bruteforce_model.h"
 #include "retrieval/perf/scann_model.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::retrieval {
 namespace {
@@ -82,7 +83,7 @@ TEST(ScannModel, SingleQueryLatencyMatchesPerCoreRoofline) {
   const RetrievalCost cost = model.Search(1);
   const double expected =
       model.BytesPerQueryPerServer() / (18 * rago::kGiga);
-  EXPECT_NEAR(cost.latency, expected, expected * 0.01);
+  RAGO_EXPECT_REL_NEAR(cost.latency, expected, 0.01);
   EXPECT_NEAR(cost.latency, 0.0107, 0.002);
 }
 
@@ -92,7 +93,7 @@ TEST(ScannModel, ThroughputSaturatesAtMemoryBandwidth) {
   // bandwidth over the scanned bytes.
   const RetrievalCost cost = model.Search(4096);
   const double bound = 16 * 460e9 * 0.8 / model.BytesScannedPerQuery();
-  EXPECT_NEAR(cost.throughput, bound, bound * 0.05);
+  RAGO_EXPECT_REL_NEAR(cost.throughput, bound, 0.05);
 }
 
 TEST(ScannModel, ThroughputMonotoneUpToCoreCountAndAcrossFullWaves) {
@@ -107,7 +108,7 @@ TEST(ScannModel, ThroughputMonotoneUpToCoreCountAndAcrossFullWaves) {
   }
   const double peak = model.Search(96).throughput;
   for (int64_t batch : {192, 384, 768}) {
-    EXPECT_NEAR(model.Search(batch).throughput, peak, peak * 0.01);
+    RAGO_EXPECT_REL_NEAR(model.Search(batch).throughput, peak, 0.01);
   }
   // Just past a wave boundary, throughput dips.
   EXPECT_LT(model.Search(97).throughput, peak * 0.75);

@@ -11,6 +11,7 @@
 #include "core/schema.h"
 #include "hardware/cluster.h"
 #include "sim/serving_sim.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::sim {
 namespace {
@@ -49,8 +50,7 @@ TEST(ServingSim, Traces) {
 }
 
 TEST(ServingSim, AllRequestsComplete) {
-  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
-                                  DefaultCluster());
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
   const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
   const ServingSimResult result =
       SimulateServing(model, schedule, PoissonTrace(200, 100.0, 3));
@@ -63,21 +63,19 @@ TEST(ServingSim, AllRequestsComplete) {
 TEST(ServingSim, LowLoadTtftApproachesAnalyticalLatency) {
   // One request at a time: no queueing, so TTFT ~= sum of stage
   // latencies plus at most the batch-forming timeout per stage.
-  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
-                                  DefaultCluster());
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
   const core::Schedule schedule = SimpleSchedule(model, 8, 8, 1, 16);
   const core::EndToEndPerf analytic = model.Evaluate(schedule);
   ASSERT_TRUE(analytic.feasible);
   const ServingSimResult result =
       SimulateServing(model, schedule, UniformTrace(50, 2.0));
-  EXPECT_NEAR(result.avg_ttft, analytic.ttft, analytic.ttft * 0.25);
+  RAGO_EXPECT_REL_NEAR(result.avg_ttft, analytic.ttft, 0.25);
 }
 
 TEST(ServingSim, SaturationThroughputMatchesAnalyticalQps) {
   // Offered load far above capacity: the measured completion rate must
   // approach the analytical min-stage throughput.
-  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
-                                  DefaultCluster());
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
   const core::Schedule schedule = SimpleSchedule(model, 16, 16, 16, 256);
   const core::EndToEndPerf analytic = model.Evaluate(schedule);
   ASSERT_TRUE(analytic.feasible);
@@ -87,20 +85,18 @@ TEST(ServingSim, SaturationThroughputMatchesAnalyticalQps) {
 }
 
 TEST(ServingSim, ThroughputCappedByOfferedLoad) {
-  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
-                                  DefaultCluster());
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
   const core::Schedule schedule = SimpleSchedule(model, 16, 16, 4, 64);
   const core::EndToEndPerf analytic = model.Evaluate(schedule);
   const double offered = analytic.qps * 0.3;
   const ServingSimResult result =
       SimulateServing(model, schedule, UniformTrace(500, offered));
   EXPECT_LE(result.throughput, offered * 1.1);
-  EXPECT_NEAR(result.throughput, offered, offered * 0.1);
+  RAGO_EXPECT_REL_NEAR(result.throughput, offered, 0.1);
 }
 
 TEST(ServingSim, UtilizationBoundedAndBottleneckHighest) {
-  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
-                                  DefaultCluster());
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
   const core::Schedule schedule = SimpleSchedule(model, 16, 16, 16, 256);
   const core::EndToEndPerf analytic = model.Evaluate(schedule);
   const ServingSimResult result = SimulateServing(
@@ -156,8 +152,7 @@ TEST(ServingSim, RejectsIterativeSchemas) {
 }
 
 TEST(ServingSim, DeterministicForIdenticalInputs) {
-  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
-                                  DefaultCluster());
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
   const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
   const ArrivalTrace trace = PoissonTrace(100, 80.0, 13);
   const ServingSimResult a = SimulateServing(model, schedule, trace);

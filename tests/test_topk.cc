@@ -1,0 +1,154 @@
+/**
+ * @file test_topk.cc
+ * Tests for the bounded top-k accumulator: equivalence with
+ * std::partial_sort under the Neighbor ordering, threshold semantics,
+ * and empty/duplicate-score edge cases.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "retrieval/ann/topk.h"
+#include "tests/testing/test_support.h"
+
+namespace rago::ann {
+namespace {
+
+/// Reference implementation: sort all candidates, keep the first k.
+std::vector<Neighbor> PartialSortTopK(std::vector<Neighbor> candidates,
+                                      size_t k) {
+  const size_t keep = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                    candidates.end());
+  candidates.resize(keep);
+  return candidates;
+}
+
+TEST(TopK, RejectsZeroK) {
+  EXPECT_THROW(TopK(0), rago::ConfigError);
+}
+
+TEST(TopK, EmptyHeapTakesNothing) {
+  TopK topk(5);
+  EXPECT_EQ(topk.size(), 0u);
+  EXPECT_EQ(topk.Threshold(), std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(topk.SortedTake().empty());
+}
+
+TEST(TopK, FewerCandidatesThanK) {
+  TopK topk(10);
+  topk.Push(3.0f, 7);
+  topk.Push(1.0f, 9);
+  const auto out = topk.SortedTake();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 9);
+  EXPECT_EQ(out[1].id, 7);
+}
+
+using TopKSeeded = rago::testing::SeededTest;
+
+TEST_F(TopKSeeded, MatchesPartialSortOnRandomStreams) {
+  Rng& rng = this->rng();
+  for (const size_t k : {1u, 3u, 10u, 64u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<Neighbor> candidates;
+      const size_t n = 1 + rng.NextBounded(500);
+      for (size_t i = 0; i < n; ++i) {
+        candidates.push_back(
+            {static_cast<float>(rng.NextUniform(0.0, 100.0)),
+             static_cast<int64_t>(i)});
+      }
+      TopK topk(k);
+      for (const Neighbor& c : candidates) {
+        topk.Push(c.dist, c.id);
+      }
+      const auto heap_result = topk.SortedTake();
+      const auto reference = PartialSortTopK(candidates, k);
+      ASSERT_EQ(heap_result.size(), reference.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(heap_result[i].id, reference[i].id);
+        EXPECT_EQ(heap_result[i].dist, reference[i].dist);
+      }
+    }
+  }
+}
+
+TEST(TopK, MatchesPartialSortWithDuplicateScores) {
+  // Heavily quantized distances force tie-breaks at the admission
+  // boundary; the heap must agree with the Neighbor ordering (lower id
+  // wins) regardless of push order.
+  Rng rng(99);
+  std::vector<Neighbor> candidates;
+  for (int64_t i = 0; i < 200; ++i) {
+    candidates.push_back(
+        {static_cast<float>(rng.NextBounded(5)), i});
+  }
+  for (const size_t k : {1u, 7u, 50u}) {
+    TopK topk(k);
+    for (const Neighbor& c : candidates) {
+      topk.Push(c.dist, c.id);
+    }
+    const auto heap_result = topk.SortedTake();
+    const auto reference = PartialSortTopK(candidates, k);
+    ASSERT_EQ(heap_result.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(heap_result[i].id, reference[i].id) << "k=" << k;
+      EXPECT_EQ(heap_result[i].dist, reference[i].dist) << "k=" << k;
+    }
+  }
+}
+
+TEST(TopK, ResultIndependentOfPushOrder) {
+  std::vector<Neighbor> candidates = {
+      {2.0f, 0}, {2.0f, 1}, {2.0f, 2}, {1.0f, 3}, {3.0f, 4}, {2.0f, 5}};
+  std::vector<Neighbor> expected;
+  {
+    TopK topk(3);
+    for (const Neighbor& c : candidates) {
+      topk.Push(c.dist, c.id);
+    }
+    expected = topk.SortedTake();
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Neighbor& a, const Neighbor& b) { return b < a; });
+  TopK reversed(3);
+  for (const Neighbor& c : candidates) {
+    reversed.Push(c.dist, c.id);
+  }
+  const auto out = reversed.SortedTake();
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out[i].id, expected[i].id);
+    EXPECT_EQ(out[i].dist, expected[i].dist);
+  }
+}
+
+TEST(TopK, ThresholdTracksWorstKept) {
+  TopK topk(2);
+  EXPECT_EQ(topk.Threshold(), std::numeric_limits<float>::infinity());
+  topk.Push(4.0f, 1);
+  EXPECT_EQ(topk.Threshold(), std::numeric_limits<float>::infinity());
+  topk.Push(2.0f, 2);
+  EXPECT_EQ(topk.Threshold(), 4.0f);
+  topk.Push(1.0f, 3);  // Evicts 4.0.
+  EXPECT_EQ(topk.Threshold(), 2.0f);
+  topk.Push(9.0f, 4);  // Rejected.
+  EXPECT_EQ(topk.Threshold(), 2.0f);
+}
+
+TEST(TopK, SortedTakeEmptiesTheHeap) {
+  TopK topk(3);
+  topk.Push(1.0f, 1);
+  topk.Push(2.0f, 2);
+  EXPECT_EQ(topk.size(), 2u);
+  EXPECT_EQ(topk.SortedTake().size(), 2u);
+  EXPECT_EQ(topk.size(), 0u);
+  EXPECT_TRUE(topk.SortedTake().empty());
+}
+
+}  // namespace
+}  // namespace rago::ann

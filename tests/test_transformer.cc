@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "models/transformer.h"
+#include "tests/testing/test_support.h"
 
 namespace rago::models {
 namespace {
@@ -27,7 +28,7 @@ TEST_P(ParamCountTest, ParamsNearNominal) {
   const TransformerConfig config = c.factory();
   EXPECT_NO_THROW(config.Validate());
   const double params = static_cast<double>(config.NumParams());
-  EXPECT_NEAR(params / c.nominal, 1.0, c.tolerance)
+  RAGO_EXPECT_REL_NEAR(params, c.nominal, c.tolerance)
       << config.name << " has " << params << " params, nominal "
       << c.nominal;
 }

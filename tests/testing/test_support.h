@@ -1,0 +1,111 @@
+/**
+ * @file test_support.h
+ * Shared test substrate for the RAGO suite.
+ *
+ * Centralizes the setup that was previously copy-pasted across test
+ * files: synthetic ANN datasets with precomputed ground truth, canned
+ * small RAGSchema instances wrapping the paper's case-study factories,
+ * a reduced optimizer search grid, fixed-seed RNG fixtures, and
+ * relative-tolerance helpers for analytical-model comparisons.
+ */
+#ifndef RAGO_TESTS_TESTING_TEST_SUPPORT_H
+#define RAGO_TESTS_TESTING_TEST_SUPPORT_H
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "rago/optimizer.h"
+#include "retrieval/ann/matrix.h"
+#include "retrieval/ann/topk.h"
+
+namespace rago::testing {
+
+/// Canonical seed for fixtures that don't need a specific stream.
+inline constexpr uint64_t kDefaultSeed = 0x5eed;
+
+// ---------------------------------------------------------------------------
+// ANN dataset helpers
+// ---------------------------------------------------------------------------
+
+/// Deep copy of a Matrix (Matrix is move-only at index-build sites).
+ann::Matrix CopyMatrix(const ann::Matrix& m);
+
+/// Clustered dataset + near-duplicate queries + exact L2 ground truth.
+struct AnnTestBed {
+  ann::Matrix data;
+  ann::Matrix queries;
+  std::vector<std::vector<ann::Neighbor>> truth;  ///< Top `truth_k` by L2.
+};
+
+struct AnnTestBedOptions {
+  size_t rows = 4000;
+  size_t dim = 16;
+  size_t num_queries = 32;
+  uint64_t seed = 17;
+  int clusters = 32;
+  float spread = 0.3f;
+  float query_noise = 0.1f;
+  size_t truth_k = 10;
+};
+
+AnnTestBed MakeAnnTestBed(const AnnTestBedOptions& options);
+
+/// Convenience overload matching the historical per-file MakeBed helpers.
+AnnTestBed MakeAnnTestBed(size_t rows = 4000, size_t dim = 16,
+                          size_t num_queries = 32, uint64_t seed = 17);
+
+// ---------------------------------------------------------------------------
+// Canned schemas and search grids
+// ---------------------------------------------------------------------------
+
+/// Case I at the smallest LLM size used throughout the suite (8B, q=1).
+core::RAGSchema TinyHyperscaleSchema();
+
+/// Case II with a modest upload (8B encoder+LLM, 100k-token context).
+core::RAGSchema TinyLongContextSchema(int64_t context_tokens = 100'000);
+
+/// Case III (8B, 4 retrievals per sequence).
+core::RAGSchema TinyIterativeSchema(int retrievals_per_sequence = 4);
+
+/// Case IV (8B LLM + 8B rewriter + 120M reranker).
+core::RAGSchema TinyRewriterRerankerSchema();
+
+/// Small optimizer grid so unit-test searches stay fast.
+opt::SearchOptions SmallSearchGrid();
+
+/// TinyHyperscaleSchema() priced on the paper-default 64-XPU cluster —
+/// the most common PipelineModel construction across the suite.
+core::PipelineModel TinyHyperscaleModel();
+
+// ---------------------------------------------------------------------------
+// Fixtures and tolerance helpers
+// ---------------------------------------------------------------------------
+
+/// Test fixture exposing a deterministic, fixed-seed RNG per test.
+class SeededTest : public ::testing::Test {
+ protected:
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_{kDefaultSeed};
+};
+
+/**
+ * Relative-error assertion for analytical-model comparisons:
+ * |actual - expected| <= rel_tol * max(|expected|, tiny).
+ */
+::testing::AssertionResult RelNear(double actual, double expected,
+                                   double rel_tol);
+
+#define RAGO_EXPECT_REL_NEAR(actual, expected, rel_tol) \
+  EXPECT_TRUE(::rago::testing::RelNear((actual), (expected), (rel_tol)))
+
+}  // namespace rago::testing
+
+#endif  // RAGO_TESTS_TESTING_TEST_SUPPORT_H
