@@ -19,19 +19,7 @@
 #include "retrieval/ann/recall.h"
 #include "retrieval/ann/scann_tree.h"
 
-namespace {
-
-rago::ann::Matrix Copy(const rago::ann::Matrix& m) {
-  rago::ann::Matrix out(m.rows(), m.dim());
-  for (size_t i = 0; i < m.rows(); ++i) {
-    out.CopyRowFrom(m, i, i);
-  }
-  return out;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace rago;
   using namespace rago::bench;
   using namespace rago::ann;
@@ -42,16 +30,35 @@ int main() {
   const Matrix data = GenClustered(n, dim, 64, 0.3f, rng);
   const Matrix queries = GenQueriesNear(data, 32, 0.1f, rng);
 
-  const FlatIndex flat(Copy(data), Metric::kL2);
-  std::vector<std::vector<Neighbor>> truth;
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    truth.push_back(flat.Search(queries.Row(q), 10));
-  }
+  const FlatIndex flat(data.Clone(), Metric::kL2);
+  const std::vector<std::vector<Neighbor>> truth =
+      flat.SearchBatch(queries, 10);
 
   Banner("ANN algorithm comparison (20K x 64-d clustered vectors)");
   TextTable table;
   table.SetHeader({"index", "setting", "recall@10", "work/query",
                    "index bytes/vector"});
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("ann_comparison");
+  json.Key("rows").Int(static_cast<int64_t>(n));
+  json.Key("dim").Int(static_cast<int64_t>(dim));
+  json.Key("results").BeginArray();
+  // One record per table row; `work_per_query` is scanned bytes for
+  // the PQ-based indexes and distance evaluations for the graph.
+  auto record = [&json](const char* index, const std::string& setting,
+                        double recall, double work, const char* work_unit,
+                        double bytes_per_vector) {
+    json.BeginObject();
+    json.Key("index").String(index);
+    json.Key("setting").String(setting);
+    json.Key("recall_at_10").Number(recall);
+    json.Key("work_per_query").Number(work);
+    json.Key("work_unit").String(work_unit);
+    json.Key("index_bytes_per_vector").Number(bytes_per_vector);
+    json.EndObject();
+  };
 
   // IVF-PQ: 8-byte codes + coarse centroids.
   {
@@ -59,17 +66,18 @@ int main() {
     options.nlist = 128;
     options.pq_subspaces = 8;
     Rng build_rng(1);
-    const IvfPqIndex index(Copy(data), options, build_rng);
+    const IvfPqIndex index(data.Clone(), options, build_rng);
     for (int nprobe : {4, 16, 64}) {
-      std::vector<std::vector<Neighbor>> results;
-      for (size_t q = 0; q < queries.rows(); ++q) {
-        results.push_back(index.Search(queries.Row(q), 10, nprobe, 100));
-      }
+      const auto results = index.SearchBatch(queries, 10, nprobe, 100);
+      const double recall = MeanRecallAtK(results, truth, 10);
+      const double bytes_per_vector = 8.0 + 128.0 * dim * 4 / n;
       table.AddRow({"IVF-PQ", "nprobe=" + std::to_string(nprobe),
-                    TextTable::Num(MeanRecallAtK(results, truth, 10), 3),
+                    TextTable::Num(recall, 3),
                     TextTable::Num(index.ExpectedScannedBytes(nprobe), 4) +
                         " B scanned",
-                    TextTable::Num(8.0 + 128.0 * dim * 4 / n, 3)});
+                    TextTable::Num(bytes_per_vector, 3)});
+      record("IVF-PQ", "nprobe=" + std::to_string(nprobe), recall,
+             index.ExpectedScannedBytes(nprobe), "bytes", bytes_per_vector);
     }
   }
 
@@ -80,45 +88,46 @@ int main() {
     options.fanout = 16;
     options.pq_subspaces = 8;
     Rng build_rng(2);
-    const ScannTree tree(Copy(data), options, build_rng);
+    const ScannTree tree(data.Clone(), options, build_rng);
     for (int beam : {4, 16, 64}) {
-      std::vector<std::vector<Neighbor>> results;
-      for (size_t q = 0; q < queries.rows(); ++q) {
-        results.push_back(tree.Search(queries.Row(q), 10, beam, 100));
-      }
+      const auto results = tree.SearchBatch(queries, 10, beam, 100);
+      const double recall = MeanRecallAtK(results, truth, 10);
       table.AddRow({"ScaNN-tree", "beam=" + std::to_string(beam),
-                    TextTable::Num(MeanRecallAtK(results, truth, 10), 3),
+                    TextTable::Num(recall, 3),
                     TextTable::Num(tree.ExpectedLeafBytesScanned(beam), 4) +
                         " B scanned",
                     "8 (+tree)"});
+      record("ScaNN-tree", "beam=" + std::to_string(beam), recall,
+             tree.ExpectedLeafBytesScanned(beam), "bytes", 8.0);
     }
   }
 
   // HNSW graph: full-precision vectors + links.
   {
     Rng build_rng(3);
-    const HnswIndex index(Copy(data), Metric::kL2, HnswOptions{},
+    const HnswIndex index(data.Clone(), Metric::kL2, HnswOptions{},
                           build_rng);
     const double bytes_per_vector =
         dim * 4.0 +
         static_cast<double>(index.GraphBytes()) / static_cast<double>(n);
     for (int ef : {16, 64, 128}) {
-      std::vector<std::vector<Neighbor>> results;
-      int64_t evals = 0;
-      for (size_t q = 0; q < queries.rows(); ++q) {
-        results.push_back(index.Search(queries.Row(q), 10, ef));
-        evals += index.last_distance_evals();
-      }
+      const auto results = index.SearchBatch(queries, 10, ef);
+      const double recall = MeanRecallAtK(results, truth, 10);
+      const double evals_per_query =
+          static_cast<double>(index.last_distance_evals()) /
+          static_cast<double>(queries.rows());
       table.AddRow({"HNSW", "ef=" + std::to_string(ef),
-                    TextTable::Num(MeanRecallAtK(results, truth, 10), 3),
-                    TextTable::Num(static_cast<double>(evals) /
-                                       static_cast<double>(queries.rows()),
-                                   4) +
-                        " dists",
+                    TextTable::Num(recall, 3),
+                    TextTable::Num(evals_per_query, 4) + " dists",
                     TextTable::Num(bytes_per_vector, 4)});
+      record("HNSW", "ef=" + std::to_string(ef), recall, evals_per_query,
+             "distance_evals", bytes_per_vector);
     }
   }
   table.Print();
+  json.EndArray();
+  json.EndObject();
+  MaybeWriteJson(JsonOutputPath(argc, argv), json);
   std::printf(
       "(paper 2: PQ stores ~8 B/vector vs ~%zu B/vector for the graph -\n"
       " a ~%zux memory gap that decides hyperscale feasibility, while the\n"

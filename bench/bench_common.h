@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/check.h"
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "rago/optimizer.h"
@@ -23,6 +25,35 @@ namespace rago::bench {
 /// Prints a section banner.
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * Parses the shared `--json <path>` flag (machine-readable output for
+ * perf-trajectory tracking, e.g. BENCH_*.json). Returns an empty
+ * string when the flag is absent.
+ */
+inline std::string JsonOutputPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      RAGO_REQUIRE(i + 1 < argc, "--json requires an output path");
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+/// Writes a finished JSON document to `path` (no-op on empty path).
+inline void MaybeWriteJson(const std::string& path,
+                           const JsonWriter& json) {
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  RAGO_REQUIRE(file != nullptr, "cannot open JSON output file: " + path);
+  std::fputs(json.str().c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// Moderate search grids that keep every harness under a minute.

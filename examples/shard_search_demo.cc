@@ -1,0 +1,127 @@
+/**
+ * @file shard_search_demo.cc
+ * Scenario: the sharded retrieval service end to end. Partitions a
+ * synthetic corpus across logical servers, fans a query batch out on a
+ * thread pool, merges per-shard top-k into globally exact results
+ * (verified against the single-index oracle), prints per-shard timing
+ * instrumentation, calibrates a measured-cost RetrievalModel from the
+ * run, and shows the capacity guard rejecting an under-provisioned
+ * shard count for the paper-scale database.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "hardware/cpu_server.h"
+#include "retrieval/ann/dataset.h"
+#include "retrieval/ann/flat_index.h"
+#include "retrieval/perf/scann_model.h"
+#include "retrieval/serving/calibration.h"
+#include "retrieval/serving/sharded_index.h"
+
+int main() {
+  using namespace rago;
+  using namespace rago::serving;
+
+  const size_t n = 20'000;
+  const size_t dim = 32;
+  Rng rng(404);
+  const ann::Matrix data = ann::GenClustered(n, dim, 32, 0.3f, rng);
+  const ann::Matrix queries = ann::GenQueriesNear(data, 16, 0.1f, rng);
+
+  // Single-index oracle for the exactness check.
+  const ann::FlatIndex single(data.Clone(), ann::Metric::kL2);
+  const auto truth = single.SearchBatch(queries, 10);
+
+  std::printf("sharded scatter-gather search: %zu vectors, %zu dims, "
+              "%zu queries, top-10\n\n", n, dim, queries.rows());
+
+  ThreadPool pool(4);
+  for (PartitionerKind kind :
+       {PartitionerKind::kRoundRobin, PartitionerKind::kHash,
+        PartitionerKind::kKMeansBalanced}) {
+    ShardedIndexOptions options;
+    options.num_shards = 4;
+    options.partitioner = kind;
+    options.backend = ShardBackend::kFlat;
+    const ShardedIndex sharded(data.Clone(), options);
+
+    ShardSearchStats stats;
+    const auto results = sharded.SearchBatch(queries, 10, &pool, &stats);
+
+    // Merged results must be bit-identical to the single index.
+    bool exact = results.size() == truth.size();
+    for (size_t q = 0; q < results.size(); ++q) {
+      exact = exact && results[q].size() == truth[q].size();
+      for (size_t i = 0; i < results[q].size(); ++i) {
+        exact = exact && results[q][i].id == truth[q][i].id &&
+                results[q][i].dist == truth[q][i].dist;
+      }
+    }
+
+    TextTable table(std::string("partitioner: ") + PartitionerName(kind) +
+                    (exact ? "  [exact match vs single index]"
+                           : "  [MISMATCH]"));
+    table.SetHeader({"shard", "rows", "scan MB", "wall ms"});
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      table.AddRow({std::to_string(s),
+                    std::to_string(stats.shards[s].rows),
+                    TextTable::Num(stats.shards[s].scan_bytes / kMiB, 4),
+                    TextTable::Num(stats.shards[s].wall_seconds * 1e3, 4)});
+    }
+    table.AddRow({"merge", "-", "-",
+                  TextTable::Num(stats.merge_seconds * 1e3, 4)});
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Calibrate a measured-cost retrieval model from a real scan.
+  {
+    ShardedIndexOptions options;
+    options.num_shards = 4;
+    options.partitioner = PartitionerKind::kKMeansBalanced;
+    const ShardedIndex sharded(data.Clone(), options);
+    const retrieval::MeasuredRetrievalModel measured =
+        CalibrateRetrievalModel(sharded, queries, 10, DefaultCpuServer(),
+                                &pool);
+    std::printf("calibrated measured-cost model (4 shards):\n");
+    std::printf("  bytes/query/shard  %.3e\n",
+                measured.profile().bytes_per_query_per_server);
+    std::printf("  scan rate/core     %.3e B/s\n",
+                measured.profile().scan_bytes_per_core);
+    std::printf("  merge overhead     %.3e s/query\n",
+                measured.profile().merge_seconds_per_query);
+    std::printf("  Search(batch=16)   latency %.3e s, %.0f queries/s\n\n",
+                measured.Search(16).latency, measured.Search(16).throughput);
+  }
+
+  // Capacity guard: the paper-scale database cannot live on 4 hosts.
+  {
+    retrieval::DatabaseSpec paper_db;  // 64B vectors, 96 B PQ codes.
+    const int required = retrieval::ScannModel::MinServersForCapacity(
+        paper_db, DefaultCpuServer());
+    std::printf("capacity guard: paper database needs %d servers "
+                "(%.2f TiB / %.0f GiB DRAM)\n", required,
+                paper_db.QuantizedBytes() / kTiB,
+                DefaultCpuServer().dram_bytes / kGiB);
+    ShardedIndexOptions options;
+    options.num_shards = 4;
+    options.modeled_db = paper_db;
+    try {
+      const ShardedIndex sharded(data.Clone(), options);
+      std::printf("ERROR: under-provisioned build unexpectedly passed\n");
+      return 1;
+    } catch (const ConfigError& error) {
+      std::printf("4 shards rejected as expected:\n  %s\n", error.what());
+    }
+  }
+
+  std::printf("\nlesson: scatter-gather over per-shard top-k heaps is "
+              "exact for any\npartitioner, and its measured per-shard "
+              "timings price the same bytes\nthe analytical ScannModel "
+              "charges.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file json_writer.h
+ * Minimal streaming JSON emitter for machine-readable bench output.
+ *
+ * The bench harnesses print human-readable TextTables; perf-trajectory
+ * tracking across PRs additionally needs a stable machine format
+ * (`--json out.json` -> BENCH_*.json). This writer covers exactly
+ * that: nested objects/arrays, strings, finite numbers, booleans. No
+ * parsing, no dependencies.
+ */
+#ifndef RAGO_COMMON_JSON_WRITER_H
+#define RAGO_COMMON_JSON_WRITER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rago {
+
+/// Append-only JSON builder with automatic comma placement.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// Emits an object key; the next value call supplies its value.
+  JsonWriter& Key(const std::string& name) {
+    Separate();
+    AppendString(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    Separate();
+    AppendString(value);
+    return *this;
+  }
+
+  JsonWriter& Number(double value) {
+    Separate();
+    if (!std::isfinite(value)) {
+      out_ += "null";  // JSON has no inf/nan.
+      return *this;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    out_ += buffer;
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  /// Finished document; all containers must be closed.
+  const std::string& str() const {
+    RAGO_CHECK(depth_.empty(), "unclosed JSON container");
+    return out_;
+  }
+
+ private:
+  JsonWriter& Open(char bracket) {
+    Separate();
+    out_ += bracket;
+    depth_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& Close(char bracket) {
+    RAGO_CHECK(!depth_.empty(), "unbalanced JSON close");
+    depth_.pop_back();
+    out_ += bracket;
+    return *this;
+  }
+
+  /// Inserts a comma before siblings; keys suppress it for their value.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (depth_.back()) {
+        out_ += ',';
+      }
+      depth_.back() = true;
+    }
+  }
+
+  void AppendString(const std::string& value) {
+    out_ += '"';
+    for (char c : value) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> depth_;  ///< Per container: has emitted a sibling.
+  bool pending_value_ = false;
+};
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_JSON_WRITER_H

@@ -85,6 +85,17 @@ class Rng {
     return u * factor;
   }
 
+  /**
+   * Derives an independent child seed for substream `stream` (e.g. one
+   * per shard or worker). Pure function of (seed, stream), so parallel
+   * components stay reproducible regardless of construction order or
+   * thread count.
+   */
+  static uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+    uint64_t x = seed ^ (0x9e3779b97f4a7c15ull * (stream + 1));
+    return SplitMix64(x);
+  }
+
  private:
   static uint64_t SplitMix64(uint64_t& x) {
     x += 0x9e3779b97f4a7c15ull;

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rago {
+
+ThreadPool::ThreadPool(int num_threads) {
+  RAGO_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void
+ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    RAGO_CHECK(!shutdown_, "submit on a shut-down thread pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void
+ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void
+ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutdown with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void
+ParallelFor(ThreadPool* pool, size_t n,
+            const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (pool == nullptr || pool->num_threads() == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // One shared counter; each worker drains indexes until exhausted.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t tasks =
+      std::min(n, static_cast<size_t>(pool->num_threads()));
+  for (size_t t = 0; t < tasks; ++t) {
+    pool->Submit([next, n, &fn] {
+      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace rago

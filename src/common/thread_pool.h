@@ -1,0 +1,76 @@
+/**
+ * @file thread_pool.h
+ * Small fixed-size worker pool for CPU-side fan-out.
+ *
+ * The sharded retrieval tier fans every query batch out to per-shard
+ * indexes (one logical server per shard); the optimizer's profiling
+ * sweep is embarrassingly parallel too. Both need only a minimal
+ * submit/wait pool, not a full task graph. Determinism contract:
+ * callers write results into pre-sized slots keyed by task index, so
+ * output is identical for any thread count (including 1); the pool
+ * itself never reorders observable results.
+ */
+#ifndef RAGO_COMMON_THREAD_POOL_H
+#define RAGO_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rago {
+
+/// Fixed-size worker pool: Submit() closures, Wait() for quiescence.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (must be >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /**
+   * Blocks until every submitted task has finished running. If any
+   * task threw, rethrows the first captured exception on the calling
+   * thread (matching what an inline run would have thrown).
+   */
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< Queued + currently-executing tasks.
+  std::exception_ptr first_error_;  ///< First task exception, if any.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/**
+ * Runs fn(0) .. fn(n-1), work-stealing indexes from a shared counter
+ * across the pool's workers. With `pool == nullptr` the loop runs
+ * inline on the calling thread; either way every index is visited
+ * exactly once, so index-keyed outputs are thread-count-invariant.
+ */
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_THREAD_POOL_H

@@ -19,4 +19,14 @@ FlatIndex::Search(const float* query, size_t k) const {
   return topk.SortedTake();
 }
 
+std::vector<std::vector<Neighbor>>
+FlatIndex::SearchBatch(const Matrix& queries, size_t k) const {
+  RAGO_REQUIRE(queries.dim() == data_.dim(), "query dimensionality mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Search(queries.Row(q), k);
+  }
+  return out;
+}
+
 }  // namespace rago::ann

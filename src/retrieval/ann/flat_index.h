@@ -25,6 +25,10 @@ class FlatIndex {
   /// Exact top-k neighbors of `query`, sorted by ascending distance.
   std::vector<Neighbor> Search(const float* query, size_t k) const;
 
+  /// Exact top-k for every row of `queries` (one result per query).
+  std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
+                                                 size_t k) const;
+
   size_t size() const { return data_.rows(); }
   size_t dim() const { return data_.dim(); }
   const Matrix& data() const { return data_; }

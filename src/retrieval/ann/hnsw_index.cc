@@ -214,4 +214,18 @@ HnswIndex::GraphBytes() const {
   return total;
 }
 
+std::vector<std::vector<Neighbor>>
+HnswIndex::SearchBatch(const Matrix& queries, size_t k,
+                       int ef_search) const {
+  RAGO_REQUIRE(queries.dim() == data_.dim(), "query dimensionality mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  int64_t batch_evals = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Search(queries.Row(q), k, ef_search);
+    batch_evals += last_distance_evals_;
+  }
+  last_distance_evals_ = batch_evals;
+  return out;
+}
+
 }  // namespace rago::ann

@@ -50,6 +50,14 @@ class HnswIndex {
   std::vector<Neighbor> Search(const float* query, size_t k,
                                int ef_search) const;
 
+  /**
+   * Batched Search over every row of `queries`. Afterwards
+   * last_distance_evals() reports the total across the whole batch.
+   */
+  std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
+                                                 size_t k,
+                                                 int ef_search) const;
+
   /// Distance computations performed by the last Search call.
   int64_t last_distance_evals() const { return last_distance_evals_; }
 

@@ -56,6 +56,16 @@ IvfIndex::Search(const float* query, size_t k, int nprobe) const {
   return topk.SortedTake();
 }
 
+std::vector<std::vector<Neighbor>>
+IvfIndex::SearchBatch(const Matrix& queries, size_t k, int nprobe) const {
+  RAGO_REQUIRE(queries.dim() == data_.dim(), "query dimensionality mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Search(queries.Row(q), k, nprobe);
+  }
+  return out;
+}
+
 double
 IvfIndex::ExpectedScannedVectors(int nprobe) const {
   const double probed = std::min(nprobe, nlist_);

@@ -38,6 +38,10 @@ class IvfIndex {
   std::vector<Neighbor> Search(const float* query, size_t k,
                                int nprobe) const;
 
+  /// Batched Search over every row of `queries`.
+  std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
+                                                 size_t k, int nprobe) const;
+
   /// Number of database vectors a query with `nprobe` scans on average.
   double ExpectedScannedVectors(int nprobe) const;
 

@@ -113,6 +113,18 @@ IvfPqIndex::Search(const float* query, size_t k, int nprobe,
   return exact.SortedTake();
 }
 
+std::vector<std::vector<Neighbor>>
+IvfPqIndex::SearchBatch(const Matrix& queries, size_t k, int nprobe,
+                        int rerank) const {
+  RAGO_REQUIRE(queries.dim() == pq_->dim(),
+               "query dimensionality mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Search(queries.Row(q), k, nprobe, rerank);
+  }
+  return out;
+}
+
 double
 IvfPqIndex::ExpectedScannedBytes(int nprobe) const {
   const double probed = std::min(nprobe, nlist_);

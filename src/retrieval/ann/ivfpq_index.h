@@ -44,6 +44,11 @@ class IvfPqIndex {
   std::vector<Neighbor> Search(const float* query, size_t k, int nprobe,
                                int rerank = 0) const;
 
+  /// Batched Search over every row of `queries`.
+  std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
+                                                 size_t k, int nprobe,
+                                                 int rerank = 0) const;
+
   /// Bytes of PQ codes scanned by a query with `nprobe` (average).
   double ExpectedScannedBytes(int nprobe) const;
 

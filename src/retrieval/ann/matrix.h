@@ -43,6 +43,15 @@ class Matrix {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
+  /// Deep copy (indexes take their data by move; clone to keep one).
+  Matrix Clone() const {
+    Matrix out;
+    out.rows_ = rows_;
+    out.dim_ = dim_;
+    out.data_ = data_;
+    return out;
+  }
+
   /// Copies row `src_row` of `src` into row `dst_row` of this matrix.
   void CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row) {
     RAGO_CHECK(src.dim() == dim_, "dimensionality mismatch");

@@ -148,4 +148,16 @@ ScannTree::ExpectedLeafBytesScanned(int beam) const {
          static_cast<double>(pq_->CodeBytes());
 }
 
+std::vector<std::vector<Neighbor>>
+ScannTree::SearchBatch(const Matrix& queries, size_t k, int beam,
+                       int rerank) const {
+  RAGO_REQUIRE(queries.dim() == pq_->dim(),
+               "query dimensionality mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Search(queries.Row(q), k, beam, rerank);
+  }
+  return out;
+}
+
 }  // namespace rago::ann

@@ -46,6 +46,11 @@ class ScannTree {
   std::vector<Neighbor> Search(const float* query, size_t k, int beam,
                                int rerank = 0) const;
 
+  /// Batched Search over every row of `queries`.
+  std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
+                                                 size_t k, int beam,
+                                                 int rerank = 0) const;
+
   /// Average leaf code bytes scanned by a query with beam width `beam`.
   double ExpectedLeafBytesScanned(int beam) const;
 

@@ -1,0 +1,55 @@
+#include "retrieval/perf/measured_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace rago::retrieval {
+
+void
+MeasuredScanProfile::Validate() const {
+  RAGO_REQUIRE(bytes_per_query_per_server > 0,
+               "measured profile needs positive bytes per query");
+  RAGO_REQUIRE(scan_bytes_per_core > 0,
+               "measured profile needs a positive scan rate");
+  RAGO_REQUIRE(merge_seconds_per_query >= 0,
+               "merge overhead cannot be negative");
+}
+
+MeasuredRetrievalModel::MeasuredRetrievalModel(MeasuredScanProfile profile,
+                                               CpuServerSpec server,
+                                               int num_servers)
+    : profile_(profile), server_(std::move(server)),
+      num_servers_(num_servers) {
+  profile_.Validate();
+  RAGO_REQUIRE(num_servers_ > 0, "need at least one retrieval server");
+}
+
+double
+MeasuredRetrievalModel::BytesScannedPerQuery() const {
+  return profile_.bytes_per_query_per_server * num_servers_;
+}
+
+RetrievalCost
+MeasuredRetrievalModel::Search(int64_t batch_queries) const {
+  RAGO_REQUIRE(batch_queries > 0, "batch must be positive");
+
+  // Same wave/roofline shape as ScannModel::Search, with the measured
+  // per-core scan rate in place of the calibrated constant.
+  const int64_t concurrent = std::min<int64_t>(batch_queries, server_.cores);
+  const double per_core_rate =
+      std::min(profile_.scan_bytes_per_core,
+               server_.EffectiveMemBw() / static_cast<double>(concurrent));
+  const int64_t waves = CeilDiv(batch_queries, server_.cores);
+
+  RetrievalCost cost;
+  cost.latency = static_cast<double>(waves) *
+                     profile_.bytes_per_query_per_server / per_core_rate +
+                 static_cast<double>(batch_queries) *
+                     profile_.merge_seconds_per_query;
+  cost.throughput = static_cast<double>(batch_queries) / cost.latency;
+  return cost;
+}
+
+}  // namespace rago::retrieval

@@ -33,8 +33,14 @@ ScannModel::ScannModel(DatabaseSpec db, CpuServerSpec server, int num_servers)
 
 int
 ScannModel::MinServersForCapacity() const {
+  return MinServersForCapacity(db_, server_);
+}
+
+int
+ScannModel::MinServersForCapacity(const DatabaseSpec& db,
+                                  const CpuServerSpec& server) {
   return static_cast<int>(
-      std::ceil(db_.QuantizedBytes() / server_.dram_bytes));
+      std::ceil(db.QuantizedBytes() / server.dram_bytes));
 }
 
 std::vector<ScanOp>

@@ -75,6 +75,11 @@ class ScannModel : public RetrievalModel {
   /// Hosts required so the quantized database fits in DRAM.
   int MinServersForCapacity() const;
 
+  /// Same capacity floor without constructing a model (shard-count
+  /// validation in the functional sharded tier uses this).
+  static int MinServersForCapacity(const DatabaseSpec& db,
+                                   const CpuServerSpec& server);
+
   const DatabaseSpec& db() const { return db_; }
   int num_servers() const { return num_servers_; }
 

@@ -1,0 +1,43 @@
+#include "retrieval/serving/calibration.h"
+
+#include "common/check.h"
+
+namespace rago::serving {
+
+retrieval::MeasuredScanProfile
+ProfileFromStats(const ShardSearchStats& stats) {
+  RAGO_REQUIRE(!stats.shards.empty() && stats.num_queries > 0,
+               "calibration needs a non-empty measured batch");
+
+  // Each shard task occupies one worker thread, so shard bytes over
+  // shard wall time is a per-core scan rate. Aggregate across shards
+  // (total bytes over total busy seconds) to damp timer noise on the
+  // tiny per-shard intervals functional runs produce.
+  double total_bytes = 0.0;
+  double total_seconds = 0.0;
+  for (const ShardStats& shard : stats.shards) {
+    total_bytes += shard.scan_bytes;
+    total_seconds += shard.wall_seconds;
+  }
+  RAGO_REQUIRE(total_bytes > 0 && total_seconds > 0,
+               "calibration run measured no scan work");
+
+  retrieval::MeasuredScanProfile profile;
+  profile.bytes_per_query_per_server = stats.BytesPerQueryPerShard();
+  profile.scan_bytes_per_core = total_bytes / total_seconds;
+  profile.merge_seconds_per_query =
+      stats.merge_seconds / static_cast<double>(stats.num_queries);
+  return profile;
+}
+
+retrieval::MeasuredRetrievalModel
+CalibrateRetrievalModel(const ShardedIndex& index,
+                        const ann::Matrix& queries, size_t k,
+                        const CpuServerSpec& server, ThreadPool* pool) {
+  ShardSearchStats stats;
+  index.SearchBatch(queries, k, pool, &stats);
+  return retrieval::MeasuredRetrievalModel(ProfileFromStats(stats), server,
+                                           index.num_shards());
+}
+
+}  // namespace rago::serving

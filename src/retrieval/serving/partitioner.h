@@ -1,0 +1,57 @@
+/**
+ * @file partitioner.h
+ * Database partitioning policies for the sharded retrieval tier.
+ *
+ * The paper's hyperscale databases are sharded across many CPU hosts
+ * with every query visiting every shard (§3.3). How vectors are dealt
+ * onto shards does not change exact-search results (the gather merges
+ * per-shard top-k), but it changes per-shard load and, for the
+ * approximate backends, per-shard index quality:
+ *  - round-robin: perfectly balanced, structure-oblivious;
+ *  - hash: balanced in expectation, stable under id-space growth;
+ *  - kmeans-balanced: clusters co-located per shard under a hard
+ *    capacity bound, the regime where per-shard IVF/tree indexes keep
+ *    their cluster structure.
+ * All policies assign rows in ascending global-id order within each
+ * shard, which preserves the deterministic TopK tie-break end to end.
+ */
+#ifndef RAGO_RETRIEVAL_SERVING_PARTITIONER_H
+#define RAGO_RETRIEVAL_SERVING_PARTITIONER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "retrieval/ann/matrix.h"
+
+namespace rago::serving {
+
+/// Supported shard-assignment policies.
+enum class PartitionerKind {
+  kRoundRobin,
+  kHash,
+  kKMeansBalanced,
+};
+
+/// Human-readable policy name (for tables and JSON output).
+const char* PartitionerName(PartitionerKind kind);
+
+/// Shard assignment: per-shard global row ids, ascending within shard.
+struct Partition {
+  std::vector<std::vector<int64_t>> shard_rows;
+
+  int num_shards() const { return static_cast<int>(shard_rows.size()); }
+  size_t TotalRows() const;
+};
+
+/**
+ * Partitions the rows of `data` into `num_shards` shards under `kind`.
+ * Deterministic in (data, num_shards, kind, seed); every row lands in
+ * exactly one shard, and no shard exceeds ceil(rows / num_shards) for
+ * the round-robin and kmeans-balanced policies.
+ */
+Partition PartitionRows(const ann::Matrix& data, int num_shards,
+                        PartitionerKind kind, uint64_t seed);
+
+}  // namespace rago::serving
+
+#endif  // RAGO_RETRIEVAL_SERVING_PARTITIONER_H

@@ -1,0 +1,381 @@
+#include "retrieval/serving/sharded_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "retrieval/ann/flat_index.h"
+
+namespace rago::serving {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Uniform per-shard search engine. Implementations wrap one functional
+ * index, run its batched entry point, and report the (estimated or
+ * measured) bytes scanned — the quantity the analytical cost models
+ * price, and what calibration feeds back to them.
+ */
+class ShardEngine {
+ public:
+  virtual ~ShardEngine() = default;
+
+  /// Shard-local top-k per query; adds scanned bytes to `*scan_bytes`.
+  virtual std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, double* scan_bytes) const = 0;
+
+  /// Estimated bytes one query scans in this shard.
+  virtual double BytesPerQuery() const = 0;
+};
+
+class FlatEngine : public ShardEngine {
+ public:
+  FlatEngine(ann::Matrix data, ann::Metric metric)
+      : index_(std::move(data), metric) {}
+
+  std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, double* scan_bytes) const
+      override {
+    *scan_bytes +=
+        BytesPerQuery() * static_cast<double>(queries.rows());
+    return index_.SearchBatch(queries, k);
+  }
+
+  double BytesPerQuery() const override {
+    return static_cast<double>(index_.size()) *
+           static_cast<double>(index_.dim()) * sizeof(float);
+  }
+
+ private:
+  ann::FlatIndex index_;
+};
+
+class IvfEngine : public ShardEngine {
+ public:
+  IvfEngine(ann::Matrix data, ann::Metric metric, ann::IvfOptions options,
+            int nprobe, Rng& rng)
+      : nprobe_(nprobe), dim_(data.dim()) {
+    options.nlist = std::max(
+        1, std::min(options.nlist, static_cast<int>(data.rows())));
+    index_ = std::make_unique<ann::IvfIndex>(std::move(data), metric,
+                                             options, rng);
+  }
+
+  std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, double* scan_bytes) const
+      override {
+    *scan_bytes += BytesPerQuery() * static_cast<double>(queries.rows());
+    return index_->SearchBatch(queries, k, nprobe_);
+  }
+
+  double BytesPerQuery() const override {
+    // In-list exact distances plus the coarse centroid scan.
+    return (index_->ExpectedScannedVectors(nprobe_) + index_->nlist()) *
+           static_cast<double>(dim_) * sizeof(float);
+  }
+
+ private:
+  int nprobe_;
+  size_t dim_;
+  std::unique_ptr<ann::IvfIndex> index_;
+};
+
+class IvfPqEngine : public ShardEngine {
+ public:
+  IvfPqEngine(ann::Matrix data, ann::IvfPqOptions options, int nprobe,
+              int rerank, Rng& rng)
+      : nprobe_(nprobe), rerank_(rerank) {
+    options.nlist = std::max(
+        1, std::min(options.nlist, static_cast<int>(data.rows())));
+    index_ =
+        std::make_unique<ann::IvfPqIndex>(std::move(data), options, rng);
+  }
+
+  std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, double* scan_bytes) const
+      override {
+    *scan_bytes += BytesPerQuery() * static_cast<double>(queries.rows());
+    return index_->SearchBatch(queries, k, nprobe_, rerank_);
+  }
+
+  double BytesPerQuery() const override {
+    return index_->ExpectedScannedBytes(nprobe_);
+  }
+
+ private:
+  int nprobe_;
+  int rerank_;
+  std::unique_ptr<ann::IvfPqIndex> index_;
+};
+
+class HnswEngine : public ShardEngine {
+ public:
+  HnswEngine(ann::Matrix data, ann::Metric metric,
+             const ann::HnswOptions& options, int ef_search, Rng& rng)
+      : ef_search_(ef_search), dim_(data.dim()),
+        index_(std::move(data), metric, options, rng) {}
+
+  std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, double* scan_bytes) const
+      override {
+    // HnswIndex::Search writes a mutable eval counter, so concurrent
+    // SearchBatch calls on the same ShardedIndex must serialize per
+    // shard to keep the advertised const-thread-compatibility. Within
+    // one batch each shard is searched by exactly one worker, so this
+    // lock is uncontended on the hot path.
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto results = index_.SearchBatch(queries, k, ef_search_);
+    // Graph search has no closed-form scan estimate; charge the
+    // measured distance evaluations at full precision.
+    const double batch_bytes =
+        static_cast<double>(index_.last_distance_evals()) *
+        static_cast<double>(dim_) * sizeof(float);
+    *scan_bytes += batch_bytes;
+    if (!results.empty()) {
+      bytes_per_query_ = batch_bytes / static_cast<double>(results.size());
+    }
+    return results;
+  }
+
+  double BytesPerQuery() const override {
+    // Measured on the most recent batch; 0 before any search.
+    std::lock_guard<std::mutex> guard(mutex_);
+    return bytes_per_query_;
+  }
+
+ private:
+  int ef_search_;
+  size_t dim_;
+  ann::HnswIndex index_;
+  mutable std::mutex mutex_;
+  mutable double bytes_per_query_ = 0.0;
+};
+
+class ScannTreeEngine : public ShardEngine {
+ public:
+  ScannTreeEngine(ann::Matrix data, const ann::ScannTreeOptions& options,
+                  int beam, int rerank, Rng& rng)
+      : beam_(beam), rerank_(rerank),
+        index_(std::move(data), options, rng) {}
+
+  std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, double* scan_bytes) const
+      override {
+    *scan_bytes += BytesPerQuery() * static_cast<double>(queries.rows());
+    return index_.SearchBatch(queries, k, beam_, rerank_);
+  }
+
+  double BytesPerQuery() const override {
+    return index_.ExpectedLeafBytesScanned(beam_);
+  }
+
+ private:
+  int beam_;
+  int rerank_;
+  ann::ScannTree index_;
+};
+
+std::unique_ptr<ShardEngine> BuildEngine(ann::Matrix data,
+                                         const ShardedIndexOptions& options,
+                                         Rng& rng) {
+  switch (options.backend) {
+    case ShardBackend::kFlat:
+      return std::make_unique<FlatEngine>(std::move(data), options.metric);
+    case ShardBackend::kIvf:
+      return std::make_unique<IvfEngine>(std::move(data), options.metric,
+                                         options.ivf, options.nprobe, rng);
+    case ShardBackend::kIvfPq:
+      return std::make_unique<IvfPqEngine>(std::move(data), options.ivfpq,
+                                           options.nprobe, options.rerank,
+                                           rng);
+    case ShardBackend::kHnsw:
+      return std::make_unique<HnswEngine>(std::move(data), options.metric,
+                                          options.hnsw, options.ef_search,
+                                          rng);
+    case ShardBackend::kScannTree:
+      return std::make_unique<ScannTreeEngine>(std::move(data), options.tree,
+                                               options.beam, options.rerank,
+                                               rng);
+  }
+  RAGO_CHECK(false, "unknown shard backend");
+}
+
+}  // namespace
+
+const char*
+ShardBackendName(ShardBackend backend) {
+  switch (backend) {
+    case ShardBackend::kFlat: return "flat";
+    case ShardBackend::kIvf: return "ivf";
+    case ShardBackend::kIvfPq: return "ivfpq";
+    case ShardBackend::kHnsw: return "hnsw";
+    case ShardBackend::kScannTree: return "scann-tree";
+  }
+  RAGO_CHECK(false, "unknown shard backend");
+}
+
+double
+ShardSearchStats::TotalScanBytes() const {
+  double total = 0.0;
+  for (const ShardStats& shard : shards) {
+    total += shard.scan_bytes;
+  }
+  return total;
+}
+
+double
+ShardSearchStats::BytesPerQueryPerShard() const {
+  if (shards.empty() || num_queries == 0) {
+    return 0.0;
+  }
+  return TotalScanBytes() /
+         (static_cast<double>(num_queries) *
+          static_cast<double>(shards.size()));
+}
+
+double
+ShardSearchStats::MaxShardSeconds() const {
+  double worst = 0.0;
+  for (const ShardStats& shard : shards) {
+    worst = std::max(worst, shard.wall_seconds);
+  }
+  return worst;
+}
+
+/// One logical retrieval server: its global ids and search engine.
+struct ShardedIndex::Shard {
+  std::vector<int64_t> ids;  ///< Local row -> global id (ascending).
+  std::unique_ptr<ShardEngine> engine;  ///< Null for empty shards.
+};
+
+ShardedIndex::~ShardedIndex() = default;
+ShardedIndex::ShardedIndex(ShardedIndex&&) noexcept = default;
+
+ShardedIndex::ShardedIndex(ann::Matrix data,
+                           const ShardedIndexOptions& options)
+    : options_(options), total_rows_(data.rows()), dim_(data.dim()) {
+  RAGO_REQUIRE(options_.num_shards >= 1, "need at least one shard");
+  if (options_.modeled_db.has_value()) {
+    options_.modeled_db->Validate();
+    const int min_servers = retrieval::ScannModel::MinServersForCapacity(
+        *options_.modeled_db, options_.modeled_server);
+    RAGO_REQUIRE(
+        options_.num_shards >= min_servers,
+        "shard count under-provisions the modeled database: " +
+            std::to_string(options_.num_shards) + " shards < " +
+            std::to_string(min_servers) +
+            " servers required for DRAM capacity");
+  }
+  partition_ =
+      PartitionRows(data, options_.num_shards, options_.partitioner,
+                    options_.seed);
+
+  shards_.resize(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    shard.ids = partition_.shard_rows[static_cast<size_t>(s)];
+    if (shard.ids.empty()) {
+      continue;  // Hash partitions may leave tiny databases uneven.
+    }
+    ann::Matrix rows(shard.ids.size(), dim_);
+    for (size_t i = 0; i < shard.ids.size(); ++i) {
+      rows.CopyRowFrom(data, static_cast<size_t>(shard.ids[i]), i);
+    }
+    // Independent deterministic build stream per shard.
+    Rng shard_rng(Rng::DeriveSeed(options_.seed,
+                                  static_cast<uint64_t>(s)));
+    shard.engine = BuildEngine(std::move(rows), options_, shard_rng);
+  }
+}
+
+std::vector<ann::Neighbor>
+ShardedIndex::Search(const float* query, size_t k) const {
+  ann::Matrix one(1, dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    one.Row(0)[d] = query[d];
+  }
+  return SearchBatch(one, k).front();
+}
+
+std::vector<std::vector<ann::Neighbor>>
+ShardedIndex::SearchBatch(const ann::Matrix& queries, size_t k,
+                          ThreadPool* pool,
+                          ShardSearchStats* stats) const {
+  RAGO_REQUIRE(queries.dim() == dim_, "query dimensionality mismatch");
+  RAGO_REQUIRE(k >= 1, "top-k requires k >= 1");
+  const size_t num_queries = queries.rows();
+  const size_t num_shards = shards_.size();
+
+  // --- Scatter: per-shard batched search into shard-indexed slots. ---
+  std::vector<std::vector<std::vector<ann::Neighbor>>> per_shard(
+      num_shards);
+  std::vector<ShardStats> shard_stats(num_shards);
+  ParallelFor(pool, num_shards, [&](size_t s) {
+    const Shard& shard = shards_[s];
+    ShardStats& local = shard_stats[s];
+    local.rows = static_cast<int64_t>(shard.ids.size());
+    if (shard.engine == nullptr) {
+      return;
+    }
+    const Clock::time_point start = Clock::now();
+    auto results = shard.engine->SearchBatch(queries, k, &local.scan_bytes);
+    // Map shard-local row ids to global ids. Rows are assigned in
+    // ascending global order, so the mapping is monotone and the
+    // merged tie-break matches the single-index one exactly.
+    for (auto& result : results) {
+      for (ann::Neighbor& neighbor : result) {
+        neighbor.id = shard.ids[static_cast<size_t>(neighbor.id)];
+      }
+    }
+    per_shard[s] = std::move(results);
+    local.wall_seconds = SecondsSince(start);
+  });
+
+  // --- Gather: merge per-shard heaps with the deterministic order. ---
+  const Clock::time_point merge_start = Clock::now();
+  std::vector<std::vector<ann::Neighbor>> merged(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    ann::TopK topk(k);
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (per_shard[s].empty()) {
+        continue;  // Empty shard produced no result lists.
+      }
+      for (const ann::Neighbor& neighbor : per_shard[s][q]) {
+        topk.Push(neighbor.dist, neighbor.id);
+      }
+    }
+    merged[q] = topk.SortedTake();
+  }
+  const double merge_seconds = SecondsSince(merge_start);
+
+  if (stats != nullptr) {
+    stats->shards = std::move(shard_stats);
+    stats->merge_seconds = merge_seconds;
+    stats->num_queries = static_cast<int64_t>(num_queries);
+  }
+  return merged;
+}
+
+double
+ShardedIndex::BytesPerQueryPerShardEstimate() const {
+  double total = 0.0;
+  int populated = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.engine != nullptr) {
+      total += shard.engine->BytesPerQuery();
+      ++populated;
+    }
+  }
+  return populated > 0 ? total / populated : 0.0;
+}
+
+}  // namespace rago::serving

@@ -1,0 +1,152 @@
+/**
+ * @file sharded_index.h
+ * Scatter-gather ANN search over a sharded in-memory database.
+ *
+ * Functional counterpart of the paper's multi-server retrieval tier
+ * (§3.3): the database is partitioned across N logical servers, every
+ * query fans out to all shards (each shard searched by any of the
+ * existing functional backends), and per-shard top-k heaps are merged
+ * into globally ranked results with the deterministic TopK tie-break.
+ * With the flat backend the merged results are bit-identical to a
+ * single-index search — the property the exactness tests pin — and
+ * per-shard timing instrumentation feeds the measured-cost calibration
+ * adapter (serving/calibration.h) so the serving DES can replay real
+ * multi-server scans against the analytical ScannModel.
+ *
+ * Determinism contract: given a fixed options.seed, build and search
+ * results are identical for every thread count (shard results land in
+ * shard-indexed slots; the merge visits shards in order; per-shard
+ * build RNG streams derive from Rng::DeriveSeed).
+ */
+#ifndef RAGO_RETRIEVAL_SERVING_SHARDED_INDEX_H
+#define RAGO_RETRIEVAL_SERVING_SHARDED_INDEX_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "hardware/cpu_server.h"
+#include "retrieval/ann/distance.h"
+#include "retrieval/ann/hnsw_index.h"
+#include "retrieval/ann/ivf_index.h"
+#include "retrieval/ann/ivfpq_index.h"
+#include "retrieval/ann/matrix.h"
+#include "retrieval/ann/scann_tree.h"
+#include "retrieval/ann/topk.h"
+#include "retrieval/perf/scann_model.h"
+#include "retrieval/serving/partitioner.h"
+
+namespace rago::serving {
+
+/// Per-shard search engine choice.
+enum class ShardBackend {
+  kFlat,
+  kIvf,
+  kIvfPq,
+  kHnsw,
+  kScannTree,
+};
+
+const char* ShardBackendName(ShardBackend backend);
+
+/// Build + search configuration of a sharded index.
+struct ShardedIndexOptions {
+  int num_shards = 4;
+  PartitionerKind partitioner = PartitionerKind::kRoundRobin;
+  ShardBackend backend = ShardBackend::kFlat;
+  ann::Metric metric = ann::Metric::kL2;
+  /// Base seed; per-shard build streams derive deterministically.
+  uint64_t seed = 0x5ca77e2;
+
+  // Backend knobs (only the matching backend's fields are read).
+  ann::IvfOptions ivf;
+  int nprobe = 8;               ///< IVF / IVF-PQ probe width.
+  ann::IvfPqOptions ivfpq;
+  int rerank = 0;               ///< IVF-PQ / tree exact re-rank depth.
+  ann::HnswOptions hnsw;
+  int ef_search = 64;           ///< HNSW beam width.
+  ann::ScannTreeOptions tree;
+  int beam = 8;                 ///< Tree beam width per level.
+
+  /**
+   * Optional capacity check: when set, the shard count must cover the
+   * modeled database's DRAM footprint
+   * (ScannModel::MinServersForCapacity on `modeled_server`), so
+   * under-provisioned configurations fail loudly at build time instead
+   * of silently mispricing the tier they stand in for.
+   */
+  std::optional<retrieval::DatabaseSpec> modeled_db;
+  CpuServerSpec modeled_server = DefaultCpuServer();
+};
+
+/// Instrumentation of one shard during a batch search.
+struct ShardStats {
+  int64_t rows = 0;           ///< Database vectors held by the shard.
+  double scan_bytes = 0.0;    ///< Bytes scanned over the whole batch.
+  double wall_seconds = 0.0;  ///< Shard-local search wall time.
+};
+
+/// Instrumentation of one SearchBatch call.
+struct ShardSearchStats {
+  std::vector<ShardStats> shards;
+  double merge_seconds = 0.0;  ///< Gather + global top-k merge time.
+  int64_t num_queries = 0;
+
+  double TotalScanBytes() const;
+  /// Mean bytes one query scans within one shard.
+  double BytesPerQueryPerShard() const;
+  /// Slowest shard's wall time (the scatter-gather critical path).
+  double MaxShardSeconds() const;
+};
+
+/**
+ * N logical retrieval servers behind one search interface. Immutable
+ * after construction; SearchBatch is const and thread-compatible.
+ */
+class ShardedIndex {
+ public:
+  /// Partitions `data` and builds one backend index per shard.
+  ShardedIndex(ann::Matrix data, const ShardedIndexOptions& options);
+
+  ~ShardedIndex();
+  ShardedIndex(ShardedIndex&&) noexcept;
+  ShardedIndex& operator=(ShardedIndex&&) noexcept = delete;
+
+  /// Scatter-gather top-k for one query (global ids, ascending dist).
+  std::vector<ann::Neighbor> Search(const float* query, size_t k) const;
+
+  /**
+   * Batched multi-query scatter-gather. Shard scans run on `pool`
+   * (inline when null); results are identical for any thread count.
+   * When `stats` is non-null it receives per-shard instrumentation.
+   */
+  std::vector<std::vector<ann::Neighbor>> SearchBatch(
+      const ann::Matrix& queries, size_t k, ThreadPool* pool = nullptr,
+      ShardSearchStats* stats = nullptr) const;
+
+  int num_shards() const { return options_.num_shards; }
+  size_t size() const { return total_rows_; }
+  size_t dim() const { return dim_; }
+  const ShardedIndexOptions& options() const { return options_; }
+  const Partition& partition() const { return partition_; }
+
+  /// Estimated bytes one query scans per shard (backend model; the
+  /// HNSW backend reports the measured average of its most recent
+  /// batch, 0 before any search).
+  double BytesPerQueryPerShardEstimate() const;
+
+ private:
+  struct Shard;
+
+  ShardedIndexOptions options_;
+  size_t total_rows_ = 0;
+  size_t dim_ = 0;
+  Partition partition_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rago::serving
+
+#endif  // RAGO_RETRIEVAL_SERVING_SHARDED_INDEX_H

@@ -108,11 +108,23 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
     if (type == StageType::kRetrieval) {
       stage.server = retrieval_server;
       stage.batch = schedule.retrieval_batch;
-      const core::StagePerf perf = model.EvalRetrieval(
-          static_cast<int>(stage.batch), schedule.retrieval_servers);
-      RAGO_REQUIRE(perf.feasible, "retrieval infeasible under schedule");
-      stage.latency = perf.latency;
-      stage.interval = static_cast<double>(stage.batch) / perf.throughput;
+      if (options.retrieval_model != nullptr) {
+        // Swapped-in tier (e.g. measured sharded-scan costs): a batch
+        // of requests issues queries_per_retrieval vectors each.
+        const int64_t queries =
+            stage.batch * model.schema().retrieval.queries_per_retrieval;
+        const retrieval::RetrievalCost cost =
+            options.retrieval_model->Search(queries);
+        stage.latency = cost.latency;
+        stage.interval =
+            static_cast<double>(queries) / cost.throughput;
+      } else {
+        const core::StagePerf perf = model.EvalRetrieval(
+            static_cast<int>(stage.batch), schedule.retrieval_servers);
+        RAGO_REQUIRE(perf.feasible, "retrieval infeasible under schedule");
+        stage.latency = perf.latency;
+        stage.interval = static_cast<double>(stage.batch) / perf.throughput;
+      }
     } else {
       RAGO_CHECK(chain_index < chain.size(), "chain/stage walk mismatch");
       const int group = schedule.chain_group[chain_index];

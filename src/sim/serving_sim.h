@@ -23,6 +23,7 @@
 
 #include "core/pipeline_model.h"
 #include "core/schedule.h"
+#include "retrieval/perf/retrieval_model.h"
 
 namespace rago::sim {
 
@@ -45,6 +46,13 @@ struct ServingSimOptions {
   /// Maximum time a stage waits to fill its batch before flushing a
   /// partial one (prevents starvation under light load).
   double batch_timeout = 0.050;
+  /**
+   * Pluggable retrieval tier: when set, retrieval service times come
+   * from this model (e.g. a MeasuredRetrievalModel calibrated from a
+   * functional sharded scan) instead of the pipeline model's
+   * analytical EvalRetrieval. Not owned; must outlive the call.
+   */
+  const retrieval::RetrievalModel* retrieval_model = nullptr;
 };
 
 /// Aggregate results of one simulation run.

@@ -15,8 +15,12 @@
 #include "retrieval/ann/flat_index.h"
 #include "retrieval/ann/recall.h"
 #include "retrieval/ann/scann_tree.h"
+#include "retrieval/perf/measured_model.h"
 #include "retrieval/perf/scann_model.h"
+#include "retrieval/serving/calibration.h"
+#include "retrieval/serving/sharded_index.h"
 #include "sim/iterative_sim.h"
+#include "sim/serving_sim.h"
 #include "tests/testing/test_support.h"
 
 namespace rago {
@@ -104,6 +108,90 @@ TEST(Integration, FunctionalTreeAndCostModelAgreeOnScanTradeoff) {
     prev_bytes = bytes;
   }
   EXPECT_GT(prev_recall, 0.9);
+}
+
+TEST(Integration, MeasuredRetrievalTierMatchesScannModelInServingDes) {
+  // The serving DES with the measured-cost retrieval tier swapped in
+  // (ServingSimOptions::retrieval_model) must agree with the default
+  // analytical tier within a bounded relative error when the measured
+  // profile carries the analytical model's own constants — the
+  // cross-validation path real calibrations plug into.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  core::Schedule schedule;
+  schedule.chain_group.assign(model.chain().size(), 0);
+  schedule.group_chips = {8};
+  schedule.chain_batch.assign(model.chain().size(), 4);
+  schedule.decode_chips = 8;
+  schedule.decode_batch = 64;
+  schedule.retrieval_servers = model.MinRetrievalServers();
+  schedule.retrieval_batch = 4;
+
+  const retrieval::ScannModel analytic_tier(
+      retrieval::DatabaseSpec{}, DefaultCluster().cpu_server,
+      schedule.retrieval_servers);
+  retrieval::MeasuredScanProfile profile;
+  profile.bytes_per_query_per_server =
+      analytic_tier.BytesPerQueryPerServer();
+  profile.scan_bytes_per_core =
+      DefaultCluster().cpu_server.scan_bytes_per_core;
+  const retrieval::MeasuredRetrievalModel measured_tier(
+      profile, DefaultCluster().cpu_server, schedule.retrieval_servers);
+
+  const sim::ArrivalTrace trace = sim::PoissonTrace(200, 60.0, 9);
+  const sim::ServingSimResult analytic =
+      sim::SimulateServing(model, schedule, trace);
+  sim::ServingSimOptions options;
+  options.retrieval_model = &measured_tier;
+  const sim::ServingSimResult measured =
+      sim::SimulateServing(model, schedule, trace, options);
+
+  EXPECT_EQ(measured.completed, analytic.completed);
+  RAGO_EXPECT_REL_NEAR(measured.avg_ttft, analytic.avg_ttft, 0.05);
+  RAGO_EXPECT_REL_NEAR(measured.throughput, analytic.throughput, 0.05);
+  RAGO_EXPECT_REL_NEAR(measured.retrieval_utilization,
+                       analytic.retrieval_utilization, 0.05);
+}
+
+TEST(Integration, FunctionalShardedCalibrationDrivesServingDes) {
+  // End-to-end: a real scatter-gather scan over the functional sharded
+  // index calibrates a measured tier, and the serving DES runs on it.
+  // Laptop-scale shards scan microseconds of data, so retrieval must
+  // come out far cheaper than the hyperscale analytical tier, and
+  // every request must still drain through the pipeline.
+  const rago::testing::AnnTestBed bed =
+      rago::testing::MakeAnnTestBed(2000, 16, 16);
+  serving::ShardedIndexOptions shard_options;
+  shard_options.num_shards = 4;
+  shard_options.partitioner = serving::PartitionerKind::kKMeansBalanced;
+  const serving::ShardedIndex sharded(
+      rago::testing::CopyMatrix(bed.data), shard_options);
+  const retrieval::MeasuredRetrievalModel measured_tier =
+      serving::CalibrateRetrievalModel(sharded, bed.queries, 10,
+                                       DefaultCluster().cpu_server);
+
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  core::Schedule schedule;
+  schedule.chain_group.assign(model.chain().size(), 0);
+  schedule.group_chips = {8};
+  schedule.chain_batch.assign(model.chain().size(), 4);
+  schedule.decode_chips = 8;
+  schedule.decode_batch = 64;
+  schedule.retrieval_servers = model.MinRetrievalServers();
+  schedule.retrieval_batch = 4;
+
+  const sim::ArrivalTrace trace = sim::PoissonTrace(100, 60.0, 5);
+  sim::ServingSimOptions options;
+  options.retrieval_model = &measured_tier;
+  const sim::ServingSimResult result =
+      sim::SimulateServing(model, schedule, trace, options);
+  const sim::ServingSimResult analytic =
+      sim::SimulateServing(model, schedule, trace);
+
+  EXPECT_EQ(result.completed, 100);
+  EXPECT_GT(result.avg_ttft, 0.0);
+  EXPECT_LE(result.avg_ttft, analytic.avg_ttft * 1.01);
+  EXPECT_LT(measured_tier.Search(1).latency,
+            model.EvalRetrieval(1, schedule.retrieval_servers).latency);
 }
 
 TEST(Integration, DesAgreesWithAnalyticalStallDirection) {

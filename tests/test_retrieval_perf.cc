@@ -10,6 +10,7 @@
 #include "common/units.h"
 #include "hardware/cpu_server.h"
 #include "retrieval/perf/bruteforce_model.h"
+#include "retrieval/perf/measured_model.h"
 #include "retrieval/perf/scann_model.h"
 #include "tests/testing/test_support.h"
 
@@ -176,6 +177,67 @@ TEST(BruteForce, RejectsDegenerateConfigs) {
                rago::ConfigError);
   EXPECT_THROW(BruteForceModel(10, 0, 2.0, rago::DefaultCpuServer()),
                rago::ConfigError);
+}
+
+/// Profile whose constants mirror the analytical paper model, so the
+/// measured-cost adapter must reproduce ScannModel exactly.
+MeasuredScanProfile AnalyticalProfile(const ScannModel& model) {
+  MeasuredScanProfile profile;
+  profile.bytes_per_query_per_server = model.BytesPerQueryPerServer();
+  profile.scan_bytes_per_core = rago::DefaultCpuServer().scan_bytes_per_core;
+  profile.merge_seconds_per_query = 0.0;
+  return profile;
+}
+
+TEST(MeasuredModel, ReproducesScannModelFromItsOwnConstants) {
+  // Structural cross-check: with the analytical bytes and scan rate
+  // plugged in as the "measurement", the adapter's wave/roofline
+  // formula must price every batch like ScannModel does.
+  const ScannModel analytic = PaperModel(16);
+  const MeasuredRetrievalModel measured(AnalyticalProfile(analytic),
+                                        rago::DefaultCpuServer(), 16);
+  RAGO_EXPECT_REL_NEAR(measured.BytesScannedPerQuery(),
+                       analytic.BytesScannedPerQuery(), 1e-9);
+  for (int64_t batch : {1, 8, 96, 97, 512, 4096}) {
+    RAGO_EXPECT_REL_NEAR(measured.Search(batch).latency,
+                         analytic.Search(batch).latency, 1e-9);
+    RAGO_EXPECT_REL_NEAR(measured.Search(batch).throughput,
+                         analytic.Search(batch).throughput, 1e-9);
+  }
+}
+
+TEST(MeasuredModel, MergeOverheadInflatesLatency) {
+  const ScannModel analytic = PaperModel(16);
+  MeasuredScanProfile profile = AnalyticalProfile(analytic);
+  const double base = MeasuredRetrievalModel(profile,
+                                             rago::DefaultCpuServer(), 16)
+                          .Search(64)
+                          .latency;
+  profile.merge_seconds_per_query = 1e-4;
+  const double with_merge =
+      MeasuredRetrievalModel(profile, rago::DefaultCpuServer(), 16)
+          .Search(64)
+          .latency;
+  EXPECT_NEAR(with_merge - base, 64 * 1e-4, 1e-9);
+}
+
+TEST(MeasuredModel, RejectsDegenerateProfiles) {
+  MeasuredScanProfile profile;
+  EXPECT_THROW(
+      MeasuredRetrievalModel(profile, rago::DefaultCpuServer(), 4),
+      rago::ConfigError);
+  profile.bytes_per_query_per_server = 1e6;
+  profile.scan_bytes_per_core = 1e9;
+  profile.merge_seconds_per_query = -1.0;
+  EXPECT_THROW(
+      MeasuredRetrievalModel(profile, rago::DefaultCpuServer(), 4),
+      rago::ConfigError);
+  profile.merge_seconds_per_query = 0.0;
+  EXPECT_THROW(
+      MeasuredRetrievalModel(profile, rago::DefaultCpuServer(), 0),
+      rago::ConfigError);
+  EXPECT_NO_THROW(
+      MeasuredRetrievalModel(profile, rago::DefaultCpuServer(), 4));
 }
 
 /// Property sweep over server counts and batches: throughput never

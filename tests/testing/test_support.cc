@@ -8,13 +8,7 @@
 
 namespace rago::testing {
 
-ann::Matrix CopyMatrix(const ann::Matrix& m) {
-  ann::Matrix out(m.rows(), m.dim());
-  for (size_t i = 0; i < m.rows(); ++i) {
-    out.CopyRowFrom(m, i, i);
-  }
-  return out;
-}
+ann::Matrix CopyMatrix(const ann::Matrix& m) { return m.Clone(); }
 
 AnnTestBed MakeAnnTestBed(const AnnTestBedOptions& options) {
   AnnTestBed bed;
