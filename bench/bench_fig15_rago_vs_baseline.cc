@@ -6,10 +6,21 @@
  *
  * Paper shape: RAGO achieves ~1.7x (C-II) and ~1.5x (C-IV) higher max
  * QPS/Chip, and up to 55% lower TTFT at matched throughput.
+ *
+ * Also reports the optimizer's thread-pool scaling on this search
+ * space: wall-clock of the full Algorithm-1 search at 1 vs 8 threads
+ * (bit-identical frontiers; pinned by test_determinism). `--json
+ * out.json` emits both the figure numbers and the scaling data.
  */
+#include <chrono>
 #include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/thread_pool.h"
 #include "core/pipeline_model.h"
 #include "core/schema.h"
 #include "hardware/cluster.h"
@@ -17,8 +28,25 @@
 
 namespace {
 
-void Compare(const char* name, const rago::core::RAGSchema& schema,
-             double paper_speedup) {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct CaseReport {
+  std::string name;
+  double rago_max_qpc = 0.0;
+  double base_max_qpc = 0.0;
+  double speedup = 0.0;
+  double paper_speedup = 0.0;
+  /// At the baseline's max QPS/Chip; NaN (JSON null) when no RAGO
+  /// frontier point reaches that throughput.
+  double ttft_reduction_pct = std::numeric_limits<double>::quiet_NaN();
+};
+
+CaseReport Compare(const char* name, const rago::core::RAGSchema& schema,
+                   double paper_speedup) {
   using namespace rago;
   using namespace rago::bench;
 
@@ -31,29 +59,122 @@ void Compare(const char* name, const rago::core::RAGSchema& schema,
   PrintFrontier("RAGO", rago_result.pareto);
   PrintFrontier("Baseline (LLM-only extension)", baseline.pareto);
 
-  const double rago_max = rago_result.MaxQpsPerChip().perf.qps_per_chip;
-  const double base_max = baseline.MaxQpsPerChip().perf.qps_per_chip;
+  CaseReport report;
+  report.name = name;
+  report.paper_speedup = paper_speedup;
+  report.rago_max_qpc = rago_result.MaxQpsPerChip().perf.qps_per_chip;
+  report.base_max_qpc = baseline.MaxQpsPerChip().perf.qps_per_chip;
+  report.speedup = report.rago_max_qpc / report.base_max_qpc;
   std::printf("max QPS/Chip: RAGO %.3f vs baseline %.3f -> %.2fx "
               "(paper: %.1fx)\n",
-              rago_max, base_max, rago_max / base_max, paper_speedup);
+              report.rago_max_qpc, report.base_max_qpc, report.speedup,
+              paper_speedup);
 
   // TTFT at matched throughput: lowest RAGO TTFT that still meets the
   // baseline's best QPS/Chip.
   const double base_ttft = baseline.MaxQpsPerChip().perf.ttft;
-  const double rago_ttft = TtftAtThroughput(rago_result.pareto, base_max);
+  const double rago_ttft =
+      TtftAtThroughput(rago_result.pareto, report.base_max_qpc);
   if (rago_ttft > 0) {
+    report.ttft_reduction_pct = 100.0 * (1.0 - rago_ttft / base_ttft);
     std::printf("TTFT at baseline's max throughput: RAGO %.3f s vs "
                 "baseline %.3f s -> %.0f%% reduction (paper: up to 55%%)\n",
-                rago_ttft, base_ttft, 100.0 * (1.0 - rago_ttft / base_ttft));
+                rago_ttft, base_ttft, report.ttft_reduction_pct);
   }
+  return report;
+}
+
+/// Wall-clock of the full Fig. 15 search space (both cases) at one
+/// thread count; `frontier` receives every (TTFT, QPS/Chip) point so
+/// the caller can assert the search is thread-count-invariant.
+double TimedSearchSeconds(int num_threads,
+                          std::vector<std::pair<double, double>>* frontier) {
+  using namespace rago;
+  using namespace rago::bench;
+  opt::SearchOptions options = StandardGrid();
+  options.num_threads = num_threads;
+  frontier->clear();
+  const Clock::time_point start = Clock::now();
+  for (const core::RAGSchema& schema :
+       {core::MakeLongContextSchema(70, 1'000'000),
+        core::MakeRewriterRerankerSchema(70)}) {
+    const core::PipelineModel model(schema, LargeCluster());
+    const opt::OptimizerResult result =
+        opt::Optimizer(model, options).Search();
+    for (const opt::ScheduledPoint& point : result.pareto) {
+      frontier->emplace_back(point.perf.ttft, point.perf.qps_per_chip);
+    }
+  }
+  return SecondsSince(start);
 }
 
 }  // namespace
 
-int main() {
-  Compare("(a) Case II: long-context 70B, 1M tokens",
-          rago::core::MakeLongContextSchema(70, 1'000'000), 1.7);
-  Compare("(b) Case IV: rewriter + reranker, 70B",
-          rago::core::MakeRewriterRerankerSchema(70), 1.5);
-  return 0;
+int main(int argc, char** argv) {
+  using namespace rago;
+  using namespace rago::bench;
+
+  const std::string json_path = JsonOutputPath(argc, argv);
+
+  std::vector<CaseReport> reports;
+  reports.push_back(
+      Compare("(a) Case II: long-context 70B, 1M tokens",
+              core::MakeLongContextSchema(70, 1'000'000), 1.7));
+  reports.push_back(
+      Compare("(b) Case IV: rewriter + reranker, 70B",
+              core::MakeRewriterRerankerSchema(70), 1.5));
+
+  // --- Optimizer thread-pool scaling on this search space. ---
+  Banner("Algorithm-1 search wall-clock vs threads");
+  std::vector<std::pair<double, double>> frontier_serial;
+  std::vector<std::pair<double, double>> frontier_parallel;
+  const double t1 = TimedSearchSeconds(1, &frontier_serial);
+  const double t8 = TimedSearchSeconds(8, &frontier_parallel);
+  const double scaling = t1 / t8;
+  std::printf("search wall-clock: 1 thread %.3f s, 8 threads %.3f s -> "
+              "%.2fx speedup (%d hardware threads)\n",
+              t1, t8, scaling, DefaultNumThreads());
+  // Point-for-point equality, not just matching sizes: this is the
+  // bench-level witness of the determinism contract.
+  const bool identical = frontier_serial == frontier_parallel;
+  if (identical) {
+    std::printf("frontiers bit-identical across thread counts (%zu "
+                "points)\n",
+                frontier_serial.size());
+  } else {
+    std::printf("WARNING: frontiers diverged across thread counts "
+                "(%zu vs %zu points) — determinism contract broken\n",
+                frontier_serial.size(), frontier_parallel.size());
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject()
+        .Key("figure").String("fig15")
+        .Key("cases").BeginArray();
+    for (const CaseReport& report : reports) {
+      json.BeginObject()
+          .Key("name").String(report.name)
+          .Key("rago_max_qps_per_chip").Number(report.rago_max_qpc)
+          .Key("baseline_max_qps_per_chip").Number(report.base_max_qpc)
+          .Key("speedup").Number(report.speedup)
+          .Key("paper_speedup").Number(report.paper_speedup)
+          .Key("ttft_reduction_pct").Number(report.ttft_reduction_pct)
+          .EndObject();
+    }
+    json.EndArray()
+        .Key("optimizer_scaling").BeginObject()
+            .Key("search_seconds_1_thread").Number(t1)
+            .Key("search_seconds_8_threads").Number(t8)
+            .Key("speedup_8_over_1").Number(scaling)
+            .Key("hardware_threads").Int(DefaultNumThreads())
+            .Key("frontier_points").Int(
+                static_cast<int64_t>(frontier_serial.size()))
+            .Key("frontiers_identical").Bool(identical)
+        .EndObject()
+        .EndObject();
+    MaybeWriteJson(json_path, json);
+  }
+  // Make the determinism witness enforceable for scripted runs.
+  return identical ? 0 : 1;
 }

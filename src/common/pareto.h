@@ -12,7 +12,9 @@
 #define RAGO_COMMON_PARETO_H
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace rago {
@@ -72,29 +74,52 @@ std::vector<ParetoPoint<Payload>> ParetoFrontier(
  * erase the points they dominate. The payload is only materialized for
  * accepted points, so callers can pass a factory for expensive
  * payloads.
+ *
+ * Exact (latency, throughput) duplicates are arbitrated by a total
+ * order on the payload (`PayloadLess`, std::less by default): the
+ * smallest payload survives. This makes the final frontier — points
+ * AND payloads — a pure function of the offered set, independent of
+ * offer order, so frontiers built concurrently and merged in any order
+ * are bit-identical to a serial build (the optimizer's determinism
+ * contract; mirrors the TopK equal-distance id tie-break).
  */
-template <typename Payload>
+template <typename Payload, typename PayloadLess = std::less<Payload>>
 class OnlineParetoFront {
  public:
-  /// True if a point with this (latency, throughput) would be kept.
+  /// True if a point with this (latency, throughput) would be kept or
+  /// could replace an objective-identical incumbent via the payload
+  /// tie-break (Offer() arbitrates).
   bool WouldAccept(double latency, double throughput) const {
     auto it = points_.upper_bound(latency);
     if (it == points_.begin()) {
       return true;
     }
     --it;  // Greatest latency <= candidate's.
-    return it->second.throughput < throughput;
+    if (it->second.throughput < throughput) {
+      return true;
+    }
+    return it->first == latency && it->second.throughput == throughput;
   }
 
   /// Inserts the point if non-dominated; evicts points it dominates.
-  /// Returns true when inserted.
+  /// Objective-identical ties keep the PayloadLess-smallest payload.
+  /// Returns true when inserted (or when a tie replaced the payload).
   bool Offer(double latency, double throughput, Payload payload) {
+    auto it = points_.find(latency);
+    if (it != points_.end() && it->second.throughput == throughput) {
+      // Equal on both objectives: offer order must not decide which
+      // duplicate survives.
+      if (PayloadLess{}(payload, it->second.payload)) {
+        it->second.payload = std::move(payload);
+        return true;
+      }
+      return false;
+    }
     if (!WouldAccept(latency, throughput)) {
       return false;
     }
     // Drop an existing point at identical latency (it has lower
     // throughput, or WouldAccept had rejected us).
-    auto it = points_.find(latency);
     if (it != points_.end()) {
       points_.erase(it);
     }
@@ -110,6 +135,17 @@ class OnlineParetoFront {
       next = points_.erase(next);
     }
     return true;
+  }
+
+  /// Offers every point of `other` into this frontier, emptying it.
+  /// With the payload tie-break, merging partial frontiers yields the
+  /// same result for any merge order or work partition.
+  void Merge(OnlineParetoFront&& other) {
+    for (auto& [key, point] : other.points_) {
+      (void)key;
+      Offer(point.latency, point.throughput, std::move(point.payload));
+    }
+    other.points_.clear();
   }
 
   size_t size() const { return points_.size(); }

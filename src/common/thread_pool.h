@@ -3,12 +3,12 @@
  * Small fixed-size worker pool for CPU-side fan-out.
  *
  * The sharded retrieval tier fans every query batch out to per-shard
- * indexes (one logical server per shard); the optimizer's profiling
- * sweep is embarrassingly parallel too. Both need only a minimal
- * submit/wait pool, not a full task graph. Determinism contract:
- * callers write results into pre-sized slots keyed by task index, so
- * output is identical for any thread count (including 1); the pool
- * itself never reorders observable results.
+ * indexes (one logical server per shard); the optimizer's Algorithm-1
+ * profiling and schedule enumeration are embarrassingly parallel too.
+ * Both need only a minimal submit/wait pool, not a full task graph.
+ * Determinism contract: callers write results into pre-sized slots
+ * keyed by task index, so output is identical for any thread count
+ * (including 1); the pool itself never reorders observable results.
  */
 #ifndef RAGO_COMMON_THREAD_POOL_H
 #define RAGO_COMMON_THREAD_POOL_H
@@ -44,6 +44,9 @@ class ThreadPool {
    * Blocks until every submitted task has finished running. If any
    * task threw, rethrows the first captured exception on the calling
    * thread (matching what an inline run would have thrown).
+   *
+   * Must not be called from a worker thread (a worker waiting on its
+   * own wave can never drain it); use ParallelFor for nested fan-out.
    */
   void Wait();
 
@@ -62,11 +65,25 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Hardware concurrency clamped to >= 1; what a 0-valued `num_threads`
+/// knob resolves to.
+int DefaultNumThreads();
+
+/// Resolves a `num_threads` option: 0 means DefaultNumThreads().
+int ResolveNumThreads(int num_threads);
+
 /**
- * Runs fn(0) .. fn(n-1), work-stealing indexes from a shared counter
- * across the pool's workers. With `pool == nullptr` the loop runs
- * inline on the calling thread; either way every index is visited
- * exactly once, so index-keyed outputs are thread-count-invariant.
+ * Runs fn(0) .. fn(n-1), work-stealing indexes from a shared counter.
+ * The calling thread participates alongside up to num_threads helper
+ * tasks, and the call never blocks on pool quiescence, so nesting a
+ * ParallelFor inside another ParallelFor body on the same pool is safe:
+ * helpers that never get scheduled are no-ops once the index counter is
+ * exhausted. With `pool == nullptr` the loop runs inline.
+ *
+ * Every index is visited exactly once (so index-keyed outputs are
+ * thread-count-invariant) unless a body throws: then remaining indexes
+ * are abandoned and the lowest-index captured exception is rethrown on
+ * the calling thread after all in-flight bodies finish.
  */
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "common/check.h"
@@ -42,6 +43,27 @@ struct Schedule {
   int64_t retrieval_batch = 1; ///< Request batch per initial retrieval.
   /// Batch for decoder-initiated retrieval+prefix rounds (Case III).
   int64_t iterative_batch = 1;
+
+  /// All decision fields as one comparable tuple.
+  auto Key() const {
+    return std::tie(chain_group, group_chips, chain_batch, decode_chips,
+                    decode_batch, retrieval_servers, retrieval_batch,
+                    iterative_batch);
+  }
+
+  /**
+   * Total lexicographic order over every decision field. Used as the
+   * Pareto-frontier tie-break: among schedules with identical
+   * (TTFT, QPS/Chip) the Key()-smallest one survives, so parallel
+   * enumeration order cannot decide which duplicate is reported.
+   */
+  friend bool operator<(const Schedule& a, const Schedule& b) {
+    return a.Key() < b.Key();
+  }
+
+  friend bool operator==(const Schedule& a, const Schedule& b) {
+    return a.Key() == b.Key();
+  }
 
   /// XPUs allocated to inference stages (groups + decode).
   int AllocatedXpus() const {

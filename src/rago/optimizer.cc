@@ -1,13 +1,18 @@
 #include "rago/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <limits>
+#include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/pareto.h"
+#include "common/thread_pool.h"
 
 namespace rago::opt {
 namespace {
@@ -91,6 +96,10 @@ uint64_t CacheKey(int a, int b, int64_t c) {
          static_cast<uint64_t>(c);
 }
 
+/// A schedule frontier whose exact ties keep the Key()-smallest
+/// schedule, so concurrent partial frontiers merge order-independently.
+using ScheduleFront = OnlineParetoFront<Schedule>;
+
 }  // namespace
 
 const ScheduledPoint&
@@ -117,7 +126,9 @@ OptimizerResult::MinTtft() const {
   return *best;
 }
 
-/// Memoizing stage-performance provider (Algorithm 1 step 1).
+/// Memoizing stage-performance provider for serial evaluation paths
+/// (SearchBaseline). Search() uses the index-keyed ProfileTable below
+/// instead, which is populated in parallel and then read-only.
 class MemoProvider {
  public:
   explicit MemoProvider(const core::PipelineModel& model) : model_(model) {}
@@ -176,6 +187,8 @@ Optimizer::Optimizer(const core::PipelineModel& model, SearchOptions options)
   RAGO_REQUIRE(!options_.batch_sizes.empty(), "batch grid must be non-empty");
   RAGO_REQUIRE(!options_.decode_batch_sizes.empty(),
                "decode batch grid must be non-empty");
+  RAGO_REQUIRE(options_.num_threads >= 0,
+               "num_threads must be >= 0 (0 = hardware concurrency)");
 }
 
 int
@@ -237,12 +250,81 @@ Optimizer::Search() const {
                                model_.cluster().num_servers)
                     : 1;
 
-  MemoProvider memo(model_);
-  const StagePerfProvider provider = memo.Provider();
+  const int num_threads = ResolveNumThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (num_threads > 1) {
+    pool_storage = std::make_unique<ThreadPool>(num_threads);
+    pool = pool_storage.get();
+  }
+
+  // -------------------------------------------------------------------
+  // Step 1: profile every stage setting once, fanned out as
+  // (stage x chips x batch) tasks into one index-keyed table (slots
+  // make the result thread-count-invariant; PipelineModel evaluation is
+  // const and thread-compatible). The table is read-only afterwards.
+  // -------------------------------------------------------------------
+  std::vector<int> chip_grid;  // chip_grid[i] == 1 << i, up to budget.
+  for (int c = 1; c <= budget; c *= 2) {
+    chip_grid.push_back(c);
+  }
+  const size_t kChips = chip_grid.size();
+  const size_t kBatches = options_.batch_sizes.size();
+  const size_t kDecodeBatches = options_.decode_batch_sizes.size();
+  const size_t kStages = chain.size();
+
+  const size_t n_chain = kStages * kChips * kBatches;
+  const size_t n_decode = kChips * kDecodeBatches;
+  const size_t n_retr = has_retrieval ? kBatches : 0;
+  const size_t n_ingest = iterative ? kChips * kBatches : 0;
+  std::vector<StagePerf> profiles(n_chain + n_decode + n_retr + n_ingest);
+  ParallelFor(pool, profiles.size(), [&](size_t i) {
+    if (i < n_chain) {
+      const size_t s = i / (kChips * kBatches);
+      const size_t rem = i % (kChips * kBatches);
+      const size_t c = rem / kBatches;
+      const size_t b = rem % kBatches;
+      profiles[i] = model_.EvalChainStage(chain[s], chip_grid[c],
+                                          options_.batch_sizes[b]);
+    } else if (i < n_chain + n_decode) {
+      const size_t rem = i - n_chain;
+      const size_t c = rem / kDecodeBatches;
+      const size_t db = rem % kDecodeBatches;
+      profiles[i] =
+          model_.EvalDecode(chip_grid[c], options_.decode_batch_sizes[db]);
+    } else if (i < n_chain + n_decode + n_retr) {
+      const size_t b = i - n_chain - n_decode;
+      profiles[i] = model_.EvalRetrieval(
+          static_cast<int>(options_.batch_sizes[b]), servers);
+    } else {
+      const size_t rem = i - n_chain - n_decode - n_retr;
+      const size_t c = rem / kBatches;
+      const size_t b = rem % kBatches;
+      profiles[i] =
+          model_.EvalIngestPrefix(chip_grid[c], options_.batch_sizes[b]);
+    }
+  });
+  auto chain_perf = [&](size_t s, size_t c, size_t b) -> const StagePerf& {
+    return profiles[(s * kChips + c) * kBatches + b];
+  };
+  auto decode_perf = [&](size_t c, size_t db) -> const StagePerf& {
+    return profiles[n_chain + c * kDecodeBatches + db];
+  };
+  auto retr_perf = [&](size_t b) -> const StagePerf& {
+    return profiles[n_chain + n_decode + b];
+  };
+  auto ingest_perf = [&](size_t c, size_t b) -> const StagePerf& {
+    return profiles[n_chain + n_decode + n_retr + c * kBatches + b];
+  };
+  auto chip_index = [](int chips) {
+    size_t idx = 0;
+    while ((1 << idx) < chips) {
+      ++idx;
+    }
+    return idx;
+  };
 
   OptimizerResult result;
-  OnlineParetoFront<Schedule> front;
-  std::unordered_map<std::string, OnlineParetoFront<Schedule>> plan_fronts;
 
   // --- Pre-evaluated retrieval options (initial retrieval). ---
   struct RetrievalOption {
@@ -252,12 +334,11 @@ Optimizer::Search() const {
   };
   std::vector<RetrievalOption> retrieval_options;
   if (has_retrieval) {
-    for (int64_t batch : options_.batch_sizes) {
-      const StagePerf perf =
-          provider.retrieval(static_cast<int>(batch), servers);
+    for (size_t b = 0; b < kBatches; ++b) {
+      const StagePerf& perf = retr_perf(b);
       if (perf.feasible) {
-        retrieval_options.push_back(
-            RetrievalOption{batch, perf.latency, perf.throughput});
+        retrieval_options.push_back(RetrievalOption{
+            options_.batch_sizes[b], perf.latency, perf.throughput});
       }
     }
     RAGO_REQUIRE(!retrieval_options.empty(),
@@ -269,16 +350,17 @@ Optimizer::Search() const {
   // --- Pre-evaluated iterative retrieval rounds (Case III). ---
   struct IterOption {
     int64_t batch = 1;
+    size_t batch_idx = 0;  ///< Index into batch_sizes (ingest lookup).
     double retrieval_latency = 0.0;
   };
   std::vector<IterOption> iter_options = {IterOption{}};
   if (iterative) {
     iter_options.clear();
-    for (int64_t batch : options_.batch_sizes) {
-      const StagePerf perf =
-          provider.retrieval(static_cast<int>(batch), servers);
+    for (size_t b = 0; b < kBatches; ++b) {
+      const StagePerf& perf = retr_perf(b);
       if (perf.feasible) {
-        iter_options.push_back(IterOption{batch, perf.latency});
+        iter_options.push_back(
+            IterOption{options_.batch_sizes[b], b, perf.latency});
       }
     }
   }
@@ -290,7 +372,79 @@ Optimizer::Search() const {
       has_retrieval ? model_.RetrievalChipEquivalents(servers) : 0;
   const int decode_tokens = model_.schema().workload.decode_tokens;
 
+  // -------------------------------------------------------------------
+  // Step 2 prep: per-placement option tables assembled from the profile
+  // table (pure arithmetic; no model evaluation).
+  // -------------------------------------------------------------------
+  auto group_options_for = [&](const std::vector<int>& placement, int g,
+                               int64_t forced_batch) {
+    std::vector<GroupOption> options;
+    for (size_t c = 0; c < kChips; ++c) {
+      for (size_t b = 0; b < kBatches; ++b) {
+        const int64_t batch = options_.batch_sizes[b];
+        if (forced_batch > 0 && batch != forced_batch) {
+          continue;
+        }
+        GroupOption option;
+        option.chips = chip_grid[c];
+        option.batch = batch;
+        bool feasible = true;
+        double mem = 0.0;
+        for (size_t i = 0; i < kStages; ++i) {
+          if (placement[i] != g) {
+            continue;
+          }
+          const StagePerf& perf = chain_perf(i, c, b);
+          if (!perf.feasible) {
+            feasible = false;
+            break;
+          }
+          option.latency += perf.latency;
+          option.seconds_per_request += 1.0 / perf.throughput;
+          mem += perf.mem_per_chip;
+        }
+        if (!feasible || mem > model_.cluster().xpu.hbm_bytes) {
+          continue;
+        }
+        options.push_back(option);
+      }
+    }
+    if (options_.per_stage_pareto_pruning) {
+      options = PruneOptions(std::move(options), DominatesOption);
+    }
+    return options;
+  };
+
+  // --- Decode option table (placement-independent). ---
+  std::vector<DecodeOption> decode_options;
+  for (size_t c = 0; c < kChips; ++c) {
+    for (size_t db = 0; db < kDecodeBatches; ++db) {
+      const StagePerf& perf = decode_perf(c, db);
+      if (!perf.feasible) {
+        continue;
+      }
+      DecodeOption option;
+      option.chips = chip_grid[c];
+      option.batch = options_.decode_batch_sizes[db];
+      option.latency = perf.latency;
+      option.throughput = perf.throughput;
+      decode_options.push_back(option);
+    }
+  }
+  if (options_.per_stage_pareto_pruning) {
+    decode_options = PruneOptions(std::move(decode_options), DominatesDecode);
+  }
+
+  /// One (placement, forced batch) enumeration subtree.
+  struct EnumContext {
+    const std::vector<int>* placement = nullptr;
+    int groups = 0;
+    int span_group = -1;
+    std::vector<std::vector<GroupOption>> tables;
+  };
+
   const std::vector<std::vector<int>> placements = PlacementOptions();
+  std::vector<EnumContext> contexts;
   for (size_t p = 0; p < placements.size(); ++p) {
     if (options_.placement_filter >= 0 &&
         static_cast<size_t>(options_.placement_filter) != p) {
@@ -308,208 +462,237 @@ Optimizer::Search() const {
             ? placement[after_retrieval]
             : -1;
 
-    // --- Per-group option tables (chips x batch), Pareto pruned. ---
-    // Option sets are keyed by a shared batch index when
-    // per_group_batching is off so one batch spans the whole chain.
-    auto group_options_for = [&](int g, int64_t forced_batch) {
-      std::vector<GroupOption> options;
-      for (int chips = 1; chips <= budget; chips *= 2) {
-        for (int64_t batch : options_.batch_sizes) {
-          if (forced_batch > 0 && batch != forced_batch) {
-            continue;
-          }
-          GroupOption option;
-          option.chips = chips;
-          option.batch = batch;
-          bool feasible = true;
-          double mem = 0.0;
-          for (size_t i = 0; i < chain.size(); ++i) {
-            if (placement[i] != g) {
-              continue;
-            }
-            const StagePerf perf = provider.chain(chain[i], chips, batch);
-            if (!perf.feasible) {
-              feasible = false;
-              break;
-            }
-            option.latency += perf.latency;
-            option.seconds_per_request += 1.0 / perf.throughput;
-            mem += perf.mem_per_chip;
-          }
-          if (!feasible || mem > model_.cluster().xpu.hbm_bytes) {
-            continue;
-          }
-          options.push_back(option);
-        }
-      }
-      if (options_.per_stage_pareto_pruning) {
-        options = PruneOptions(std::move(options), DominatesOption);
-      }
-      return options;
-    };
-
-    // --- Decode option table. ---
-    std::vector<DecodeOption> decode_options;
-    for (int chips = 1; chips <= budget; chips *= 2) {
-      for (int64_t batch : options_.decode_batch_sizes) {
-        const StagePerf perf = provider.decode(chips, batch);
-        if (!perf.feasible) {
-          continue;
-        }
-        DecodeOption option;
-        option.chips = chips;
-        option.batch = batch;
-        option.latency = perf.latency;
-        option.throughput = perf.throughput;
-        decode_options.push_back(option);
-      }
-    }
-    if (options_.per_stage_pareto_pruning) {
-      decode_options = PruneOptions(std::move(decode_options), DominatesDecode);
-    }
-
-    // --- Enumerate schedules (pure arithmetic in the hot loop;
-    // schedules are only materialized for accepted frontier points). ---
-    auto run_combination = [&](const std::vector<GroupOption>& chosen,
-                               int used_chips, const DecodeOption& decode) {
-      double chain_latency = 0.0;
-      // Throughput split into the groups unaffected by the retrieval
-      // pause and the (single) group that pauses, which depends on the
-      // retrieval option below.
-      double fixed_throughput = std::numeric_limits<double>::infinity();
-      double span_spr = 0.0;
+    auto add_context = [&](int64_t forced_batch) {
+      EnumContext ctx;
+      ctx.placement = &placement;
+      ctx.groups = groups;
+      ctx.span_group = span_group;
+      ctx.tables.resize(static_cast<size_t>(groups));
       for (int g = 0; g < groups; ++g) {
-        const GroupOption& option = chosen[static_cast<size_t>(g)];
-        chain_latency += option.latency;
-        if (g == span_group) {
-          span_spr = option.seconds_per_request;
-        } else {
-          fixed_throughput =
-              std::min(fixed_throughput, 1.0 / option.seconds_per_request);
-        }
-      }
-      const int prefix_chips = chosen.back().chips;  // Prefix: last group.
-      const int chip_equiv =
-          std::max(used_chips + decode.chips, retrieval_equiv);
-
-      auto make_schedule = [&](const RetrievalOption& retr,
-                               const IterOption& iter) {
-        Schedule schedule;
-        schedule.chain_group = placement;
-        schedule.group_chips.resize(static_cast<size_t>(groups));
-        schedule.chain_batch.resize(chain.size());
-        for (int g = 0; g < groups; ++g) {
-          schedule.group_chips[static_cast<size_t>(g)] =
-              chosen[static_cast<size_t>(g)].chips;
-        }
-        for (size_t i = 0; i < chain.size(); ++i) {
-          schedule.chain_batch[i] =
-              chosen[static_cast<size_t>(placement[i])].batch;
-        }
-        schedule.decode_chips = decode.chips;
-        schedule.decode_batch = decode.batch;
-        schedule.retrieval_servers = servers;
-        schedule.retrieval_batch = retr.batch;
-        schedule.iterative_batch = iter.batch;
-        return schedule;
-      };
-
-      std::string plan_label;
-      if (options_.keep_plan_frontiers) {
-        plan_label = PlacementLabel(placement) + " chips=";
-        for (int g = 0; g < groups; ++g) {
-          plan_label += std::to_string(chosen[static_cast<size_t>(g)].chips) +
-                        (g + 1 < groups ? "," : "");
-        }
-        plan_label += " dec=" + std::to_string(decode.chips);
-      }
-
-      for (const RetrievalOption& retr : retrieval_options) {
-        const double ttft = chain_latency + retr.latency;
-        double chain_throughput = fixed_throughput;
-        if (span_group >= 0) {
-          const double paused_spr =
-              span_spr + retr.latency / static_cast<double>(retr.batch);
-          chain_throughput = std::min(chain_throughput, 1.0 / paused_spr);
-        }
-        for (const IterOption& iter : iter_options) {
-          ++result.schedules_evaluated;
-          double decode_throughput = decode.throughput;
-          if (iterative) {
-            // Mirror PipelineModel::EvaluateWith's stall model.
-            const StagePerf ingest =
-                provider.ingest(prefix_chips, iter.batch);
-            if (!ingest.feasible) {
-              continue;
-            }
-            const double lambda = static_cast<double>(decode.batch) *
-                                  iter_rounds /
-                                  (decode_tokens * decode.latency);
-            const double wait =
-                (static_cast<double>(iter.batch) - 1.0) / (2.0 * lambda);
-            const double stall_total =
-                iter_rounds *
-                (iter.retrieval_latency + ingest.latency + wait);
-            decode_throughput =
-                static_cast<double>(decode.batch) /
-                (decode_tokens * decode.latency + stall_total);
-          }
-          const double qps =
-              std::min({chain_throughput,
-                        retr.request_throughput / retrieval_load,
-                        decode_throughput});
-          const double qpc = qps / chip_equiv;
-          ++result.schedules_feasible;
-          if (front.WouldAccept(ttft, qpc)) {
-            front.Offer(ttft, qpc, make_schedule(retr, iter));
-          }
-          if (options_.keep_plan_frontiers) {
-            auto& plan_front = plan_fronts[plan_label];
-            if (plan_front.WouldAccept(ttft, qpc)) {
-              plan_front.Offer(ttft, qpc, make_schedule(retr, iter));
-            }
-          }
-        }
-      }
-    };
-
-    auto enumerate_with_batches = [&](int64_t forced_batch) {
-      std::vector<std::vector<GroupOption>> tables(
-          static_cast<size_t>(groups));
-      for (int g = 0; g < groups; ++g) {
-        tables[static_cast<size_t>(g)] = group_options_for(g, forced_batch);
-        if (tables[static_cast<size_t>(g)].empty()) {
+        ctx.tables[static_cast<size_t>(g)] =
+            group_options_for(placement, g, forced_batch);
+        if (ctx.tables[static_cast<size_t>(g)].empty()) {
           return;  // Some stage cannot run at this granularity.
         }
       }
-      std::vector<GroupOption> chosen(static_cast<size_t>(groups));
-      std::function<void(int, int)> recurse = [&](int g, int used) {
-        if (g == groups) {
-          for (const DecodeOption& decode : decode_options) {
-            if (used + decode.chips > budget) {
-              continue;
-            }
-            run_combination(chosen, used, decode);
-          }
-          return;
-        }
-        for (const GroupOption& option : tables[static_cast<size_t>(g)]) {
-          if (used + option.chips + (groups - g - 1) + 1 > budget) {
-            continue;
-          }
-          chosen[static_cast<size_t>(g)] = option;
-          recurse(g + 1, used + option.chips);
-        }
-      };
-      recurse(0, 0);
+      contexts.push_back(std::move(ctx));
     };
 
     if (options_.per_group_batching) {
-      enumerate_with_batches(/*forced_batch=*/-1);
+      add_context(/*forced_batch=*/-1);
     } else {
       for (int64_t batch : options_.batch_sizes) {
-        enumerate_with_batches(batch);
+        add_context(batch);
       }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Steps 2-3: enumerate schedules. Work decomposes into independent
+  // tasks — one per (context, first-group option[, second-group
+  // option]) subtree — each building a thread-local frontier; the
+  // partition only balances load, it cannot change the result because
+  // the frontier reduction is order-independent (Schedule tie-break).
+  // -------------------------------------------------------------------
+  struct EnumTask {
+    const EnumContext* ctx = nullptr;
+    int i0 = -1;  ///< Index into ctx->tables[0].
+    int i1 = -1;  ///< Index into ctx->tables[1]; -1 when groups == 1.
+  };
+  // The one budget prune, shared by task generation and the in-task
+  // recursion so the partition boundary cannot drift from the
+  // enumeration it splits: after granting `chips` to group `g`, every
+  // remaining group and decode still need >= 1 chip each.
+  auto within_budget = [budget](const EnumContext& ctx, int g,
+                                int used_chips, int chips) {
+    return used_chips + chips + (ctx.groups - g - 1) + 1 <= budget;
+  };
+  std::vector<EnumTask> tasks;
+  for (const EnumContext& ctx : contexts) {
+    const auto& t0 = ctx.tables[0];
+    for (size_t i0 = 0; i0 < t0.size(); ++i0) {
+      if (!within_budget(ctx, 0, 0, t0[i0].chips)) {
+        continue;
+      }
+      if (ctx.groups >= 2) {
+        const auto& t1 = ctx.tables[1];
+        for (size_t i1 = 0; i1 < t1.size(); ++i1) {
+          if (!within_budget(ctx, 1, t0[i0].chips, t1[i1].chips)) {
+            continue;
+          }
+          tasks.push_back(EnumTask{&ctx, static_cast<int>(i0),
+                                   static_cast<int>(i1)});
+        }
+      } else {
+        tasks.push_back(EnumTask{&ctx, static_cast<int>(i0), -1});
+      }
+    }
+  }
+
+  /// Thread-local accumulation of one enumeration task.
+  struct TaskResult {
+    ScheduleFront front;
+    std::map<std::string, ScheduleFront> plan_fronts;
+    int64_t evaluated = 0;
+    int64_t feasible = 0;
+  };
+  std::vector<TaskResult> slots(tasks.size());
+  std::atomic<int64_t> evaluated_total{0};
+  std::atomic<int64_t> feasible_total{0};
+
+  auto run_combination = [&](const EnumContext& ctx,
+                             const std::vector<GroupOption>& chosen,
+                             int used_chips, const DecodeOption& decode,
+                             TaskResult& local) {
+    double chain_latency = 0.0;
+    // Throughput split into the groups unaffected by the retrieval
+    // pause and the (single) group that pauses, which depends on the
+    // retrieval option below.
+    double fixed_throughput = std::numeric_limits<double>::infinity();
+    double span_spr = 0.0;
+    for (int g = 0; g < ctx.groups; ++g) {
+      const GroupOption& option = chosen[static_cast<size_t>(g)];
+      chain_latency += option.latency;
+      if (g == ctx.span_group) {
+        span_spr = option.seconds_per_request;
+      } else {
+        fixed_throughput =
+            std::min(fixed_throughput, 1.0 / option.seconds_per_request);
+      }
+    }
+    const int prefix_chips = chosen.back().chips;  // Prefix: last group.
+    const size_t prefix_chip_idx = chip_index(prefix_chips);
+    const int chip_equiv =
+        std::max(used_chips + decode.chips, retrieval_equiv);
+
+    auto make_schedule = [&](const RetrievalOption& retr,
+                             const IterOption& iter) {
+      Schedule schedule;
+      schedule.chain_group = *ctx.placement;
+      schedule.group_chips.resize(static_cast<size_t>(ctx.groups));
+      schedule.chain_batch.resize(kStages);
+      for (int g = 0; g < ctx.groups; ++g) {
+        schedule.group_chips[static_cast<size_t>(g)] =
+            chosen[static_cast<size_t>(g)].chips;
+      }
+      for (size_t i = 0; i < kStages; ++i) {
+        schedule.chain_batch[i] =
+            chosen[static_cast<size_t>((*ctx.placement)[i])].batch;
+      }
+      schedule.decode_chips = decode.chips;
+      schedule.decode_batch = decode.batch;
+      schedule.retrieval_servers = servers;
+      schedule.retrieval_batch = retr.batch;
+      schedule.iterative_batch = iter.batch;
+      return schedule;
+    };
+
+    std::string plan_label;
+    if (options_.keep_plan_frontiers) {
+      plan_label = PlacementLabel(*ctx.placement) + " chips=";
+      for (int g = 0; g < ctx.groups; ++g) {
+        plan_label += std::to_string(chosen[static_cast<size_t>(g)].chips) +
+                      (g + 1 < ctx.groups ? "," : "");
+      }
+      plan_label += " dec=" + std::to_string(decode.chips);
+    }
+
+    for (const RetrievalOption& retr : retrieval_options) {
+      const double ttft = chain_latency + retr.latency;
+      double chain_throughput = fixed_throughput;
+      if (ctx.span_group >= 0) {
+        const double paused_spr =
+            span_spr + retr.latency / static_cast<double>(retr.batch);
+        chain_throughput = std::min(chain_throughput, 1.0 / paused_spr);
+      }
+      for (const IterOption& iter : iter_options) {
+        ++local.evaluated;
+        double decode_throughput = decode.throughput;
+        if (iterative) {
+          // Mirror PipelineModel::EvaluateWith's stall model.
+          const StagePerf& ingest =
+              ingest_perf(prefix_chip_idx, iter.batch_idx);
+          if (!ingest.feasible) {
+            continue;
+          }
+          const double lambda = static_cast<double>(decode.batch) *
+                                iter_rounds /
+                                (decode_tokens * decode.latency);
+          const double wait =
+              (static_cast<double>(iter.batch) - 1.0) / (2.0 * lambda);
+          const double stall_total =
+              iter_rounds *
+              (iter.retrieval_latency + ingest.latency + wait);
+          decode_throughput =
+              static_cast<double>(decode.batch) /
+              (decode_tokens * decode.latency + stall_total);
+        }
+        const double qps =
+            std::min({chain_throughput,
+                      retr.request_throughput / retrieval_load,
+                      decode_throughput});
+        const double qpc = qps / chip_equiv;
+        ++local.feasible;
+        if (local.front.WouldAccept(ttft, qpc)) {
+          local.front.Offer(ttft, qpc, make_schedule(retr, iter));
+        }
+        if (options_.keep_plan_frontiers) {
+          auto& plan_front = local.plan_fronts[plan_label];
+          if (plan_front.WouldAccept(ttft, qpc)) {
+            plan_front.Offer(ttft, qpc, make_schedule(retr, iter));
+          }
+        }
+      }
+    }
+  };
+
+  ParallelFor(pool, tasks.size(), [&](size_t t) {
+    const EnumTask& task = tasks[t];
+    const EnumContext& ctx = *task.ctx;
+    TaskResult& local = slots[t];
+    std::vector<GroupOption> chosen(static_cast<size_t>(ctx.groups));
+    chosen[0] = ctx.tables[0][static_cast<size_t>(task.i0)];
+    int used = chosen[0].chips;
+    int start = 1;
+    if (task.i1 >= 0) {
+      chosen[1] = ctx.tables[1][static_cast<size_t>(task.i1)];
+      used += chosen[1].chips;
+      start = 2;
+    }
+    std::function<void(int, int)> recurse = [&](int g, int used_chips) {
+      if (g == ctx.groups) {
+        for (const DecodeOption& decode : decode_options) {
+          if (used_chips + decode.chips > budget) {
+            continue;
+          }
+          run_combination(ctx, chosen, used_chips, decode, local);
+        }
+        return;
+      }
+      for (const GroupOption& option : ctx.tables[static_cast<size_t>(g)]) {
+        if (!within_budget(ctx, g, used_chips, option.chips)) {
+          continue;
+        }
+        chosen[static_cast<size_t>(g)] = option;
+        recurse(g + 1, used_chips + option.chips);
+      }
+    };
+    recurse(start, used);
+    // Counter updates stay atomic (totals are partition-invariant);
+    // frontiers merge after the barrier below.
+    evaluated_total.fetch_add(local.evaluated, std::memory_order_relaxed);
+    feasible_total.fetch_add(local.feasible, std::memory_order_relaxed);
+  });
+  result.schedules_evaluated = evaluated_total.load();
+  result.schedules_feasible = feasible_total.load();
+
+  // --- Order-independent reduction of per-task frontiers. ---
+  ScheduleFront front;
+  std::map<std::string, ScheduleFront> plan_fronts;
+  for (TaskResult& slot : slots) {
+    front.Merge(std::move(slot.front));
+    for (auto& [label, plan_front] : slot.plan_fronts) {
+      plan_fronts[label].Merge(std::move(plan_front));
     }
   }
 
@@ -536,16 +719,13 @@ Optimizer::Search() const {
 
   result.pareto = finalize(front.Take());
   if (options_.keep_plan_frontiers) {
+    // std::map iteration gives the label-sorted order directly.
     for (auto& [label, plan_front] : plan_fronts) {
       PlanFrontier frontier;
       frontier.plan_label = label;
       frontier.points = finalize(plan_front.Take());
       result.plan_frontiers.push_back(std::move(frontier));
     }
-    std::sort(result.plan_frontiers.begin(), result.plan_frontiers.end(),
-              [](const PlanFrontier& a, const PlanFrontier& b) {
-                return a.plan_label < b.plan_label;
-              });
   }
   return result;
 }

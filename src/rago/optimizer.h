@@ -49,6 +49,16 @@ struct SearchOptions {
   /// Restrict the search to one placement (index into
   /// PlacementOptions()); -1 searches all placements.
   int placement_filter = -1;
+  /**
+   * Worker threads for Search(): Step-1 stage profiling fans out as
+   * (stage x chips x batch) tasks and Steps 2-3 enumerate placement /
+   * allocation subtrees as independent tasks, each building a local
+   * Pareto frontier that is merged with an order-independent,
+   * payload-tie-broken reduction. 0 = hardware concurrency, 1 =
+   * serial. The reported frontier (points, schedules, counters) is
+   * bit-identical for every value (pinned by test_determinism).
+   */
+  int num_threads = 0;
 };
 
 /// A schedule together with its evaluated end-to-end performance.

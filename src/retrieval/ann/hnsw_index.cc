@@ -21,6 +21,7 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
                           : 1.0 / std::log(options_.max_degree);
 
   nodes_.resize(data_.rows());
+  int64_t build_evals = 0;  // Build-time distance evals, not reported.
   for (size_t i = 0; i < data_.rows(); ++i) {
     const auto id = static_cast<int32_t>(i);
     const int level = DrawLevel(rng);
@@ -37,14 +38,15 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
     // Phase 1: greedy descent from the global entry down to level+1.
     int32_t entry = entry_point_;
     for (int layer = max_level_; layer > level; --layer) {
-      entry = GreedyStep(data_.Row(i), entry, layer);
+      entry = GreedyStep(data_.Row(i), entry, layer, build_evals);
     }
 
     // Phase 2: beam search and link at each layer from min(level,
     // max_level_) down to 0.
     for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
       const std::vector<Neighbor> found =
-          SearchLayer(data_.Row(i), entry, options_.ef_construction, layer);
+          SearchLayer(data_.Row(i), entry, options_.ef_construction,
+                      layer, build_evals);
       // Base layer allows 2M links (standard HNSW practice).
       const int m = layer == 0 ? 2 * options_.max_degree
                                : options_.max_degree;
@@ -62,9 +64,10 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
           std::vector<Neighbor> candidates;
           candidates.reserve(back.size());
           for (int32_t other : back) {
-            candidates.push_back(
-                Neighbor{Dist(data_.Row(static_cast<size_t>(nb)), other),
-                         other});
+            candidates.push_back(Neighbor{
+                Dist(data_.Row(static_cast<size_t>(nb)), other,
+                     build_evals),
+                other});
           }
           std::sort(candidates.begin(), candidates.end());
           back = SelectNeighbors(candidates, m);
@@ -89,23 +92,24 @@ HnswIndex::DrawLevel(Rng& rng) const {
 }
 
 float
-HnswIndex::Dist(const float* query, int32_t id) const {
-  ++last_distance_evals_;
+HnswIndex::Dist(const float* query, int32_t id, int64_t& evals) const {
+  ++evals;
   return Distance(metric_, query, data_.Row(static_cast<size_t>(id)),
                   data_.dim());
 }
 
 int32_t
-HnswIndex::GreedyStep(const float* query, int32_t entry, int layer) const {
+HnswIndex::GreedyStep(const float* query, int32_t entry, int layer,
+                      int64_t& evals) const {
   int32_t current = entry;
-  float best = Dist(query, current);
+  float best = Dist(query, current, evals);
   bool improved = true;
   while (improved) {
     improved = false;
     for (int32_t nb :
          nodes_[static_cast<size_t>(current)].links[static_cast<size_t>(
              layer)]) {
-      const float d = Dist(query, nb);
+      const float d = Dist(query, nb, evals);
       if (d < best) {
         best = d;
         current = nb;
@@ -118,14 +122,14 @@ HnswIndex::GreedyStep(const float* query, int32_t entry, int layer) const {
 
 std::vector<Neighbor>
 HnswIndex::SearchLayer(const float* query, int32_t entry, int ef,
-                       int layer) const {
+                       int layer, int64_t& evals) const {
   std::unordered_set<int32_t> visited = {entry};
   // Min-heap of candidates to expand; bounded max-heap of results.
   std::priority_queue<Neighbor, std::vector<Neighbor>,
                       std::greater<Neighbor>>
       candidates;
   TopK results(static_cast<size_t>(ef));
-  const float entry_dist = Dist(query, entry);
+  const float entry_dist = Dist(query, entry, evals);
   candidates.push(Neighbor{entry_dist, entry});
   results.Push(entry_dist, entry);
 
@@ -141,7 +145,7 @@ HnswIndex::SearchLayer(const float* query, int32_t entry, int ef,
       if (!visited.insert(nb).second) {
         continue;
       }
-      const float d = Dist(query, nb);
+      const float d = Dist(query, nb, evals);
       if (d < results.Threshold()) {
         candidates.push(Neighbor{d, nb});
         results.Push(d, nb);
@@ -189,17 +193,31 @@ HnswIndex::SelectNeighbors(const std::vector<Neighbor>& found, int m) const {
 
 std::vector<Neighbor>
 HnswIndex::Search(const float* query, size_t k, int ef_search) const {
+  int64_t evals = 0;
+  std::vector<Neighbor> found = Search(query, k, ef_search, &evals);
+  last_distance_evals_ = evals;
+  return found;
+}
+
+std::vector<Neighbor>
+HnswIndex::Search(const float* query, size_t k, int ef_search,
+                  int64_t* distance_evals) const {
   RAGO_REQUIRE(ef_search >= 1, "ef_search must be positive");
-  last_distance_evals_ = 0;
+  RAGO_REQUIRE(distance_evals != nullptr,
+               "counted Search needs an eval slot (use the 3-arg "
+               "overload to skip counting)");
+  int64_t evals = 0;
   int32_t entry = entry_point_;
   for (int layer = max_level_; layer > 0; --layer) {
-    entry = GreedyStep(query, entry, layer);
+    entry = GreedyStep(query, entry, layer, evals);
   }
   std::vector<Neighbor> found = SearchLayer(
-      query, entry, std::max<int>(ef_search, static_cast<int>(k)), 0);
+      query, entry, std::max<int>(ef_search, static_cast<int>(k)), 0,
+      evals);
   if (found.size() > k) {
     found.resize(k);
   }
+  *distance_evals += evals;
   return found;
 }
 
@@ -217,14 +235,24 @@ HnswIndex::GraphBytes() const {
 std::vector<std::vector<Neighbor>>
 HnswIndex::SearchBatch(const Matrix& queries, size_t k,
                        int ef_search) const {
+  int64_t evals = 0;
+  std::vector<std::vector<Neighbor>> out =
+      SearchBatch(queries, k, ef_search, &evals);
+  last_distance_evals_ = evals;
+  return out;
+}
+
+std::vector<std::vector<Neighbor>>
+HnswIndex::SearchBatch(const Matrix& queries, size_t k, int ef_search,
+                       int64_t* distance_evals) const {
   RAGO_REQUIRE(queries.dim() == data_.dim(), "query dimensionality mismatch");
+  RAGO_REQUIRE(distance_evals != nullptr,
+               "counted SearchBatch needs an eval slot (use the 3-arg "
+               "overload to skip counting)");
   std::vector<std::vector<Neighbor>> out(queries.rows());
-  int64_t batch_evals = 0;
   for (size_t q = 0; q < queries.rows(); ++q) {
-    out[q] = Search(queries.Row(q), k, ef_search);
-    batch_evals += last_distance_evals_;
+    out[q] = Search(queries.Row(q), k, ef_search, distance_evals);
   }
-  last_distance_evals_ = batch_evals;
   return out;
 }
 

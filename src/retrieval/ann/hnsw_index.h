@@ -51,6 +51,15 @@ class HnswIndex {
                                int ef_search) const;
 
   /**
+   * Search that adds its distance-evaluation count to
+   * `*distance_evals` instead of writing the shared mutable counter —
+   * safe to call concurrently from multiple threads (the sharded tier
+   * runs (shard x query-block) tasks against one index).
+   */
+  std::vector<Neighbor> Search(const float* query, size_t k, int ef_search,
+                               int64_t* distance_evals) const;
+
+  /**
    * Batched Search over every row of `queries`. Afterwards
    * last_distance_evals() reports the total across the whole batch.
    */
@@ -58,7 +67,15 @@ class HnswIndex {
                                                  size_t k,
                                                  int ef_search) const;
 
-  /// Distance computations performed by the last Search call.
+  /// Concurrency-safe batched search; adds the batch's distance
+  /// evaluations to `*distance_evals` (the shared counter is untouched).
+  std::vector<std::vector<Neighbor>> SearchBatch(
+      const Matrix& queries, size_t k, int ef_search,
+      int64_t* distance_evals) const;
+
+  /// Distance computations performed by the last counter-less Search /
+  /// SearchBatch call (racy under concurrent searches; prefer the
+  /// `distance_evals` overloads there).
   int64_t last_distance_evals() const { return last_distance_evals_; }
 
   /// Total link-storage bytes (the graph's memory overhead).
@@ -74,14 +91,17 @@ class HnswIndex {
     std::vector<std::vector<int32_t>> links;
   };
 
-  float Dist(const float* query, int32_t id) const;
+  /// Distance to one node; bumps the caller-owned eval counter.
+  float Dist(const float* query, int32_t id, int64_t& evals) const;
 
   /// Greedy descent to the closest node at `layer`.
-  int32_t GreedyStep(const float* query, int32_t entry, int layer) const;
+  int32_t GreedyStep(const float* query, int32_t entry, int layer,
+                     int64_t& evals) const;
 
   /// Beam search at one layer; returns up to `ef` closest candidates.
   std::vector<Neighbor> SearchLayer(const float* query, int32_t entry,
-                                    int ef, int layer) const;
+                                    int ef, int layer,
+                                    int64_t& evals) const;
 
   /// Selects up to `m` diverse neighbors from candidates (heuristic).
   std::vector<int32_t> SelectNeighbors(const std::vector<Neighbor>& found,

@@ -127,29 +127,32 @@ class HnswEngine : public ShardEngine {
   std::vector<std::vector<ann::Neighbor>> SearchBatch(
       const ann::Matrix& queries, size_t k, double* scan_bytes) const
       override {
-    // HnswIndex::Search writes a mutable eval counter, so concurrent
-    // SearchBatch calls on the same ShardedIndex must serialize per
-    // shard to keep the advertised const-thread-compatibility. Within
-    // one batch each shard is searched by exactly one worker, so this
-    // lock is uncontended on the hot path.
-    std::lock_guard<std::mutex> guard(mutex_);
-    auto results = index_.SearchBatch(queries, k, ef_search_);
+    // The counted overload keeps the eval tally in a caller-owned
+    // slot, so the (shard x query-block) tasks of one batch search
+    // this shard concurrently; only the stats fold below serializes.
+    int64_t evals = 0;
+    auto results = index_.SearchBatch(queries, k, ef_search_, &evals);
     // Graph search has no closed-form scan estimate; charge the
     // measured distance evaluations at full precision.
-    const double batch_bytes =
-        static_cast<double>(index_.last_distance_evals()) *
-        static_cast<double>(dim_) * sizeof(float);
-    *scan_bytes += batch_bytes;
-    if (!results.empty()) {
-      bytes_per_query_ = batch_bytes / static_cast<double>(results.size());
-    }
+    *scan_bytes += static_cast<double>(evals) *
+                   static_cast<double>(dim_) * sizeof(float);
+    // Lifetime integer totals: block completion order cannot change
+    // the running average (unlike a "most recent block" snapshot).
+    std::lock_guard<std::mutex> guard(mutex_);
+    total_evals_ += evals;
+    total_queries_ += static_cast<int64_t>(results.size());
     return results;
   }
 
   double BytesPerQuery() const override {
-    // Measured on the most recent batch; 0 before any search.
+    // Measured average over every query searched so far; 0 before any.
     std::lock_guard<std::mutex> guard(mutex_);
-    return bytes_per_query_;
+    if (total_queries_ == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(total_evals_) /
+           static_cast<double>(total_queries_) *
+           static_cast<double>(dim_) * sizeof(float);
   }
 
  private:
@@ -157,7 +160,8 @@ class HnswEngine : public ShardEngine {
   size_t dim_;
   ann::HnswIndex index_;
   mutable std::mutex mutex_;
-  mutable double bytes_per_query_ = 0.0;
+  mutable int64_t total_evals_ = 0;
+  mutable int64_t total_queries_ = 0;
 };
 
 class ScannTreeEngine : public ShardEngine {
@@ -258,12 +262,24 @@ struct ShardedIndex::Shard {
 };
 
 ShardedIndex::~ShardedIndex() = default;
-ShardedIndex::ShardedIndex(ShardedIndex&&) noexcept = default;
+
+// Hand-written because pool_mutex_ pins the implicit move; the moved-to
+// index re-creates its owned pool lazily on first use.
+ShardedIndex::ShardedIndex(ShardedIndex&& other) noexcept
+    : options_(std::move(other.options_)),
+      total_rows_(other.total_rows_),
+      dim_(other.dim_),
+      partition_(std::move(other.partition_)),
+      shards_(std::move(other.shards_)) {}
 
 ShardedIndex::ShardedIndex(ann::Matrix data,
                            const ShardedIndexOptions& options)
     : options_(options), total_rows_(data.rows()), dim_(data.dim()) {
   RAGO_REQUIRE(options_.num_shards >= 1, "need at least one shard");
+  RAGO_REQUIRE(options_.num_threads >= 0,
+               "num_threads must be >= 0 (0 = hardware concurrency)");
+  RAGO_REQUIRE(options_.query_block >= 1,
+               "query_block must be >= 1");
   if (options_.modeled_db.has_value()) {
     options_.modeled_db->Validate();
     const int min_servers = retrieval::ScannModel::MinServersForCapacity(
@@ -306,28 +322,76 @@ ShardedIndex::Search(const float* query, size_t k) const {
   return SearchBatch(one, k).front();
 }
 
+ThreadPool*
+ShardedIndex::EffectivePool(ThreadPool* pool) const {
+  if (pool != nullptr) {
+    return pool;
+  }
+  const int threads = ResolveNumThreads(options_.num_threads);
+  if (threads <= 1) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return owned_pool_.get();
+}
+
 std::vector<std::vector<ann::Neighbor>>
 ShardedIndex::SearchBatch(const ann::Matrix& queries, size_t k,
                           ThreadPool* pool,
                           ShardSearchStats* stats) const {
   RAGO_REQUIRE(queries.dim() == dim_, "query dimensionality mismatch");
   RAGO_REQUIRE(k >= 1, "top-k requires k >= 1");
+  pool = EffectivePool(pool);
   const size_t num_queries = queries.rows();
   const size_t num_shards = shards_.size();
 
-  // --- Scatter: per-shard batched search into shard-indexed slots. ---
-  std::vector<std::vector<std::vector<ann::Neighbor>>> per_shard(
-      num_shards);
+  // --- Scatter: (shard x query-block) tasks into task-indexed slots.
+  // Sub-shard blocks keep workers busy when a large batch lands on few
+  // shards; the fixed block size makes the decomposition — and all
+  // block-ordered accumulation below — thread-count-invariant. ---
+  const size_t block = static_cast<size_t>(options_.query_block);
+  const size_t num_blocks = (num_queries + block - 1) / block;
+  struct BlockResult {
+    std::vector<std::vector<ann::Neighbor>> results;
+    double scan_bytes = 0.0;
+    double wall_seconds = 0.0;
+  };
+  std::vector<BlockResult> blocks(num_shards * num_blocks);
   std::vector<ShardStats> shard_stats(num_shards);
-  ParallelFor(pool, num_shards, [&](size_t s) {
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_stats[s].rows = static_cast<int64_t>(shards_[s].ids.size());
+  }
+  // Materialize each block's query rows once, shared by every shard
+  // (and outside the timed window). The single-block fast path feeds
+  // `queries` straight through.
+  std::vector<ann::Matrix> chunks;
+  if (num_blocks > 1) {
+    chunks.reserve(num_blocks);
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t begin = b * block;
+      const size_t end = std::min(num_queries, begin + block);
+      ann::Matrix chunk(end - begin, dim_);
+      for (size_t i = begin; i < end; ++i) {
+        chunk.CopyRowFrom(queries, i, i - begin);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  ParallelFor(pool, blocks.size(), [&](size_t t) {
+    const size_t s = t / num_blocks;
+    const size_t b = t % num_blocks;
     const Shard& shard = shards_[s];
-    ShardStats& local = shard_stats[s];
-    local.rows = static_cast<int64_t>(shard.ids.size());
     if (shard.engine == nullptr) {
       return;
     }
+    BlockResult& slot = blocks[t];
+    const ann::Matrix& chunk = num_blocks == 1 ? queries : chunks[b];
     const Clock::time_point start = Clock::now();
-    auto results = shard.engine->SearchBatch(queries, k, &local.scan_bytes);
+    std::vector<std::vector<ann::Neighbor>> results =
+        shard.engine->SearchBatch(chunk, k, &slot.scan_bytes);
     // Map shard-local row ids to global ids. Rows are assigned in
     // ascending global order, so the mapping is monotone and the
     // merged tie-break matches the single-index one exactly.
@@ -336,20 +400,33 @@ ShardedIndex::SearchBatch(const ann::Matrix& queries, size_t k,
         neighbor.id = shard.ids[static_cast<size_t>(neighbor.id)];
       }
     }
-    per_shard[s] = std::move(results);
-    local.wall_seconds = SecondsSince(start);
+    slot.results = std::move(results);
+    slot.wall_seconds = SecondsSince(start);
   });
+
+  // Fold block slots into per-shard stats in block order, so the
+  // floating-point scan_bytes sum never depends on completion order.
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const BlockResult& slot = blocks[s * num_blocks + b];
+      shard_stats[s].scan_bytes += slot.scan_bytes;
+      shard_stats[s].wall_seconds += slot.wall_seconds;
+    }
+  }
 
   // --- Gather: merge per-shard heaps with the deterministic order. ---
   const Clock::time_point merge_start = Clock::now();
   std::vector<std::vector<ann::Neighbor>> merged(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {
     ann::TopK topk(k);
+    const size_t b = q / block;
+    const size_t offset = q % block;
     for (size_t s = 0; s < num_shards; ++s) {
-      if (per_shard[s].empty()) {
+      const BlockResult& slot = blocks[s * num_blocks + b];
+      if (slot.results.empty()) {
         continue;  // Empty shard produced no result lists.
       }
-      for (const ann::Neighbor& neighbor : per_shard[s][q]) {
+      for (const ann::Neighbor& neighbor : slot.results[offset]) {
         topk.Push(neighbor.dist, neighbor.id);
       }
     }

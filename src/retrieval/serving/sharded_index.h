@@ -14,15 +14,16 @@
  * multi-server scans against the analytical ScannModel.
  *
  * Determinism contract: given a fixed options.seed, build and search
- * results are identical for every thread count (shard results land in
- * shard-indexed slots; the merge visits shards in order; per-shard
- * build RNG streams derive from Rng::DeriveSeed).
+ * results are identical for every thread count (block results land in
+ * (shard x query-block)-indexed slots; the merge visits shards in
+ * order; per-shard build RNG streams derive from Rng::DeriveSeed).
  */
 #ifndef RAGO_RETRIEVAL_SERVING_SHARDED_INDEX_H
 #define RAGO_RETRIEVAL_SERVING_SHARDED_INDEX_H
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -60,6 +61,21 @@ struct ShardedIndexOptions {
   /// Base seed; per-shard build streams derive deterministically.
   uint64_t seed = 0x5ca77e2;
 
+  /**
+   * Worker threads for SearchBatch when the caller passes no pool:
+   * 0 = hardware concurrency, 1 = inline. The owned pool is created
+   * lazily on first use; an explicitly passed pool always wins.
+   */
+  int num_threads = 0;
+  /**
+   * Queries per (shard x query-block) task. Sub-shard splitting keeps
+   * workers busy when large batches land on few shards; the block size
+   * is a fixed knob (never derived from the thread count) so the task
+   * decomposition — and therefore the merged results and scan-byte
+   * accounting — is identical for every pool size.
+   */
+  int query_block = 32;
+
   // Backend knobs (only the matching backend's fields are read).
   ann::IvfOptions ivf;
   int nprobe = 8;               ///< IVF / IVF-PQ probe width.
@@ -85,7 +101,13 @@ struct ShardedIndexOptions {
 struct ShardStats {
   int64_t rows = 0;           ///< Database vectors held by the shard.
   double scan_bytes = 0.0;    ///< Bytes scanned over the whole batch.
-  double wall_seconds = 0.0;  ///< Shard-local search wall time.
+  /**
+   * Shard-local busy seconds: the summed durations of this shard's
+   * (shard x query-block) tasks. Equals wall time when the batch fits
+   * one block (or runs inline); with sub-shard parallelism the blocks
+   * overlap, so this upper-bounds the shard's wall-clock contribution.
+   */
+  double wall_seconds = 0.0;
 };
 
 /// Instrumentation of one SearchBatch call.
@@ -97,7 +119,8 @@ struct ShardSearchStats {
   double TotalScanBytes() const;
   /// Mean bytes one query scans within one shard.
   double BytesPerQueryPerShard() const;
-  /// Slowest shard's wall time (the scatter-gather critical path).
+  /// Busiest shard's summed task seconds — an upper bound on the
+  /// scatter critical path (exact when each shard ran as one block).
   double MaxShardSeconds() const;
 };
 
@@ -118,9 +141,11 @@ class ShardedIndex {
   std::vector<ann::Neighbor> Search(const float* query, size_t k) const;
 
   /**
-   * Batched multi-query scatter-gather. Shard scans run on `pool`
-   * (inline when null); results are identical for any thread count.
-   * When `stats` is non-null it receives per-shard instrumentation.
+   * Batched multi-query scatter-gather, split into (shard x
+   * query-block) tasks. Tasks run on `pool` when given, else on the
+   * lazily created owned pool (options.num_threads; inline when that
+   * resolves to 1); results are identical for any thread count. When
+   * `stats` is non-null it receives per-shard instrumentation.
    */
   std::vector<std::vector<ann::Neighbor>> SearchBatch(
       const ann::Matrix& queries, size_t k, ThreadPool* pool = nullptr,
@@ -133,18 +158,25 @@ class ShardedIndex {
   const Partition& partition() const { return partition_; }
 
   /// Estimated bytes one query scans per shard (backend model; the
-  /// HNSW backend reports the measured average of its most recent
-  /// batch, 0 before any search).
+  /// HNSW backend reports the measured lifetime average over every
+  /// query searched so far — block-order independent — 0 before any
+  /// search).
   double BytesPerQueryPerShardEstimate() const;
 
  private:
   struct Shard;
+
+  /// Explicit pool if given, else the lazily built owned pool (null
+  /// when options_.num_threads resolves to 1).
+  ThreadPool* EffectivePool(ThreadPool* pool) const;
 
   ShardedIndexOptions options_;
   size_t total_rows_ = 0;
   size_t dim_ = 0;
   Partition partition_;
   std::vector<Shard> shards_;
+  mutable std::mutex pool_mutex_;  ///< Guards owned_pool_ creation.
+  mutable std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace rago::serving

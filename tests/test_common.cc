@@ -9,7 +9,12 @@
 #include <set>
 #include <string>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "common/check.h"
+#include "common/json_writer.h"
 #include "common/math_util.h"
 #include "common/pareto.h"
 #include "common/rng.h"
@@ -293,6 +298,146 @@ TEST_P(OnlineParetoPropertyTest, MatchesBatchFrontier) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OnlineParetoPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(OnlinePareto, AllTiesKeepPayloadOrderIndependently) {
+  // Regression for the parallel-merge duplicate bug: points equal on
+  // BOTH objectives used to keep whichever was offered first, so a
+  // concurrent merge could report a different duplicate per run. The
+  // payload tie-break must pick the smallest payload for every offer
+  // permutation.
+  std::vector<int> payloads = {4, 1, 3, 2};
+  std::sort(payloads.begin(), payloads.end());
+  do {
+    OnlineParetoFront<int> front;
+    for (int payload : payloads) {
+      EXPECT_TRUE(front.WouldAccept(1.0, 10.0));
+      front.Offer(1.0, 10.0, payload);
+    }
+    const auto points = front.Take();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].payload, 1) << "offer order leaked into the tie";
+  } while (std::next_permutation(payloads.begin(), payloads.end()));
+}
+
+TEST(OnlinePareto, TieBreakDoesNotDisturbDominance) {
+  OnlineParetoFront<int> front;
+  front.Offer(1.0, 10.0, 5);
+  front.Offer(1.0, 10.0, 2);   // Tie: payload 2 survives.
+  front.Offer(2.0, 20.0, 9);   // Independent frontier point.
+  EXPECT_FALSE(front.Offer(1.5, 10.0, 1));  // Dominated, despite payload 1.
+  const auto points = front.Take();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].payload, 2);
+  EXPECT_EQ(points[1].payload, 9);
+}
+
+TEST(OnlinePareto, MergeIsPartitionAndOrderIndependent) {
+  // The optimizer merges per-task partial frontiers; any split of the
+  // offer stream over any number of fronts, merged in any order, must
+  // produce identical points and payloads.
+  Rng rng(99);
+  std::vector<ParetoPoint<size_t>> stream;
+  for (size_t i = 0; i < 300; ++i) {
+    stream.push_back({0.1 * static_cast<double>(rng.NextBounded(12)),
+                      0.1 * static_cast<double>(rng.NextBounded(12)), i});
+  }
+  OnlineParetoFront<size_t> serial;
+  for (const auto& p : stream) {
+    serial.Offer(p.latency, p.throughput, p.payload);
+  }
+  const auto expected = serial.Take();
+
+  for (size_t parts : {2u, 3u, 7u}) {
+    std::vector<OnlineParetoFront<size_t>> partial(parts);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      partial[i % parts].Offer(stream[i].latency, stream[i].throughput,
+                               stream[i].payload);
+    }
+    // Merge back-to-front to stress order independence.
+    OnlineParetoFront<size_t> merged;
+    for (size_t p = parts; p-- > 0;) {
+      merged.Merge(std::move(partial[p]));
+    }
+    const auto actual = merged.Take();
+    ASSERT_EQ(actual.size(), expected.size()) << parts << " parts";
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].latency, expected[i].latency);
+      EXPECT_EQ(actual[i].throughput, expected[i].throughput);
+      EXPECT_EQ(actual[i].payload, expected[i].payload);
+    }
+  }
+}
+
+/// Minimal JSON well-formedness scan: balanced containers outside
+/// strings and none of the bare non-finite tokens JSON forbids.
+void ExpectParseableJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  std::string outside_strings;  // Structure + literals, strings elided.
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    outside_strings += c;
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  for (const char* token : {"nan", "inf"}) {
+    EXPECT_EQ(outside_strings.find(token), std::string::npos)
+        << "bare non-finite token in: " << json;
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  // Infeasible schedules carry latency = inf; `--json` output must stay
+  // valid JSON (which has no inf/nan literals) by emitting null.
+  JsonWriter json;
+  json.BeginObject()
+      .Key("inf").Number(std::numeric_limits<double>::infinity())
+      .Key("neg_inf").Number(-std::numeric_limits<double>::infinity())
+      .Key("nan").Number(std::numeric_limits<double>::quiet_NaN())
+      .Key("finite").Number(1.5)
+      .Key("mixed").BeginArray()
+          .Number(std::numeric_limits<double>::quiet_NaN())
+          .Number(2.0)
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"inf\":null,\"neg_inf\":null,\"nan\":null,"
+            "\"finite\":1.5,\"mixed\":[null,2]}");
+  ExpectParseableJson(json.str());
+}
+
+TEST(JsonWriter, RoundTripStaysParseable) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("name").String("fig\"15\"\n")
+      .Key("values").BeginArray();
+  for (double v : {1e-9, 3.14159, 1e308,
+                   std::numeric_limits<double>::infinity()}) {
+    json.Number(v);
+  }
+  json.EndArray()
+      .Key("count").Int(42)
+      .Key("ok").Bool(true)
+      .EndObject();
+  ExpectParseableJson(json.str());
+  EXPECT_NE(json.str().find("null"), std::string::npos);
+}
 
 TEST(Table, RendersAlignedColumnsWithHeader) {
   TextTable table("Title");

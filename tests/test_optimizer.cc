@@ -228,6 +228,35 @@ TEST(Optimizer, UniformBatchModeTiesChainBatches) {
   }
 }
 
+TEST(Optimizer, RejectsNegativeThreadCount) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  rago::DefaultCluster());
+  SearchOptions options = SmallGrid();
+  options.num_threads = -1;
+  EXPECT_THROW(Optimizer(model, options), rago::ConfigError);
+}
+
+TEST(Optimizer, ParallelSearchRespectsBudgetAndFrontierInvariants) {
+  // Functional sanity of the parallel path beyond bit-equality (which
+  // test_determinism pins): budget and Pareto invariants hold when the
+  // enumeration is partitioned across workers.
+  const core::PipelineModel model(core::MakeLongContextSchema(8, 1'000'000),
+                                  rago::DefaultCluster());
+  SearchOptions options = SmallGrid();
+  options.max_total_xpus = 16;
+  options.num_threads = 4;
+  const OptimizerResult result = Optimizer(model, options).Search();
+  ASSERT_FALSE(result.pareto.empty());
+  for (const ScheduledPoint& point : result.pareto) {
+    EXPECT_LE(point.schedule.AllocatedXpus(), 16);
+  }
+  for (size_t i = 1; i < result.pareto.size(); ++i) {
+    EXPECT_GT(result.pareto[i].perf.ttft, result.pareto[i - 1].perf.ttft);
+    EXPECT_GT(result.pareto[i].perf.qps_per_chip,
+              result.pareto[i - 1].perf.qps_per_chip);
+  }
+}
+
 TEST(OptimizerResult, AccessorsRejectEmptyFrontier) {
   OptimizerResult empty;
   EXPECT_THROW(empty.MaxQpsPerChip(), rago::ConfigError);

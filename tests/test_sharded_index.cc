@@ -161,6 +161,57 @@ TEST(ShardedIndex, KLargerThanSomeShardsStillExact) {
   ExpectExactMatch(actual, expected, "k>shard");
 }
 
+TEST(ShardedIndex, QueryBlockSplitStaysExact) {
+  // Sub-shard (shard x query-block) tasks must not change results:
+  // block == 1 (one task per query), a block that leaves a ragged
+  // tail, and a block far larger than the batch all match the oracle.
+  const AnnTestBed bed = MakeAnnTestBed(900, 10, 17);
+  const ann::FlatIndex single(CopyMatrix(bed.data), ann::Metric::kL2);
+  const auto expected = single.SearchBatch(bed.queries, 11);
+  for (int query_block : {1, 3, 5, 1000}) {
+    ShardedIndexOptions options;
+    options.num_shards = 4;
+    options.query_block = query_block;
+    const ShardedIndex sharded(CopyMatrix(bed.data), options);
+    for (int threads : {1, 4}) {
+      ThreadPool pool(threads);
+      ExpectExactMatch(sharded.SearchBatch(bed.queries, 11, &pool),
+                       expected, "query-block");
+    }
+  }
+}
+
+TEST(ShardedIndex, OwnedPoolMatchesExplicitPoolAndInline) {
+  // options.num_threads makes SearchBatch parallel without a caller
+  // pool; results must equal both the inline run and an explicit pool.
+  const AnnTestBed bed = MakeAnnTestBed(800, 8, 12);
+  ShardedIndexOptions options;
+  options.num_shards = 3;
+  options.query_block = 4;
+
+  options.num_threads = 1;
+  const ShardedIndex inline_index(CopyMatrix(bed.data), options);
+  const auto expected = inline_index.SearchBatch(bed.queries, 7);
+
+  options.num_threads = 4;
+  const ShardedIndex pooled(CopyMatrix(bed.data), options);
+  ExpectExactMatch(pooled.SearchBatch(bed.queries, 7), expected,
+                   "owned pool");
+  ThreadPool explicit_pool(2);
+  ExpectExactMatch(pooled.SearchBatch(bed.queries, 7, &explicit_pool),
+                   expected, "explicit pool overrides owned");
+}
+
+TEST(ShardedIndex, RejectsDegenerateThreadingOptions) {
+  const AnnTestBed bed = MakeAnnTestBed(50, 4, 1);
+  ShardedIndexOptions options;
+  options.query_block = 0;
+  EXPECT_THROW(ShardedIndex(CopyMatrix(bed.data), options), ConfigError);
+  options.query_block = 32;
+  options.num_threads = -1;
+  EXPECT_THROW(ShardedIndex(CopyMatrix(bed.data), options), ConfigError);
+}
+
 TEST(ShardedIndex, DeterministicAcrossThreadCountsForApproxBackends) {
   // Fixed seed => identical merged results regardless of thread count,
   // for a backend whose build is itself randomized.
@@ -180,6 +231,40 @@ TEST(ShardedIndex, DeterministicAcrossThreadCountsForApproxBackends) {
   const auto serial = a.SearchBatch(bed.queries, 10);
   const auto threaded = b.SearchBatch(bed.queries, 10, &pool);
   ExpectExactMatch(threaded, serial, "ivfpq");
+}
+
+TEST(ShardedIndex, HnswBlocksSearchConcurrentlyAndStayDeterministic) {
+  // HNSW query-blocks of one shard now run in parallel (the counted
+  // eval overload removed the whole-search lock); results and the
+  // integer eval-based scan-byte accounting must stay thread-count
+  // invariant.
+  const AnnTestBed bed = MakeAnnTestBed(1500, 12, 24);
+  ShardedIndexOptions options;
+  options.num_shards = 2;  // Few shards, many blocks per shard.
+  options.query_block = 4;
+  options.backend = ShardBackend::kHnsw;
+  options.ef_search = 48;
+  options.seed = 33;
+
+  const ShardedIndex a(CopyMatrix(bed.data), options);
+  const ShardedIndex b(CopyMatrix(bed.data), options);
+  ShardSearchStats serial_stats;
+  ShardSearchStats threaded_stats;
+  const auto serial =
+      a.SearchBatch(bed.queries, 8, nullptr, &serial_stats);
+  ThreadPool pool(4);
+  const auto threaded =
+      b.SearchBatch(bed.queries, 8, &pool, &threaded_stats);
+  ExpectExactMatch(threaded, serial, "hnsw blocks");
+  ASSERT_EQ(serial_stats.shards.size(), threaded_stats.shards.size());
+  for (size_t s = 0; s < serial_stats.shards.size(); ++s) {
+    EXPECT_EQ(serial_stats.shards[s].scan_bytes,
+              threaded_stats.shards[s].scan_bytes)
+        << "eval accounting drifted on shard " << s;
+  }
+  EXPECT_GT(a.BytesPerQueryPerShardEstimate(), 0.0);
+  EXPECT_EQ(a.BytesPerQueryPerShardEstimate(),
+            b.BytesPerQueryPerShardEstimate());
 }
 
 TEST(ShardedIndex, ApproxBackendsReachUsableRecall) {
