@@ -16,6 +16,7 @@
 #include "retrieval/ann/flat_index.h"
 #include "retrieval/ann/hnsw_index.h"
 #include "retrieval/ann/ivfpq_index.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 #include "retrieval/ann/recall.h"
 #include "retrieval/ann/scann_tree.h"
 
@@ -34,9 +35,14 @@ int main(int argc, char** argv) {
   const std::vector<std::vector<Neighbor>> truth =
       flat.SearchBatch(queries, 10);
 
+  // Every scan below runs through the dispatched distance kernels;
+  // record which variant priced this run so perf trajectories across
+  // hosts stay comparable.
+  const char* kernel_variant = kernels::Active().name;
+
   Banner("ANN algorithm comparison (20K x 64-d clustered vectors)");
   TextTable table;
-  table.SetHeader({"index", "setting", "recall@10", "work/query",
+  table.SetHeader({"index", "setting", "kernel", "recall@10", "work/query",
                    "index bytes/vector"});
 
   JsonWriter json;
@@ -44,15 +50,18 @@ int main(int argc, char** argv) {
   json.Key("bench").String("ann_comparison");
   json.Key("rows").Int(static_cast<int64_t>(n));
   json.Key("dim").Int(static_cast<int64_t>(dim));
+  json.Key("kernel_variant").String(kernel_variant);
   json.Key("results").BeginArray();
   // One record per table row; `work_per_query` is scanned bytes for
   // the PQ-based indexes and distance evaluations for the graph.
-  auto record = [&json](const char* index, const std::string& setting,
-                        double recall, double work, const char* work_unit,
-                        double bytes_per_vector) {
+  auto record = [&json, kernel_variant](
+                    const char* index, const std::string& setting,
+                    double recall, double work, const char* work_unit,
+                    double bytes_per_vector) {
     json.BeginObject();
     json.Key("index").String(index);
     json.Key("setting").String(setting);
+    json.Key("kernel").String(kernel_variant);
     json.Key("recall_at_10").Number(recall);
     json.Key("work_per_query").Number(work);
     json.Key("work_unit").String(work_unit);
@@ -72,7 +81,7 @@ int main(int argc, char** argv) {
       const double recall = MeanRecallAtK(results, truth, 10);
       const double bytes_per_vector = 8.0 + 128.0 * dim * 4 / n;
       table.AddRow({"IVF-PQ", "nprobe=" + std::to_string(nprobe),
-                    TextTable::Num(recall, 3),
+                    kernel_variant, TextTable::Num(recall, 3),
                     TextTable::Num(index.ExpectedScannedBytes(nprobe), 4) +
                         " B scanned",
                     TextTable::Num(bytes_per_vector, 3)});
@@ -93,7 +102,7 @@ int main(int argc, char** argv) {
       const auto results = tree.SearchBatch(queries, 10, beam, 100);
       const double recall = MeanRecallAtK(results, truth, 10);
       table.AddRow({"ScaNN-tree", "beam=" + std::to_string(beam),
-                    TextTable::Num(recall, 3),
+                    kernel_variant, TextTable::Num(recall, 3),
                     TextTable::Num(tree.ExpectedLeafBytesScanned(beam), 4) +
                         " B scanned",
                     "8 (+tree)"});
@@ -117,7 +126,7 @@ int main(int argc, char** argv) {
           static_cast<double>(index.last_distance_evals()) /
           static_cast<double>(queries.rows());
       table.AddRow({"HNSW", "ef=" + std::to_string(ef),
-                    TextTable::Num(recall, 3),
+                    kernel_variant, TextTable::Num(recall, 3),
                     TextTable::Num(evals_per_query, 4) + " dists",
                     TextTable::Num(bytes_per_vector, 4)});
       record("HNSW", "ef=" + std::to_string(ef), recall, evals_per_query,

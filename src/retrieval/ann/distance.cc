@@ -1,5 +1,7 @@
 #include "retrieval/ann/distance.h"
 
+#include "common/check.h"
+
 namespace rago::ann {
 
 float
@@ -29,7 +31,8 @@ Distance(Metric metric, const float* a, const float* b, size_t dim) {
     case Metric::kInnerProduct:
       return -Dot(a, b, dim);
   }
-  return 0.0f;  // Unreachable.
+  // An unhandled Metric must fail loudly, not masquerade as distance 0.
+  RAGO_CHECK(false, "unhandled Metric in Distance()");
 }
 
 }  // namespace rago::ann

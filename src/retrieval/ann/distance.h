@@ -5,6 +5,12 @@
  * Distances follow the "smaller is better" convention: inner-product
  * similarity is negated so the same top-k machinery serves both
  * metrics.
+ *
+ * These per-pair functions are the portable scalar reference. Scan
+ * loops should use the batched kernel layer in
+ * kernels/distance_kernels.h instead, which runs the same math through
+ * runtime-dispatched SIMD variants (the scalar variant is bit-identical
+ * to these loops).
  */
 #ifndef RAGO_RETRIEVAL_ANN_DISTANCE_H
 #define RAGO_RETRIEVAL_ANN_DISTANCE_H

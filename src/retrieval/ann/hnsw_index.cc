@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 
 namespace rago::ann {
 
@@ -22,6 +23,7 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
 
   nodes_.resize(data_.rows());
   int64_t build_evals = 0;  // Build-time distance evals, not reported.
+  Scratch scratch;          // Gather buffers shared by the whole build.
   for (size_t i = 0; i < data_.rows(); ++i) {
     const auto id = static_cast<int32_t>(i);
     const int level = DrawLevel(rng);
@@ -38,7 +40,7 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
     // Phase 1: greedy descent from the global entry down to level+1.
     int32_t entry = entry_point_;
     for (int layer = max_level_; layer > level; --layer) {
-      entry = GreedyStep(data_.Row(i), entry, layer, build_evals);
+      entry = GreedyStep(data_.Row(i), entry, layer, build_evals, scratch);
     }
 
     // Phase 2: beam search and link at each layer from min(level,
@@ -46,7 +48,7 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
     for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
       const std::vector<Neighbor> found =
           SearchLayer(data_.Row(i), entry, options_.ef_construction,
-                      layer, build_evals);
+                      layer, build_evals, scratch);
       // Base layer allows 2M links (standard HNSW practice).
       const int m = layer == 0 ? 2 * options_.max_degree
                                : options_.max_degree;
@@ -60,14 +62,16 @@ HnswIndex::HnswIndex(Matrix data, Metric metric, const HnswOptions& options,
           // Re-prune the neighbor's links with the same diversity
           // heuristic used at insertion. Keeping only the m *nearest*
           // would sever inter-cluster bridges and disconnect the
-          // graph on clustered data.
+          // graph on clustered data. The overflowing link list stages
+          // through the gather buffers like any other candidate block.
+          scratch.ids.assign(back.begin(), back.end());
+          BatchDist(data_.Row(static_cast<size_t>(nb)), back.size(),
+                    scratch, build_evals);
           std::vector<Neighbor> candidates;
           candidates.reserve(back.size());
-          for (int32_t other : back) {
-            candidates.push_back(Neighbor{
-                Dist(data_.Row(static_cast<size_t>(nb)), other,
-                     build_evals),
-                other});
+          for (size_t j = 0; j < back.size(); ++j) {
+            candidates.push_back(
+                Neighbor{scratch.dists[j], scratch.ids[j]});
           }
           std::sort(candidates.begin(), candidates.end());
           back = SelectNeighbors(candidates, m);
@@ -94,25 +98,52 @@ HnswIndex::DrawLevel(Rng& rng) const {
 float
 HnswIndex::Dist(const float* query, int32_t id, int64_t& evals) const {
   ++evals;
-  return Distance(metric_, query, data_.Row(static_cast<size_t>(id)),
-                  data_.dim());
+  return kernels::DistanceOne(metric_, query,
+                              data_.Row(static_cast<size_t>(id)),
+                              data_.dim());
+}
+
+void
+HnswIndex::BatchDist(const float* query, size_t count, Scratch& scratch,
+                     int64_t& evals) const {
+  const size_t dim = data_.dim();
+  if (scratch.rows.size() < count * dim) {
+    scratch.rows.resize(count * dim);
+  }
+  if (scratch.dists.size() < count) {
+    scratch.dists.resize(count);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const float* row = data_.Row(static_cast<size_t>(scratch.ids[i]));
+    std::copy(row, row + dim, scratch.rows.data() + i * dim);
+  }
+  kernels::DistanceBatch(metric_, query, scratch.rows.data(), count, dim,
+                         scratch.dists.data());
+  evals += static_cast<int64_t>(count);
 }
 
 int32_t
 HnswIndex::GreedyStep(const float* query, int32_t entry, int layer,
-                      int64_t& evals) const {
+                      int64_t& evals, Scratch& scratch) const {
   int32_t current = entry;
   float best = Dist(query, current, evals);
   bool improved = true;
   while (improved) {
     improved = false;
-    for (int32_t nb :
-         nodes_[static_cast<size_t>(current)].links[static_cast<size_t>(
-             layer)]) {
-      const float d = Dist(query, nb, evals);
-      if (d < best) {
-        best = d;
-        current = nb;
+    const std::vector<int32_t>& links =
+        nodes_[static_cast<size_t>(current)].links[static_cast<size_t>(
+            layer)];
+    if (links.empty()) {
+      break;
+    }
+    scratch.ids.assign(links.begin(), links.end());
+    BatchDist(query, scratch.ids.size(), scratch, evals);
+    // Sequential running-best over the batch keeps the legacy
+    // semantics: the first occurrence of the block's minimum wins.
+    for (size_t i = 0; i < scratch.ids.size(); ++i) {
+      if (scratch.dists[i] < best) {
+        best = scratch.dists[i];
+        current = scratch.ids[i];
         improved = true;
       }
     }
@@ -122,7 +153,7 @@ HnswIndex::GreedyStep(const float* query, int32_t entry, int layer,
 
 std::vector<Neighbor>
 HnswIndex::SearchLayer(const float* query, int32_t entry, int ef,
-                       int layer, int64_t& evals) const {
+                       int layer, int64_t& evals, Scratch& scratch) const {
   std::unordered_set<int32_t> visited = {entry};
   // Min-heap of candidates to expand; bounded max-heap of results.
   std::priority_queue<Neighbor, std::vector<Neighbor>,
@@ -139,16 +170,25 @@ HnswIndex::SearchLayer(const float* query, int32_t entry, int ef,
     if (current.dist > results.Threshold()) {
       break;  // No candidate can improve the result set.
     }
+    // Stage this hop's unvisited neighbors into the gather buffers
+    // (link order preserved), then score the block in one kernel call.
+    scratch.ids.clear();
     for (int32_t nb :
          nodes_[static_cast<size_t>(current.id)].links[static_cast<size_t>(
              layer)]) {
-      if (!visited.insert(nb).second) {
-        continue;
+      if (visited.insert(nb).second) {
+        scratch.ids.push_back(nb);
       }
-      const float d = Dist(query, nb, evals);
+    }
+    if (scratch.ids.empty()) {
+      continue;
+    }
+    BatchDist(query, scratch.ids.size(), scratch, evals);
+    for (size_t i = 0; i < scratch.ids.size(); ++i) {
+      const float d = scratch.dists[i];
       if (d < results.Threshold()) {
-        candidates.push(Neighbor{d, nb});
-        results.Push(d, nb);
+        candidates.push(Neighbor{d, scratch.ids[i]});
+        results.Push(d, scratch.ids[i]);
       }
     }
   }
@@ -166,9 +206,9 @@ HnswIndex::SelectNeighbors(const std::vector<Neighbor>& found, int m) const {
     }
     bool diverse = true;
     for (int32_t chosen : selected) {
-      const float to_chosen =
-          Distance(metric_, data_.Row(static_cast<size_t>(candidate.id)),
-                   data_.Row(static_cast<size_t>(chosen)), data_.dim());
+      const float to_chosen = kernels::DistanceOne(
+          metric_, data_.Row(static_cast<size_t>(candidate.id)),
+          data_.Row(static_cast<size_t>(chosen)), data_.dim());
       if (to_chosen < candidate.dist) {
         diverse = false;
         break;
@@ -207,13 +247,14 @@ HnswIndex::Search(const float* query, size_t k, int ef_search,
                "counted Search needs an eval slot (use the 3-arg "
                "overload to skip counting)");
   int64_t evals = 0;
+  Scratch scratch;
   int32_t entry = entry_point_;
   for (int layer = max_level_; layer > 0; --layer) {
-    entry = GreedyStep(query, entry, layer, evals);
+    entry = GreedyStep(query, entry, layer, evals, scratch);
   }
   std::vector<Neighbor> found = SearchLayer(
       query, entry, std::max<int>(ef_search, static_cast<int>(k)), 0,
-      evals);
+      evals, scratch);
   if (found.size() > k) {
     found.resize(k);
   }

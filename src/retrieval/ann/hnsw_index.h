@@ -91,17 +91,36 @@ class HnswIndex {
     std::vector<std::vector<int32_t>> links;
   };
 
+  /**
+   * Gather buffers reused across one search (or the whole build):
+   * graph neighbors are scattered through the database, so each hop
+   * stages its candidates into `rows` and scores the block with one
+   * batched kernel call. One instance per top-level call keeps the
+   * index immutable and concurrent searches independent.
+   */
+  struct Scratch {
+    std::vector<int32_t> ids;  ///< Candidate ids, in link order.
+    std::vector<float> rows;   ///< Their gathered vectors.
+    std::vector<float> dists;  ///< Batched distance outputs.
+  };
+
   /// Distance to one node; bumps the caller-owned eval counter.
   float Dist(const float* query, int32_t id, int64_t& evals) const;
 
+  /// Gathers the first `count` ids of scratch.ids into scratch.rows,
+  /// batch-computes their distances into scratch.dists, and bumps
+  /// `evals` by `count`.
+  void BatchDist(const float* query, size_t count, Scratch& scratch,
+                 int64_t& evals) const;
+
   /// Greedy descent to the closest node at `layer`.
   int32_t GreedyStep(const float* query, int32_t entry, int layer,
-                     int64_t& evals) const;
+                     int64_t& evals, Scratch& scratch) const;
 
   /// Beam search at one layer; returns up to `ef` closest candidates.
   std::vector<Neighbor> SearchLayer(const float* query, int32_t entry,
-                                    int ef, int layer,
-                                    int64_t& evals) const;
+                                    int ef, int layer, int64_t& evals,
+                                    Scratch& scratch) const;
 
   /// Selects up to `m` diverse neighbors from candidates (heuristic).
   std::vector<int32_t> SelectNeighbors(const std::vector<Neighbor>& found,

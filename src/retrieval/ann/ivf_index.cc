@@ -3,38 +3,52 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 
 namespace rago::ann {
 
 IvfIndex::IvfIndex(Matrix data, Metric metric, const IvfOptions& options,
                    Rng& rng)
-    : data_(std::move(data)), metric_(metric), nlist_(options.nlist) {
-  RAGO_REQUIRE(!data_.empty(), "IVF requires a non-empty database");
+    : metric_(metric), nlist_(options.nlist), num_rows_(data.rows()),
+      dim_(data.dim()) {
+  RAGO_REQUIRE(!data.empty(), "IVF requires a non-empty database");
   RAGO_REQUIRE(options.nlist > 0, "nlist must be positive");
-  RAGO_REQUIRE(static_cast<size_t>(options.nlist) <= data_.rows(),
+  RAGO_REQUIRE(static_cast<size_t>(options.nlist) <= data.rows(),
                "nlist cannot exceed the database size");
 
   KMeansOptions kmeans_options;
   kmeans_options.max_iterations = options.kmeans_iterations;
-  KMeansResult trained = TrainKMeans(data_, nlist_, rng, kmeans_options);
+  KMeansResult trained = TrainKMeans(data, nlist_, rng, kmeans_options);
   centroids_ = std::move(trained.centroids);
 
   lists_.resize(static_cast<size_t>(nlist_));
-  for (size_t i = 0; i < data_.rows(); ++i) {
+  for (size_t i = 0; i < num_rows_; ++i) {
     lists_[static_cast<size_t>(trained.assignments[i])].push_back(
         static_cast<int64_t>(i));
   }
+
+  // Regroup rows list-contiguously so each probe scans one block with
+  // the batched kernels; ids stay ascending within a list, preserving
+  // the deterministic tie-break order of the old scattered scan.
+  reordered_ = Matrix(num_rows_, dim_);
+  list_offsets_.resize(static_cast<size_t>(nlist_) + 1);
+  size_t next = 0;
+  for (size_t c = 0; c < lists_.size(); ++c) {
+    list_offsets_[c] = next;
+    for (int64_t id : lists_[c]) {
+      reordered_.CopyRowFrom(data, static_cast<size_t>(id), next++);
+    }
+  }
+  list_offsets_[lists_.size()] = next;
 }
 
 std::vector<int32_t>
 IvfIndex::NearestClusters(const float* query, int nprobe) const {
   // Rank all centroids by distance and take the closest nprobe.
   TopK topk(static_cast<size_t>(std::min(nprobe, nlist_)));
-  for (int c = 0; c < nlist_; ++c) {
-    topk.Push(L2Sq(query, centroids_.Row(static_cast<size_t>(c)),
-                   centroids_.dim()),
-              c);
-  }
+  kernels::ScanRowsIntoTopK(Metric::kL2, query, centroids_.data(),
+                            centroids_.rows(), centroids_.dim(),
+                            /*ids=*/nullptr, /*base_id=*/0, topk);
   std::vector<int32_t> out;
   for (const Neighbor& nb : topk.SortedTake()) {
     out.push_back(static_cast<int32_t>(nb.id));
@@ -47,18 +61,21 @@ IvfIndex::Search(const float* query, size_t k, int nprobe) const {
   RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
   TopK topk(k);
   for (int32_t cluster : NearestClusters(query, nprobe)) {
-    for (int64_t id : lists_[static_cast<size_t>(cluster)]) {
-      topk.Push(Distance(metric_, query, data_.Row(static_cast<size_t>(id)),
-                         data_.dim()),
-                id);
+    const auto c = static_cast<size_t>(cluster);
+    const size_t begin = list_offsets_[c];
+    const size_t count = list_offsets_[c + 1] - begin;
+    if (count == 0) {
+      continue;
     }
+    kernels::ScanRowsIntoTopK(metric_, query, reordered_.Row(begin), count,
+                              dim_, lists_[c].data(), /*base_id=*/0, topk);
   }
   return topk.SortedTake();
 }
 
 std::vector<std::vector<Neighbor>>
 IvfIndex::SearchBatch(const Matrix& queries, size_t k, int nprobe) const {
-  RAGO_REQUIRE(queries.dim() == data_.dim(), "query dimensionality mismatch");
+  RAGO_REQUIRE(queries.dim() == dim_, "query dimensionality mismatch");
   std::vector<std::vector<Neighbor>> out(queries.rows());
   for (size_t q = 0; q < queries.rows(); ++q) {
     out[q] = Search(queries.Row(q), k, nprobe);
@@ -69,7 +86,7 @@ IvfIndex::SearchBatch(const Matrix& queries, size_t k, int nprobe) const {
 double
 IvfIndex::ExpectedScannedVectors(int nprobe) const {
   const double probed = std::min(nprobe, nlist_);
-  return static_cast<double>(data_.rows()) * probed / nlist_;
+  return static_cast<double>(num_rows_) * probed / nlist_;
 }
 
 }  // namespace rago::ann

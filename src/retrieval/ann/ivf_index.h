@@ -5,6 +5,11 @@
  * Vectors are partitioned into `nlist` clusters by a trained coarse
  * quantizer; a query scans only the `nprobe` nearest clusters. This is
  * the uncompressed building block beneath IVF-PQ.
+ *
+ * Storage is list-contiguous: at build time the database rows are
+ * regrouped so each inverted list occupies one contiguous block, and
+ * in-list scans run through the batched distance kernels
+ * (kernels/distance_kernels.h) instead of per-row pointer chasing.
  */
 #ifndef RAGO_RETRIEVAL_ANN_IVF_INDEX_H
 #define RAGO_RETRIEVAL_ANN_IVF_INDEX_H
@@ -46,7 +51,8 @@ class IvfIndex {
   double ExpectedScannedVectors(int nprobe) const;
 
   int nlist() const { return nlist_; }
-  size_t size() const { return data_.rows(); }
+  size_t size() const { return num_rows_; }
+  size_t dim() const { return dim_; }
   const Matrix& centroids() const { return centroids_; }
   const std::vector<int64_t>& list(int cluster) const {
     return lists_[static_cast<size_t>(cluster)];
@@ -55,13 +61,18 @@ class IvfIndex {
  private:
   std::vector<int32_t> NearestClusters(const float* query, int nprobe) const;
 
-  Matrix data_;
   Metric metric_;
   int nlist_ = 0;
+  size_t num_rows_ = 0;
+  size_t dim_ = 0;
   Matrix centroids_;
+  /// Per-list original row ids, ascending within each list.
   std::vector<std::vector<int64_t>> lists_;
-
-  friend class IvfPqIndex;
+  /// Database rows regrouped list-contiguously: list c occupies rows
+  /// [list_offsets_[c], list_offsets_[c + 1]) of reordered_, in the
+  /// same order as lists_[c].
+  Matrix reordered_;
+  std::vector<size_t> list_offsets_;
 };
 
 }  // namespace rago::ann

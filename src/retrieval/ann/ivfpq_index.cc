@@ -3,8 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 #include "retrieval/ann/kmeans.h"
+#include "retrieval/ann/rerank.h"
 #include "retrieval/ann/topk.h"
 
 namespace rago::ann {
@@ -65,10 +66,9 @@ IvfPqIndex::Search(const float* query, size_t k, int nprobe,
 
   // Rank coarse clusters.
   TopK cluster_rank(static_cast<size_t>(std::min(nprobe, nlist_)));
-  for (int c = 0; c < nlist_; ++c) {
-    cluster_rank.Push(
-        L2Sq(query, centroids_.Row(static_cast<size_t>(c)), dim), c);
-  }
+  kernels::ScanRowsIntoTopK(Metric::kL2, query, centroids_.data(),
+                            centroids_.rows(), dim, /*ids=*/nullptr,
+                            /*base_id=*/0, cluster_rank);
 
   // ADC scan inside probed lists. The candidate pool is max(k, rerank)
   // wide so re-ranking has material to work with.
@@ -86,14 +86,10 @@ IvfPqIndex::Search(const float* query, size_t k, int nprobe,
       table_query = shifted.data();
     }
     const std::vector<float> table = pq_->BuildAdcTable(table_query);
-    const std::vector<uint8_t>& list_codes = codes_[c];
     const std::vector<int64_t>& list_ids = ids_[c];
-    const size_t code_bytes = pq_->CodeBytes();
-    for (size_t i = 0; i < list_ids.size(); ++i) {
-      const float dist =
-          pq_->AdcDistance(table, list_codes.data() + i * code_bytes);
-      candidates.Push(dist, list_ids[i]);
-    }
+    kernels::ScanCodesIntoTopK(table.data(), codes_[c].data(),
+                               list_ids.size(), pq_->CodeBytes(),
+                               list_ids.data(), /*base_id=*/0, candidates);
   }
 
   std::vector<Neighbor> approx = candidates.SortedTake();
@@ -103,14 +99,7 @@ IvfPqIndex::Search(const float* query, size_t k, int nprobe,
     }
     return approx;
   }
-
-  // Exact re-ranking of the PQ shortlist.
-  TopK exact(k);
-  for (const Neighbor& nb : approx) {
-    exact.Push(L2Sq(query, raw_.Row(static_cast<size_t>(nb.id)), dim),
-               nb.id);
-  }
-  return exact.SortedTake();
+  return RerankExactL2(approx, query, raw_, k);
 }
 
 std::vector<std::vector<Neighbor>>

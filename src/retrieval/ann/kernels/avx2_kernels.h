@@ -1,0 +1,24 @@
+/**
+ * @file avx2_kernels.h
+ * Internal declaration of the AVX2/FMA kernel table.
+ *
+ * Defined in distance_kernels_avx2.cc, which is only added to the
+ * build (with -mavx2 -mfma) when the toolchain targets x86 and accepts
+ * the flags; RAGO_KERNELS_HAVE_AVX2 guards every reference. Not part
+ * of the public kernel API — consumers go through Active().
+ */
+#ifndef RAGO_RETRIEVAL_ANN_KERNELS_AVX2_KERNELS_H
+#define RAGO_RETRIEVAL_ANN_KERNELS_AVX2_KERNELS_H
+
+#include "retrieval/ann/kernels/distance_kernels.h"
+
+namespace rago::ann::kernels {
+
+#if defined(RAGO_KERNELS_HAVE_AVX2)
+/// The AVX2/FMA implementation set (host support checked by callers).
+const KernelTable& Avx2Kernels();
+#endif
+
+}  // namespace rago::ann::kernels
+
+#endif  // RAGO_RETRIEVAL_ANN_KERNELS_AVX2_KERNELS_H

@@ -1,0 +1,298 @@
+#include "retrieval/ann/kernels/distance_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "retrieval/ann/kernels/avx2_kernels.h"
+
+namespace rago::ann::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. The per-row loops are bit-identical to the
+// legacy sequential L2Sq/Dot in distance.cc — the batch shape changes
+// only where the loop lives, not the accumulation order — so forcing
+// scalar reproduces pre-kernel-layer results exactly.
+// ---------------------------------------------------------------------------
+
+void ScalarL2Batch(const float* query, const float* rows, size_t num_rows,
+                   size_t dim, float* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = L2Sq(query, rows + i * dim, dim);
+  }
+}
+
+void ScalarDotBatch(const float* query, const float* rows, size_t num_rows,
+                    size_t dim, float* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = Dot(query, rows + i * dim, dim);
+  }
+}
+
+void ScalarL2Tile(const float* queries, size_t num_queries, const float* rows,
+                  size_t num_rows, size_t dim, float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScalarL2Batch(queries + q * dim, rows, num_rows, dim, out + q * num_rows);
+  }
+}
+
+void ScalarDotTile(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t dim,
+                   float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScalarDotBatch(queries + q * dim, rows, num_rows, dim,
+                   out + q * num_rows);
+  }
+}
+
+void ScalarAdcBatch(const float* table, const uint8_t* codes,
+                    size_t num_codes, size_t m, float* out) {
+  for (size_t i = 0; i < num_codes; ++i) {
+    const uint8_t* code = codes + i * m;
+    float dist = 0.0f;
+    for (size_t s = 0; s < m; ++s) {
+      dist += table[s * kAdcCentroids + code[s]];
+    }
+    out[i] = dist;
+  }
+}
+
+const KernelTable kScalarTable = {
+    "scalar",       ScalarL2Batch, ScalarDotBatch,
+    ScalarL2Tile,   ScalarDotTile, ScalarAdcBatch,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch state. The force-scalar flag seeds from the environment on
+// first query; SetForceScalar overrides it afterwards.
+// ---------------------------------------------------------------------------
+
+// -1 = unresolved (read the environment), 0 = dispatched, 1 = scalar.
+std::atomic<int> g_force_scalar{-1};
+
+bool EnvForcesScalar() {
+  const char* value = std::getenv("RAGO_FORCE_SCALAR_KERNELS");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+/// Rows-per-tile for the TopK / argmin scan helpers: big enough to
+/// amortize kernel-call overhead, small enough that the distance
+/// scratch stays L1/L2-resident for any realistic dim.
+constexpr size_t kScanTile = 512;
+
+/// The per-thread buffer behind the scratch-less helper overloads.
+std::vector<float>& TlsScratch() {
+  static thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+const KernelTable&
+ScalarKernels() {
+  return kScalarTable;
+}
+
+bool
+Avx2KernelsCompiled() {
+#if defined(RAGO_KERNELS_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool
+CpuSupportsAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+void
+SetForceScalar(bool force) {
+  g_force_scalar.store(force ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+ForceScalarActive() {
+  int state = g_force_scalar.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvForcesScalar() ? 1 : 0;
+    g_force_scalar.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+const KernelTable&
+Active() {
+  if (ForceScalarActive()) {
+    return kScalarTable;
+  }
+#if defined(RAGO_KERNELS_HAVE_AVX2)
+  static const KernelTable& dispatched =
+      CpuSupportsAvx2() ? Avx2Kernels() : kScalarTable;
+  return dispatched;
+#else
+  return kScalarTable;
+#endif
+}
+
+void
+DistanceBatch(Metric metric, const float* query, const float* rows,
+              size_t num_rows, size_t dim, float* out) {
+  const KernelTable& kernels = Active();
+  switch (metric) {
+    case Metric::kL2:
+      kernels.l2sq_batch(query, rows, num_rows, dim, out);
+      return;
+    case Metric::kInnerProduct:
+      kernels.dot_batch(query, rows, num_rows, dim, out);
+      for (size_t i = 0; i < num_rows; ++i) {
+        out[i] = -out[i];
+      }
+      return;
+  }
+  RAGO_CHECK(false, "unhandled Metric in DistanceBatch");
+}
+
+void
+DistanceTile(Metric metric, const float* queries, size_t num_queries,
+             const float* rows, size_t num_rows, size_t dim, float* out) {
+  const KernelTable& kernels = Active();
+  switch (metric) {
+    case Metric::kL2:
+      kernels.l2sq_tile(queries, num_queries, rows, num_rows, dim, out);
+      return;
+    case Metric::kInnerProduct:
+      kernels.dot_tile(queries, num_queries, rows, num_rows, dim, out);
+      for (size_t i = 0; i < num_queries * num_rows; ++i) {
+        out[i] = -out[i];
+      }
+      return;
+  }
+  RAGO_CHECK(false, "unhandled Metric in DistanceTile");
+}
+
+float
+DistanceOne(Metric metric, const float* query, const float* row,
+            size_t dim) {
+  float out = 0.0f;
+  DistanceBatch(metric, query, row, 1, dim, &out);
+  return out;
+}
+
+void
+ScanRowsIntoTopK(Metric metric, const float* query, const float* rows,
+                 size_t num_rows, size_t dim, const int64_t* ids,
+                 int64_t base_id, TopK& topk, std::vector<float>& scratch) {
+  if (num_rows == 0) {
+    return;
+  }
+  const size_t tile = num_rows < kScanTile ? num_rows : kScanTile;
+  if (scratch.size() < tile) {
+    scratch.resize(tile);
+  }
+  for (size_t start = 0; start < num_rows; start += tile) {
+    const size_t count =
+        num_rows - start < tile ? num_rows - start : tile;
+    DistanceBatch(metric, query, rows + start * dim, count, dim,
+                  scratch.data());
+    for (size_t i = 0; i < count; ++i) {
+      const size_t row = start + i;
+      topk.Push(scratch[i],
+                ids != nullptr ? ids[row]
+                               : base_id + static_cast<int64_t>(row));
+    }
+  }
+}
+
+void
+ScanCodesIntoTopK(const float* table, const uint8_t* codes, size_t num_codes,
+                  size_t m, const int64_t* ids, int64_t base_id, TopK& topk,
+                  std::vector<float>& scratch) {
+  if (num_codes == 0) {
+    return;
+  }
+  const size_t tile = num_codes < kScanTile ? num_codes : kScanTile;
+  if (scratch.size() < tile) {
+    scratch.resize(tile);
+  }
+  const KernelTable& kernels = Active();
+  for (size_t start = 0; start < num_codes; start += tile) {
+    const size_t count =
+        num_codes - start < tile ? num_codes - start : tile;
+    kernels.adc_batch(table, codes + start * m, count, m, scratch.data());
+    for (size_t i = 0; i < count; ++i) {
+      const size_t code = start + i;
+      topk.Push(scratch[i],
+                ids != nullptr ? ids[code]
+                               : base_id + static_cast<int64_t>(code));
+    }
+  }
+}
+
+size_t
+ArgMinL2(const float* query, const float* rows, size_t num_rows, size_t dim,
+         std::vector<float>& scratch, float* min_dist) {
+  RAGO_CHECK(num_rows > 0, "ArgMinL2 requires at least one row");
+  const size_t tile = num_rows < kScanTile ? num_rows : kScanTile;
+  if (scratch.size() < tile) {
+    scratch.resize(tile);
+  }
+  const KernelTable& kernels = Active();
+  size_t best = 0;
+  float best_dist = 0.0f;
+  bool first = true;
+  for (size_t start = 0; start < num_rows; start += tile) {
+    const size_t count =
+        num_rows - start < tile ? num_rows - start : tile;
+    kernels.l2sq_batch(query, rows + start * dim, count, dim,
+                       scratch.data());
+    for (size_t i = 0; i < count; ++i) {
+      // Strict < keeps the first occurrence of the minimum, matching
+      // the sequential loops this replaces.
+      if (first || scratch[i] < best_dist) {
+        best_dist = scratch[i];
+        best = start + i;
+        first = false;
+      }
+    }
+  }
+  if (min_dist != nullptr) {
+    *min_dist = best_dist;
+  }
+  return best;
+}
+
+void
+ScanRowsIntoTopK(Metric metric, const float* query, const float* rows,
+                 size_t num_rows, size_t dim, const int64_t* ids,
+                 int64_t base_id, TopK& topk) {
+  ScanRowsIntoTopK(metric, query, rows, num_rows, dim, ids, base_id, topk,
+                   TlsScratch());
+}
+
+void
+ScanCodesIntoTopK(const float* table, const uint8_t* codes, size_t num_codes,
+                  size_t m, const int64_t* ids, int64_t base_id,
+                  TopK& topk) {
+  ScanCodesIntoTopK(table, codes, num_codes, m, ids, base_id, topk,
+                    TlsScratch());
+}
+
+size_t
+ArgMinL2(const float* query, const float* rows, size_t num_rows, size_t dim,
+         float* min_dist) {
+  return ArgMinL2(query, rows, num_rows, dim, TlsScratch(), min_dist);
+}
+
+}  // namespace rago::ann::kernels

@@ -1,0 +1,187 @@
+/**
+ * @file distance_kernels.h
+ * Batched distance-kernel layer with runtime dispatch.
+ *
+ * Every ANN hot path in this repo reduces to one of three scan shapes:
+ *  - one query against N contiguous database rows (list / leaf scans),
+ *  - a micro-tile of Q queries against N contiguous rows (batched
+ *    search, k-means assignment) where each row load is amortized over
+ *    all Q queries,
+ *  - an ADC pass of N product-quantizer codes against a prebuilt
+ *    lookup table.
+ *
+ * This header exposes those shapes as a function-pointer kernel table
+ * with two implementations: a portable scalar reference and an
+ * AVX2/FMA variant selected at runtime via CPUID. Consumers call the
+ * metric-dispatching wrappers (DistanceBatch / DistanceTile /
+ * ScanRowsIntoTopK / ...) and automatically run on the fastest
+ * compiled-in kernels the host supports.
+ *
+ * Determinism contract:
+ *  - Within one variant, the batch and tile kernels produce
+ *    bit-identical values for the same (query, row) pair, and the
+ *    scalar variant is bit-identical to the legacy sequential loops in
+ *    distance.h. Scan order (and therefore every TopK id tie-break)
+ *    never depends on the variant.
+ *  - Across variants, SIMD reassociates the per-dimension accumulation,
+ *    so distances may differ in the last few ulps. Exact search paths
+ *    therefore return the same top-k *ids* under every variant unless
+ *    two distinct rows' true distances differ by less than that
+ *    reassociation error (sub-ulp near-ties); identical rows always
+ *    compute identical distances within a variant, so duplicate
+ *    tie-breaks never diverge. Approximate paths are pinned by recall
+ *    parity. For guaranteed bit-exact cross-architecture
+ *    reproducibility, force the scalar kernels via
+ *    SetForceScalar(true) or the RAGO_FORCE_SCALAR_KERNELS=1
+ *    environment variable.
+ *  - The ADC kernel accumulates table entries in subspace order in
+ *    every variant, so ADC distances are bit-identical across variants
+ *    given the same table.
+ */
+#ifndef RAGO_RETRIEVAL_ANN_KERNELS_DISTANCE_KERNELS_H
+#define RAGO_RETRIEVAL_ANN_KERNELS_DISTANCE_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "retrieval/ann/distance.h"
+#include "retrieval/ann/topk.h"
+
+namespace rago::ann::kernels {
+
+/// Centroids per PQ subspace the ADC kernels assume (8-bit codes).
+inline constexpr size_t kAdcCentroids = 256;
+
+/**
+ * One kernel implementation set. All row pointers are float32 and may
+ * be unaligned; `rows` is row-major with stride `dim`.
+ */
+struct KernelTable {
+  const char* name;  ///< "scalar" or "avx2".
+
+  /// out[i] = squared L2 distance of `query` to row i, i in [0, num_rows).
+  void (*l2sq_batch)(const float* query, const float* rows, size_t num_rows,
+                     size_t dim, float* out);
+
+  /// out[i] = dot product of `query` with row i.
+  void (*dot_batch)(const float* query, const float* rows, size_t num_rows,
+                    size_t dim, float* out);
+
+  /// Micro-tile: out[q * num_rows + i] = L2Sq(queries row q, rows row i).
+  void (*l2sq_tile)(const float* queries, size_t num_queries,
+                    const float* rows, size_t num_rows, size_t dim,
+                    float* out);
+
+  /// Micro-tile: out[q * num_rows + i] = Dot(queries row q, rows row i).
+  void (*dot_tile)(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t dim,
+                   float* out);
+
+  /**
+   * ADC scan: out[i] = sum over s in [0, m) of
+   * table[s * kAdcCentroids + codes[i * m + s]].
+   */
+  void (*adc_batch)(const float* table, const uint8_t* codes,
+                    size_t num_codes, size_t m, float* out);
+};
+
+/// The portable scalar reference kernels (always available).
+const KernelTable& ScalarKernels();
+
+/// True when this binary was compiled with the AVX2/FMA kernel TU.
+bool Avx2KernelsCompiled();
+
+/// Runtime CPUID probe: does this host support AVX2 and FMA?
+bool CpuSupportsAvx2();
+
+/**
+ * Forces the scalar kernels regardless of CPU support (bit-exact
+ * cross-architecture reproducibility). Overrides the
+ * RAGO_FORCE_SCALAR_KERNELS environment variable, which seeds the
+ * initial state (any value other than empty/"0" forces scalar).
+ */
+void SetForceScalar(bool force);
+
+/// Current force-scalar state (after env-variable resolution).
+bool ForceScalarActive();
+
+/**
+ * The active kernel table: AVX2 when compiled in, supported by the
+ * host, and not forced off; scalar otherwise. Cheap enough to call
+ * per scan.
+ */
+const KernelTable& Active();
+
+// ---------------------------------------------------------------------------
+// Metric-dispatching conveniences over Active(). Inner-product values
+// are negated (smaller = more similar), matching Distance().
+// ---------------------------------------------------------------------------
+
+/// Batched Distance(): one query vs `num_rows` contiguous rows.
+void DistanceBatch(Metric metric, const float* query, const float* rows,
+                   size_t num_rows, size_t dim, float* out);
+
+/// Micro-tiled Distance(): `num_queries` x `num_rows` distance block.
+void DistanceTile(Metric metric, const float* queries, size_t num_queries,
+                  const float* rows, size_t num_rows, size_t dim, float* out);
+
+/// Single-pair Distance() through the active kernels (so forced-scalar
+/// runs are scalar end to end, including one-off evaluations).
+float DistanceOne(Metric metric, const float* query, const float* row,
+                  size_t dim);
+
+/**
+ * Scans `num_rows` contiguous rows and offers every distance to
+ * `topk` in row order (so the deterministic id tie-break is preserved).
+ * Candidate ids are `ids[i]` when `ids` is non-null, else `base_id + i`.
+ * Tiles internally; `scratch` is grown as needed and reusable across
+ * calls.
+ */
+void ScanRowsIntoTopK(Metric metric, const float* query, const float* rows,
+                      size_t num_rows, size_t dim, const int64_t* ids,
+                      int64_t base_id, TopK& topk,
+                      std::vector<float>& scratch);
+
+/**
+ * ADC-scans `num_codes` m-byte codes against `table` (m x kAdcCentroids,
+ * subspace-major) and offers every distance to `topk` in code order.
+ * Candidate ids are `ids[i]` when non-null, else `base_id + i`.
+ */
+void ScanCodesIntoTopK(const float* table, const uint8_t* codes,
+                       size_t num_codes, size_t m, const int64_t* ids,
+                       int64_t base_id, TopK& topk,
+                       std::vector<float>& scratch);
+
+/**
+ * Index of the row nearest to `query` by squared L2 (first index wins
+ * ties, matching the sequential `d < best` loops this replaces). When
+ * `min_dist` is non-null it receives the winning distance.
+ * `num_rows` must be positive.
+ */
+size_t ArgMinL2(const float* query, const float* rows, size_t num_rows,
+                size_t dim, std::vector<float>& scratch,
+                float* min_dist = nullptr);
+
+// ---------------------------------------------------------------------------
+// Overloads backed by one per-thread reusable scratch buffer. The scan
+// helpers never nest (none calls another), so a single thread-local
+// buffer suffices and per-query call sites stay allocation-free after
+// a thread's first scan. Prefer the explicit-scratch overloads only
+// when a caller already owns a buffer (e.g. HnswIndex::Scratch).
+// ---------------------------------------------------------------------------
+
+void ScanRowsIntoTopK(Metric metric, const float* query, const float* rows,
+                      size_t num_rows, size_t dim, const int64_t* ids,
+                      int64_t base_id, TopK& topk);
+
+void ScanCodesIntoTopK(const float* table, const uint8_t* codes,
+                       size_t num_codes, size_t m, const int64_t* ids,
+                       int64_t base_id, TopK& topk);
+
+size_t ArgMinL2(const float* query, const float* rows, size_t num_rows,
+                size_t dim, float* min_dist = nullptr);
+
+}  // namespace rago::ann::kernels
+
+#endif  // RAGO_RETRIEVAL_ANN_KERNELS_DISTANCE_KERNELS_H

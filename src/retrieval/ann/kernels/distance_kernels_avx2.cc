@@ -1,0 +1,306 @@
+/**
+ * @file distance_kernels_avx2.cc
+ * AVX2/FMA distance kernels. Compiled with -mavx2 -mfma only on x86
+ * toolchains that accept the flags (see CMakeLists.txt); callers reach
+ * this table through runtime CPUID dispatch, never directly.
+ *
+ * Determinism notes:
+ *  - Each row's accumulation order is fixed: 8-lane FMA chains over the
+ *    vector body (one chain per row), one horizontal sum in a fixed
+ *    shuffle order, then a sequential scalar remainder. Grouped (4-row
+ *    / 4-query) paths perform the exact same per-row operation
+ *    sequence, so batch and tile kernels are bit-identical for the
+ *    same (query, row) pair regardless of grouping.
+ *  - For dim < 8 the vector body is empty and the remainder loop is
+ *    the scalar kernel, so tiny dims are bit-identical to scalar (the
+ *    TU builds with -ffp-contract=off so the compiler cannot fuse
+ *    these scalar loops into FMA and break that identity).
+ *  - The ADC kernel adds table entries in subspace order (one gather
+ *    per subspace across 8 codes), matching scalar summation order
+ *    bit-for-bit.
+ */
+#include "retrieval/ann/kernels/avx2_kernels.h"
+
+#if defined(RAGO_KERNELS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace rago::ann::kernels {
+namespace {
+
+/// Fixed-order horizontal sum: (lo128 + hi128), then pairwise within
+/// the 128-bit half. Every kernel funnels through this one order.
+inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+  return _mm_cvtss_f32(sum);
+}
+
+inline float L2Row(const float* query, const float* row, size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 q = _mm256_loadu_ps(query + d);
+    const __m256 r = _mm256_loadu_ps(row + d);
+    const __m256 diff = _mm256_sub_ps(q, r);
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  float sum = HorizontalSum(acc);
+  for (; d < dim; ++d) {
+    const float diff = query[d] - row[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+inline float DotRow(const float* query, const float* row, size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(query + d),
+                          _mm256_loadu_ps(row + d), acc);
+  }
+  float sum = HorizontalSum(acc);
+  for (; d < dim; ++d) {
+    sum += query[d] * row[d];
+  }
+  return sum;
+}
+
+void Avx2L2Batch(const float* query, const float* rows, size_t num_rows,
+                 size_t dim, float* out) {
+  size_t i = 0;
+  // Four rows per pass: the query load is shared and the four FMA
+  // chains are independent, hiding FMA latency behind throughput.
+  for (; i + 4 <= num_rows; i += 4) {
+    const float* r0 = rows + (i + 0) * dim;
+    const float* r1 = rows + (i + 1) * dim;
+    const float* r2 = rows + (i + 2) * dim;
+    const float* r3 = rows + (i + 3) * dim;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      const __m256 q = _mm256_loadu_ps(query + d);
+      const __m256 d0 = _mm256_sub_ps(q, _mm256_loadu_ps(r0 + d));
+      const __m256 d1 = _mm256_sub_ps(q, _mm256_loadu_ps(r1 + d));
+      const __m256 d2 = _mm256_sub_ps(q, _mm256_loadu_ps(r2 + d));
+      const __m256 d3 = _mm256_sub_ps(q, _mm256_loadu_ps(r3 + d));
+      a0 = _mm256_fmadd_ps(d0, d0, a0);
+      a1 = _mm256_fmadd_ps(d1, d1, a1);
+      a2 = _mm256_fmadd_ps(d2, d2, a2);
+      a3 = _mm256_fmadd_ps(d3, d3, a3);
+    }
+    float s0 = HorizontalSum(a0);
+    float s1 = HorizontalSum(a1);
+    float s2 = HorizontalSum(a2);
+    float s3 = HorizontalSum(a3);
+    for (; d < dim; ++d) {
+      const float q = query[d];
+      const float e0 = q - r0[d];
+      const float e1 = q - r1[d];
+      const float e2 = q - r2[d];
+      const float e3 = q - r3[d];
+      s0 += e0 * e0;
+      s1 += e1 * e1;
+      s2 += e2 * e2;
+      s3 += e3 * e3;
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < num_rows; ++i) {
+    out[i] = L2Row(query, rows + i * dim, dim);
+  }
+}
+
+void Avx2DotBatch(const float* query, const float* rows, size_t num_rows,
+                  size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= num_rows; i += 4) {
+    const float* r0 = rows + (i + 0) * dim;
+    const float* r1 = rows + (i + 1) * dim;
+    const float* r2 = rows + (i + 2) * dim;
+    const float* r3 = rows + (i + 3) * dim;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      const __m256 q = _mm256_loadu_ps(query + d);
+      a0 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r0 + d), a0);
+      a1 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r1 + d), a1);
+      a2 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r2 + d), a2);
+      a3 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r3 + d), a3);
+    }
+    float s0 = HorizontalSum(a0);
+    float s1 = HorizontalSum(a1);
+    float s2 = HorizontalSum(a2);
+    float s3 = HorizontalSum(a3);
+    for (; d < dim; ++d) {
+      const float q = query[d];
+      s0 += q * r0[d];
+      s1 += q * r1[d];
+      s2 += q * r2[d];
+      s3 += q * r3[d];
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < num_rows; ++i) {
+    out[i] = DotRow(query, rows + i * dim, dim);
+  }
+}
+
+void Avx2L2Tile(const float* queries, size_t num_queries, const float* rows,
+                size_t num_rows, size_t dim, float* out) {
+  size_t q = 0;
+  // Four queries per pass with rows in the outer loop: each row is
+  // streamed from memory once and scored against all four queries —
+  // the bandwidth amplification batched multi-query search exists for.
+  for (; q + 4 <= num_queries; q += 4) {
+    const float* q0 = queries + (q + 0) * dim;
+    const float* q1 = queries + (q + 1) * dim;
+    const float* q2 = queries + (q + 2) * dim;
+    const float* q3 = queries + (q + 3) * dim;
+    for (size_t i = 0; i < num_rows; ++i) {
+      const float* row = rows + i * dim;
+      __m256 a0 = _mm256_setzero_ps();
+      __m256 a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps();
+      __m256 a3 = _mm256_setzero_ps();
+      size_t d = 0;
+      for (; d + 8 <= dim; d += 8) {
+        const __m256 r = _mm256_loadu_ps(row + d);
+        const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q0 + d), r);
+        const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q1 + d), r);
+        const __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(q2 + d), r);
+        const __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(q3 + d), r);
+        a0 = _mm256_fmadd_ps(d0, d0, a0);
+        a1 = _mm256_fmadd_ps(d1, d1, a1);
+        a2 = _mm256_fmadd_ps(d2, d2, a2);
+        a3 = _mm256_fmadd_ps(d3, d3, a3);
+      }
+      float s0 = HorizontalSum(a0);
+      float s1 = HorizontalSum(a1);
+      float s2 = HorizontalSum(a2);
+      float s3 = HorizontalSum(a3);
+      for (; d < dim; ++d) {
+        const float r = row[d];
+        const float e0 = q0[d] - r;
+        const float e1 = q1[d] - r;
+        const float e2 = q2[d] - r;
+        const float e3 = q3[d] - r;
+        s0 += e0 * e0;
+        s1 += e1 * e1;
+        s2 += e2 * e2;
+        s3 += e3 * e3;
+      }
+      out[(q + 0) * num_rows + i] = s0;
+      out[(q + 1) * num_rows + i] = s1;
+      out[(q + 2) * num_rows + i] = s2;
+      out[(q + 3) * num_rows + i] = s3;
+    }
+  }
+  for (; q < num_queries; ++q) {
+    Avx2L2Batch(queries + q * dim, rows, num_rows, dim, out + q * num_rows);
+  }
+}
+
+void Avx2DotTile(const float* queries, size_t num_queries, const float* rows,
+                 size_t num_rows, size_t dim, float* out) {
+  size_t q = 0;
+  for (; q + 4 <= num_queries; q += 4) {
+    const float* q0 = queries + (q + 0) * dim;
+    const float* q1 = queries + (q + 1) * dim;
+    const float* q2 = queries + (q + 2) * dim;
+    const float* q3 = queries + (q + 3) * dim;
+    for (size_t i = 0; i < num_rows; ++i) {
+      const float* row = rows + i * dim;
+      __m256 a0 = _mm256_setzero_ps();
+      __m256 a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps();
+      __m256 a3 = _mm256_setzero_ps();
+      size_t d = 0;
+      for (; d + 8 <= dim; d += 8) {
+        const __m256 r = _mm256_loadu_ps(row + d);
+        a0 = _mm256_fmadd_ps(_mm256_loadu_ps(q0 + d), r, a0);
+        a1 = _mm256_fmadd_ps(_mm256_loadu_ps(q1 + d), r, a1);
+        a2 = _mm256_fmadd_ps(_mm256_loadu_ps(q2 + d), r, a2);
+        a3 = _mm256_fmadd_ps(_mm256_loadu_ps(q3 + d), r, a3);
+      }
+      float s0 = HorizontalSum(a0);
+      float s1 = HorizontalSum(a1);
+      float s2 = HorizontalSum(a2);
+      float s3 = HorizontalSum(a3);
+      for (; d < dim; ++d) {
+        const float r = row[d];
+        s0 += q0[d] * r;
+        s1 += q1[d] * r;
+        s2 += q2[d] * r;
+        s3 += q3[d] * r;
+      }
+      out[(q + 0) * num_rows + i] = s0;
+      out[(q + 1) * num_rows + i] = s1;
+      out[(q + 2) * num_rows + i] = s2;
+      out[(q + 3) * num_rows + i] = s3;
+    }
+  }
+  for (; q < num_queries; ++q) {
+    Avx2DotBatch(queries + q * dim, rows, num_rows, dim, out + q * num_rows);
+  }
+}
+
+void Avx2AdcBatch(const float* table, const uint8_t* codes, size_t num_codes,
+                  size_t m, float* out) {
+  size_t i = 0;
+  // Eight codes per pass: one gather per subspace pulls the table
+  // entry of each code's byte; lane-wise adds preserve scalar
+  // summation order, so results are bit-identical to scalar.
+  for (; i + 8 <= num_codes; i += 8) {
+    const uint8_t* c = codes + i * m;
+    __m256 acc = _mm256_setzero_ps();
+    for (size_t s = 0; s < m; ++s) {
+      const __m256i idx = _mm256_setr_epi32(
+          c[0 * m + s], c[1 * m + s], c[2 * m + s], c[3 * m + s],
+          c[4 * m + s], c[5 * m + s], c[6 * m + s], c[7 * m + s]);
+      acc = _mm256_add_ps(
+          acc, _mm256_i32gather_ps(table + s * kAdcCentroids, idx, 4));
+    }
+    _mm256_storeu_ps(out + i, acc);
+  }
+  for (; i < num_codes; ++i) {
+    const uint8_t* code = codes + i * m;
+    float dist = 0.0f;
+    for (size_t s = 0; s < m; ++s) {
+      dist += table[s * kAdcCentroids + code[s]];
+    }
+    out[i] = dist;
+  }
+}
+
+const KernelTable kAvx2Table = {
+    "avx2",     Avx2L2Batch, Avx2DotBatch,
+    Avx2L2Tile, Avx2DotTile, Avx2AdcBatch,
+};
+
+}  // namespace
+
+const KernelTable&
+Avx2Kernels() {
+  return kAvx2Table;
+}
+
+}  // namespace rago::ann::kernels
+
+#endif  // RAGO_KERNELS_HAVE_AVX2

@@ -5,10 +5,14 @@
 #include <limits>
 
 #include "common/check.h"
-#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 
 namespace rago::ann {
 namespace {
+
+/// Points per assignment micro-tile: two 4-query kernel groups, so the
+/// centroid block is streamed once per 8 points.
+constexpr size_t kAssignTile = 8;
 
 /// k-means++ seeding: each new centroid is drawn proportionally to the
 /// squared distance from the nearest already-chosen centroid.
@@ -18,15 +22,19 @@ Matrix SeedPlusPlus(const Matrix& data, int k, Rng& rng) {
   Matrix centroids(static_cast<size_t>(k), dim);
 
   std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  std::vector<float> dist(n);
   size_t first = rng.NextBounded(n);
   centroids.CopyRowFrom(data, first, 0);
 
   for (int c = 1; c < k; ++c) {
     const float* last = centroids.Row(static_cast<size_t>(c - 1));
+    // One batched scan of the whole database against the newest
+    // centroid replaces n single-row distance calls.
+    kernels::DistanceBatch(Metric::kL2, last, data.data(), n, dim,
+                           dist.data());
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const float d = L2Sq(data.Row(i), last, dim);
-      min_dist[i] = std::min(min_dist[i], d);
+      min_dist[i] = std::min(min_dist[i], dist[i]);
       total += min_dist[i];
     }
     size_t chosen = 0;
@@ -61,16 +69,8 @@ Matrix SeedRandom(const Matrix& data, int k, Rng& rng) {
 
 int32_t
 NearestCentroid(const Matrix& centroids, const float* vec) {
-  int32_t best = 0;
-  float best_dist = std::numeric_limits<float>::max();
-  for (size_t c = 0; c < centroids.rows(); ++c) {
-    const float d = L2Sq(centroids.Row(c), vec, centroids.dim());
-    if (d < best_dist) {
-      best_dist = d;
-      best = static_cast<int32_t>(c);
-    }
-  }
-  return best;
+  return static_cast<int32_t>(kernels::ArgMinL2(
+      vec, centroids.data(), centroids.rows(), centroids.dim()));
 }
 
 KMeansResult
@@ -80,31 +80,49 @@ TrainKMeans(const Matrix& data, int k, Rng& rng, const KMeansOptions& options) {
                "k-means requires at least k input rows");
   const size_t n = data.rows();
   const size_t dim = data.dim();
+  const auto num_centroids = static_cast<size_t>(k);
 
   KMeansResult result;
   result.centroids = options.plus_plus_seeding ? SeedPlusPlus(data, k, rng)
                                                : SeedRandom(data, k, rng);
   result.assignments.assign(n, 0);
 
-  std::vector<double> sums(static_cast<size_t>(k) * dim);
-  std::vector<int64_t> counts(static_cast<size_t>(k));
+  std::vector<double> sums(num_centroids * dim);
+  std::vector<int64_t> counts(num_centroids);
+  std::vector<float> tile_dists(kAssignTile * num_centroids);
   double prev_inertia = std::numeric_limits<double>::max();
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations_run = iter + 1;
-    // Assignment step.
+    // Assignment step: micro-tile the points against the centroid
+    // block, then argmin each point's distance row (first index wins
+    // ties, like the sequential scan this replaces).
     double inertia = 0.0;
-    std::vector<size_t> farthest_per_cluster(static_cast<size_t>(k), 0);
-    std::vector<float> farthest_dist(static_cast<size_t>(k), -1.0f);
-    for (size_t i = 0; i < n; ++i) {
-      const int32_t c = NearestCentroid(result.centroids, data.Row(i));
-      result.assignments[i] = c;
-      const float d =
-          L2Sq(result.centroids.Row(static_cast<size_t>(c)), data.Row(i), dim);
-      inertia += d;
-      if (d > farthest_dist[static_cast<size_t>(c)]) {
-        farthest_dist[static_cast<size_t>(c)] = d;
-        farthest_per_cluster[static_cast<size_t>(c)] = i;
+    std::vector<size_t> farthest_per_cluster(num_centroids, 0);
+    std::vector<float> farthest_dist(num_centroids, -1.0f);
+    for (size_t start = 0; start < n; start += kAssignTile) {
+      const size_t count =
+          n - start < kAssignTile ? n - start : kAssignTile;
+      kernels::DistanceTile(Metric::kL2, data.Row(start), count,
+                            result.centroids.data(), num_centroids, dim,
+                            tile_dists.data());
+      for (size_t j = 0; j < count; ++j) {
+        const size_t i = start + j;
+        const float* dists = tile_dists.data() + j * num_centroids;
+        size_t c = 0;
+        float d = dists[0];
+        for (size_t cc = 1; cc < num_centroids; ++cc) {
+          if (dists[cc] < d) {
+            d = dists[cc];
+            c = cc;
+          }
+        }
+        result.assignments[i] = static_cast<int32_t>(c);
+        inertia += d;
+        if (d > farthest_dist[c]) {
+          farthest_dist[c] = d;
+          farthest_per_cluster[c] = i;
+        }
       }
     }
     result.inertia = inertia;
@@ -120,13 +138,13 @@ TrainKMeans(const Matrix& data, int k, Rng& rng, const KMeansOptions& options) {
       }
       ++counts[c];
     }
-    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+    for (size_t c = 0; c < num_centroids; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster from the globally farthest point of
         // the largest cluster to keep k live centroids.
         size_t donor = 0;
         float worst = -1.0f;
-        for (size_t cc = 0; cc < static_cast<size_t>(k); ++cc) {
+        for (size_t cc = 0; cc < num_centroids; ++cc) {
           if (farthest_dist[cc] > worst) {
             worst = farthest_dist[cc];
             donor = cc;

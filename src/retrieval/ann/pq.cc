@@ -1,13 +1,16 @@
 #include "retrieval/ann/pq.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/check.h"
-#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 #include "retrieval/ann/kmeans.h"
 
 namespace rago::ann {
+
+static_assert(ProductQuantizer::kCentroids ==
+                  static_cast<int>(kernels::kAdcCentroids),
+              "ADC kernels assume the PQ codebook width");
 
 ProductQuantizer::ProductQuantizer(const Matrix& data, int m, Rng& rng,
                                    int kmeans_iterations)
@@ -44,16 +47,11 @@ void
 ProductQuantizer::Encode(const float* vec, uint8_t* out) const {
   for (int s = 0; s < m_; ++s) {
     const float* sub_vec = vec + static_cast<size_t>(s) * sub_dim_;
-    int best = 0;
-    float best_dist = std::numeric_limits<float>::max();
-    for (int c = 0; c < kCentroids; ++c) {
-      const float d = L2Sq(sub_vec, Centroid(s, c), sub_dim_);
-      if (d < best_dist) {
-        best_dist = d;
-        best = c;
-      }
-    }
-    out[s] = static_cast<uint8_t>(best);
+    // Each subspace's 256 centroids are one contiguous block; argmin
+    // over the batched scan keeps the first-wins tie-break of the old
+    // sequential loop.
+    out[s] = static_cast<uint8_t>(
+        kernels::ArgMinL2(sub_vec, Centroid(s, 0), kCentroids, sub_dim_));
   }
 }
 
@@ -81,10 +79,11 @@ ProductQuantizer::BuildAdcTable(const float* query) const {
   std::vector<float> table(static_cast<size_t>(m_) * kCentroids);
   for (int s = 0; s < m_; ++s) {
     const float* sub_query = query + static_cast<size_t>(s) * sub_dim_;
-    for (int c = 0; c < kCentroids; ++c) {
-      table[static_cast<size_t>(s) * kCentroids + c] =
-          L2Sq(sub_query, Centroid(s, c), sub_dim_);
-    }
+    // One batched scan fills the subspace's 256 table entries.
+    kernels::Active().l2sq_batch(sub_query, Centroid(s, 0), kCentroids,
+                                 sub_dim_,
+                                 table.data() +
+                                     static_cast<size_t>(s) * kCentroids);
   }
   return table;
 }
@@ -95,9 +94,8 @@ ProductQuantizer::AdcDistance(const std::vector<float>& table,
   RAGO_CHECK(table.size() == static_cast<size_t>(m_) * kCentroids,
              "ADC table size mismatch");
   float dist = 0.0f;
-  for (int s = 0; s < m_; ++s) {
-    dist += table[static_cast<size_t>(s) * kCentroids + code[s]];
-  }
+  kernels::Active().adc_batch(table.data(), code, /*num_codes=*/1,
+                              static_cast<size_t>(m_), &dist);
   return dist;
 }
 

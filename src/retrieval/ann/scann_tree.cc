@@ -3,8 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "retrieval/ann/distance.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 #include "retrieval/ann/kmeans.h"
+#include "retrieval/ann/rerank.h"
 
 namespace rago::ann {
 
@@ -88,18 +89,20 @@ ScannTree::Search(const float* query, size_t k, int beam, int rerank) const {
   RAGO_REQUIRE(rerank == 0 || !raw_.empty(),
                "re-ranking requires keep_raw_vectors at build time");
 
-  // Beam search down the centroid levels.
+  // Beam search down the centroid levels; each node's centroid block is
+  // contiguous, so scoring a frontier is one batched scan per node.
   std::vector<const Node*> frontier = {root_.get()};
   while (!frontier.empty() && !frontier.front()->IsLeaf()) {
     // Score all children of the frontier, keep the `beam` closest.
     TopK best(static_cast<size_t>(beam));
     std::vector<const Node*> child_nodes;
     for (const Node* node : frontier) {
-      for (size_t c = 0; c < node->children.size(); ++c) {
-        const float d =
-            L2Sq(query, node->centroids.Row(c), node->centroids.dim());
-        best.Push(d, static_cast<int64_t>(child_nodes.size()));
-        child_nodes.push_back(node->children[c].get());
+      kernels::ScanRowsIntoTopK(
+          Metric::kL2, query, node->centroids.data(), node->centroids.rows(),
+          node->centroids.dim(), /*ids=*/nullptr,
+          /*base_id=*/static_cast<int64_t>(child_nodes.size()), best);
+      for (const auto& child : node->children) {
+        child_nodes.push_back(child.get());
       }
     }
     std::vector<const Node*> next;
@@ -113,13 +116,10 @@ ScannTree::Search(const float* query, size_t k, int beam, int rerank) const {
   const std::vector<float> table = pq_->BuildAdcTable(query);
   const size_t pool = std::max(k, static_cast<size_t>(rerank));
   TopK candidates(pool);
-  const size_t code_bytes = pq_->CodeBytes();
   for (const Node* leaf : frontier) {
-    for (size_t i = 0; i < leaf->ids.size(); ++i) {
-      candidates.Push(
-          pq_->AdcDistance(table, leaf->codes.data() + i * code_bytes),
-          leaf->ids[i]);
-    }
+    kernels::ScanCodesIntoTopK(table.data(), leaf->codes.data(),
+                               leaf->ids.size(), pq_->CodeBytes(),
+                               leaf->ids.data(), /*base_id=*/0, candidates);
   }
 
   std::vector<Neighbor> approx = candidates.SortedTake();
@@ -129,12 +129,7 @@ ScannTree::Search(const float* query, size_t k, int beam, int rerank) const {
     }
     return approx;
   }
-  TopK exact(k);
-  for (const Neighbor& nb : approx) {
-    exact.Push(L2Sq(query, raw_.Row(static_cast<size_t>(nb.id)), raw_.dim()),
-               nb.id);
-  }
-  return exact.SortedTake();
+  return RerankExactL2(approx, query, raw_, k);
 }
 
 double

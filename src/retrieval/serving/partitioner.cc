@@ -7,6 +7,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "retrieval/ann/distance.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
 #include "retrieval/ann/kmeans.h"
 
 namespace rago::serving {
@@ -64,12 +65,12 @@ Partition KMeansBalanced(const ann::Matrix& data, int num_shards,
   std::vector<int> order(static_cast<size_t>(num_shards));
   std::vector<float> dist(static_cast<size_t>(num_shards));
   for (size_t i = 0; i < data.rows(); ++i) {
-    for (int s = 0; s < num_shards; ++s) {
-      dist[static_cast<size_t>(s)] =
-          ann::L2Sq(data.Row(i),
-                    trained.centroids.Row(static_cast<size_t>(s)),
-                    data.dim());
-    }
+    // The shard centroids are one contiguous block: rank them with a
+    // single batched scan per row.
+    ann::kernels::DistanceBatch(ann::Metric::kL2, data.Row(i),
+                                trained.centroids.data(),
+                                static_cast<size_t>(num_shards), data.dim(),
+                                dist.data());
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](int a, int b) {
       const float da = dist[static_cast<size_t>(a)];

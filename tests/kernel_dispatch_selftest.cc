@@ -1,0 +1,141 @@
+/**
+ * @file kernel_dispatch_selftest.cc
+ * Standalone kernel-dispatch selftest (no GTest dependency).
+ *
+ * Prints the compiled/detected/active kernel variants, then checks the
+ * dispatch invariants fast enough for every CI job: scalar/dispatched
+ * value agreement across remainder-lane dims, batch-vs-tile
+ * bit-identity, ADC bit-identity, and the force-scalar override.
+ * CTest runs it twice — dispatched, and with RAGO_FORCE_SCALAR_KERNELS
+ * set — so the scalar fallback path stays green on non-AVX runners.
+ * Exits 0 on success, 1 on the first failed check.
+ */
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
+
+namespace {
+
+using rago::Rng;
+namespace kernels = rago::ann::kernels;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++g_failures;
+  }
+}
+
+std::vector<float> RandomBlock(Rng& rng, size_t count) {
+  std::vector<float> out(count);
+  for (float& x : out) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+  return out;
+}
+
+void CheckVariantAgreement() {
+  Rng rng(101);
+  for (size_t dim : {size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{64},
+                     size_t{100}}) {
+    const size_t rows = 13;
+    const std::vector<float> query = RandomBlock(rng, dim);
+    const std::vector<float> data = RandomBlock(rng, rows * dim);
+    std::vector<float> scalar_l2(rows);
+    std::vector<float> active_l2(rows);
+    std::vector<float> scalar_dot(rows);
+    std::vector<float> active_dot(rows);
+    kernels::ScalarKernels().l2sq_batch(query.data(), data.data(), rows, dim,
+                                        scalar_l2.data());
+    kernels::Active().l2sq_batch(query.data(), data.data(), rows, dim,
+                                 active_l2.data());
+    kernels::ScalarKernels().dot_batch(query.data(), data.data(), rows, dim,
+                                       scalar_dot.data());
+    kernels::Active().dot_batch(query.data(), data.data(), rows, dim,
+                                active_dot.data());
+    for (size_t i = 0; i < rows; ++i) {
+      const float l2_scale = std::fmax(std::fabs(scalar_l2[i]), 1.0f);
+      const float dot_scale = std::fmax(std::fabs(scalar_dot[i]), 1.0f);
+      Check(std::fabs(scalar_l2[i] - active_l2[i]) <= 1e-5f * l2_scale,
+            "l2sq_batch scalar/active agreement");
+      Check(std::fabs(scalar_dot[i] - active_dot[i]) <= 1e-5f * dot_scale,
+            "dot_batch scalar/active agreement");
+    }
+    // Tile must be bit-identical to batch within the active variant.
+    const size_t queries = 5;
+    const std::vector<float> query_block = RandomBlock(rng, queries * dim);
+    std::vector<float> tiled(queries * rows);
+    std::vector<float> batched(rows);
+    kernels::Active().l2sq_tile(query_block.data(), queries, data.data(),
+                                rows, dim, tiled.data());
+    for (size_t q = 0; q < queries; ++q) {
+      kernels::Active().l2sq_batch(query_block.data() + q * dim, data.data(),
+                                   rows, dim, batched.data());
+      for (size_t i = 0; i < rows; ++i) {
+        Check(tiled[q * rows + i] == batched[i],
+              "l2sq_tile bit-identical to l2sq_batch");
+      }
+    }
+  }
+}
+
+void CheckAdcAgreement() {
+  Rng rng(102);
+  const size_t m = 8;
+  const size_t codes = 21;
+  const std::vector<float> table =
+      RandomBlock(rng, m * kernels::kAdcCentroids);
+  std::vector<uint8_t> code_block(codes * m);
+  for (uint8_t& c : code_block) {
+    c = static_cast<uint8_t>(rng.NextBounded(kernels::kAdcCentroids));
+  }
+  std::vector<float> scalar_out(codes);
+  std::vector<float> active_out(codes);
+  kernels::ScalarKernels().adc_batch(table.data(), code_block.data(), codes,
+                                     m, scalar_out.data());
+  kernels::Active().adc_batch(table.data(), code_block.data(), codes, m,
+                              active_out.data());
+  for (size_t i = 0; i < codes; ++i) {
+    Check(scalar_out[i] == active_out[i],
+          "adc_batch bit-identical across variants");
+  }
+}
+
+void CheckForceScalarOverride() {
+  const bool was_forced = kernels::ForceScalarActive();
+  kernels::SetForceScalar(true);
+  Check(kernels::ForceScalarActive(), "SetForceScalar(true) sticks");
+  Check(std::string_view(kernels::Active().name) == "scalar",
+        "forced-scalar dispatch returns the scalar table");
+  kernels::SetForceScalar(was_forced);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("kernel dispatch selftest\n");
+  std::printf("  avx2 compiled:  %s\n",
+              kernels::Avx2KernelsCompiled() ? "yes" : "no");
+  std::printf("  avx2 supported: %s\n",
+              kernels::CpuSupportsAvx2() ? "yes" : "no");
+  std::printf("  force scalar:   %s\n",
+              kernels::ForceScalarActive() ? "yes" : "no");
+  std::printf("  active variant: %s\n", kernels::Active().name);
+
+  CheckVariantAgreement();
+  CheckAdcAgreement();
+  CheckForceScalarOverride();
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("all checks passed\n");
+  return 0;
+}

@@ -1,0 +1,355 @@
+/**
+ * @file test_distance_kernels.cc
+ * Tests for the batched distance-kernel layer: scalar/dispatched
+ * parity across remainder-lane dims and unaligned bases, batch-vs-tile
+ * bit-identity, ADC bit-identity, deterministic tie-breaks, and
+ * end-to-end id parity (exact paths) / recall parity (approximate
+ * paths) between the scalar and dispatched variants.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "retrieval/ann/distance.h"
+#include "retrieval/ann/flat_index.h"
+#include "retrieval/ann/hnsw_index.h"
+#include "retrieval/ann/ivf_index.h"
+#include "retrieval/ann/ivfpq_index.h"
+#include "retrieval/ann/kernels/distance_kernels.h"
+#include "retrieval/ann/recall.h"
+#include "tests/testing/test_support.h"
+
+namespace rago::ann::kernels {
+namespace {
+
+/// Dims that exercise the empty vector body (1, 7), exact multiples of
+/// the 8-float lane width (8, 64), and remainder lanes (9, 100).
+const size_t kDims[] = {1, 7, 8, 9, 64, 100};
+
+/// Restores the force-scalar state on scope exit so tests can toggle
+/// the process-wide dispatch without leaking into each other.
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force) : previous_(ForceScalarActive()) {
+    SetForceScalar(force);
+  }
+  ~ForceScalarGuard() { SetForceScalar(previous_); }
+
+ private:
+  bool previous_;
+};
+
+std::vector<float> RandomBlock(Rng& rng, size_t count) {
+  std::vector<float> out(count);
+  for (float& x : out) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+  return out;
+}
+
+TEST(DistanceKernels, DispatchReportsConsistentState) {
+  {
+    ForceScalarGuard guard(true);
+    EXPECT_TRUE(ForceScalarActive());
+    EXPECT_STREQ(Active().name, "scalar");
+  }
+  ForceScalarGuard guard(false);
+  if (Avx2KernelsCompiled() && CpuSupportsAvx2()) {
+    EXPECT_STREQ(Active().name, "avx2");
+  } else {
+    EXPECT_STREQ(Active().name, "scalar");
+  }
+}
+
+TEST(DistanceKernels, ScalarBatchBitIdenticalToLegacyLoops) {
+  Rng rng(11);
+  for (size_t dim : kDims) {
+    const size_t rows = 13;
+    const std::vector<float> query = RandomBlock(rng, dim);
+    const std::vector<float> data = RandomBlock(rng, rows * dim);
+    std::vector<float> l2(rows);
+    std::vector<float> dot(rows);
+    ScalarKernels().l2sq_batch(query.data(), data.data(), rows, dim,
+                               l2.data());
+    ScalarKernels().dot_batch(query.data(), data.data(), rows, dim,
+                              dot.data());
+    for (size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(l2[i], L2Sq(query.data(), data.data() + i * dim, dim))
+          << "dim " << dim << " row " << i;
+      EXPECT_EQ(dot[i], Dot(query.data(), data.data() + i * dim, dim))
+          << "dim " << dim << " row " << i;
+    }
+  }
+}
+
+TEST(DistanceKernels, DispatchedBatchAgreesWithScalarAcrossRemainderDims) {
+  Rng rng(12);
+  for (size_t dim : kDims) {
+    const size_t rows = 13;  // Exercises the 4-row groups + remainder.
+    const std::vector<float> query = RandomBlock(rng, dim);
+    const std::vector<float> data = RandomBlock(rng, rows * dim);
+    std::vector<float> scalar_out(rows);
+    std::vector<float> active_out(rows);
+    ScalarKernels().l2sq_batch(query.data(), data.data(), rows, dim,
+                               scalar_out.data());
+    {
+      ForceScalarGuard guard(false);
+      Active().l2sq_batch(query.data(), data.data(), rows, dim,
+                          active_out.data());
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      if (dim < 8) {
+        // The SIMD vector body is empty below one lane width, so tiny
+        // dims are bit-identical across variants.
+        EXPECT_EQ(scalar_out[i], active_out[i]) << "dim " << dim;
+      } else {
+        // SIMD reassociates the accumulation: near-equality only.
+        const float scale = std::max(std::fabs(scalar_out[i]), 1.0f);
+        EXPECT_NEAR(scalar_out[i], active_out[i], 1e-5f * scale)
+            << "dim " << dim << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, TileBitIdenticalToBatchInEveryVariant) {
+  Rng rng(13);
+  for (bool force_scalar : {true, false}) {
+    ForceScalarGuard guard(force_scalar);
+    for (size_t dim : kDims) {
+      const size_t rows = 9;     // 4-row groups + remainder.
+      const size_t queries = 6;  // One 4-query group + remainder.
+      const std::vector<float> query_block = RandomBlock(rng, queries * dim);
+      const std::vector<float> data = RandomBlock(rng, rows * dim);
+      std::vector<float> tiled(queries * rows);
+      std::vector<float> batched(rows);
+      Active().l2sq_tile(query_block.data(), queries, data.data(), rows, dim,
+                         tiled.data());
+      for (size_t q = 0; q < queries; ++q) {
+        Active().l2sq_batch(query_block.data() + q * dim, data.data(), rows,
+                            dim, batched.data());
+        for (size_t i = 0; i < rows; ++i) {
+          EXPECT_EQ(tiled[q * rows + i], batched[i])
+              << (force_scalar ? "scalar" : "dispatched") << " dim " << dim;
+        }
+      }
+      Active().dot_tile(query_block.data(), queries, data.data(), rows, dim,
+                        tiled.data());
+      for (size_t q = 0; q < queries; ++q) {
+        Active().dot_batch(query_block.data() + q * dim, data.data(), rows,
+                           dim, batched.data());
+        for (size_t i = 0; i < rows; ++i) {
+          EXPECT_EQ(tiled[q * rows + i], batched[i])
+              << (force_scalar ? "scalar" : "dispatched") << " dim " << dim;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, UnalignedRowBasesMatchAligned) {
+  // Row bases offset by one float are 4-byte aligned only — the
+  // kernels must produce the same values as from the aligned copy.
+  Rng rng(14);
+  for (size_t dim : kDims) {
+    const size_t rows = 7;
+    const std::vector<float> query = RandomBlock(rng, dim);
+    const std::vector<float> data = RandomBlock(rng, rows * dim);
+    std::vector<float> shifted(rows * dim + 1);
+    std::memcpy(shifted.data() + 1, data.data(),
+                rows * dim * sizeof(float));
+    std::vector<float> aligned_out(rows);
+    std::vector<float> unaligned_out(rows);
+    ForceScalarGuard guard(false);
+    Active().l2sq_batch(query.data(), data.data(), rows, dim,
+                        aligned_out.data());
+    Active().l2sq_batch(query.data(), shifted.data() + 1, rows, dim,
+                        unaligned_out.data());
+    for (size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(aligned_out[i], unaligned_out[i]) << "dim " << dim;
+    }
+  }
+}
+
+TEST(DistanceKernels, AdcBitIdenticalAcrossVariants) {
+  Rng rng(15);
+  for (size_t m : {1u, 4u, 8u, 16u}) {
+    const size_t codes = 21;  // 8-code groups + remainder.
+    const std::vector<float> table = RandomBlock(rng, m * kAdcCentroids);
+    std::vector<uint8_t> code_block(codes * m);
+    for (uint8_t& c : code_block) {
+      c = static_cast<uint8_t>(rng.NextBounded(kAdcCentroids));
+    }
+    std::vector<float> scalar_out(codes);
+    std::vector<float> active_out(codes);
+    ScalarKernels().adc_batch(table.data(), code_block.data(), codes, m,
+                              scalar_out.data());
+    {
+      ForceScalarGuard guard(false);
+      Active().adc_batch(table.data(), code_block.data(), codes, m,
+                         active_out.data());
+    }
+    for (size_t i = 0; i < codes; ++i) {
+      // Lane-sequential adds in subspace order: exact across variants.
+      EXPECT_EQ(scalar_out[i], active_out[i]) << "m " << m;
+    }
+  }
+}
+
+TEST(DistanceKernels, ScanRowsIntoTopKKeepsIdTieBreak) {
+  // Duplicate rows produce equal distances in any one variant; the
+  // deterministic TopK tie-break must keep the lower id first.
+  const size_t dim = 9;
+  Rng rng(16);
+  const std::vector<float> target = RandomBlock(rng, dim);
+  std::vector<float> rows(6 * dim);
+  for (size_t i = 0; i < 6; ++i) {
+    std::vector<float> noise = RandomBlock(rng, dim);
+    for (size_t d = 0; d < dim; ++d) {
+      rows[i * dim + d] = target[d] + 10.0f + noise[d];  // Far away.
+    }
+  }
+  // Rows 1 and 4 are identical copies of the target (distance 0).
+  std::memcpy(rows.data() + 1 * dim, target.data(), dim * sizeof(float));
+  std::memcpy(rows.data() + 4 * dim, target.data(), dim * sizeof(float));
+  for (bool force_scalar : {true, false}) {
+    ForceScalarGuard guard(force_scalar);
+    TopK topk(2);
+    std::vector<float> scratch;
+    ScanRowsIntoTopK(Metric::kL2, target.data(), rows.data(), 6, dim,
+                     /*ids=*/nullptr, /*base_id=*/100, topk, scratch);
+    const std::vector<Neighbor> out = topk.SortedTake();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, 101);  // Equal distances: lower id first.
+    EXPECT_EQ(out[1].id, 104);
+  }
+}
+
+TEST(DistanceKernels, ArgMinFirstIndexWinsTies) {
+  const size_t dim = 8;
+  Rng rng(17);
+  const std::vector<float> query = RandomBlock(rng, dim);
+  std::vector<float> rows(5 * dim, 100.0f);
+  // Rows 2 and 3 both equal the query exactly.
+  std::memcpy(rows.data() + 2 * dim, query.data(), dim * sizeof(float));
+  std::memcpy(rows.data() + 3 * dim, query.data(), dim * sizeof(float));
+  for (bool force_scalar : {true, false}) {
+    ForceScalarGuard guard(force_scalar);
+    std::vector<float> scratch;
+    float min_dist = -1.0f;
+    EXPECT_EQ(ArgMinL2(query.data(), rows.data(), 5, dim, scratch,
+                       &min_dist),
+              2u);
+    EXPECT_EQ(min_dist, 0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end variant parity on the indexes (ISSUE acceptance criteria).
+// ---------------------------------------------------------------------------
+
+TEST(DistanceKernels, FlatExactIdsIdenticalScalarVsDispatched) {
+  // dim 25 exercises remainder lanes inside the index scan.
+  rago::testing::AnnTestBedOptions bed_options;
+  bed_options.rows = 2000;
+  bed_options.dim = 25;
+  bed_options.num_queries = 16;
+  const rago::testing::AnnTestBed bed =
+      rago::testing::MakeAnnTestBed(bed_options);
+  const FlatIndex flat(rago::testing::CopyMatrix(bed.data), Metric::kL2);
+  for (size_t q = 0; q < bed.queries.rows(); ++q) {
+    std::vector<Neighbor> scalar_out;
+    std::vector<Neighbor> dispatched_out;
+    {
+      ForceScalarGuard guard(true);
+      scalar_out = flat.Search(bed.queries.Row(q), 10);
+    }
+    {
+      ForceScalarGuard guard(false);
+      dispatched_out = flat.Search(bed.queries.Row(q), 10);
+    }
+    ASSERT_EQ(scalar_out.size(), dispatched_out.size());
+    for (size_t i = 0; i < scalar_out.size(); ++i) {
+      EXPECT_EQ(scalar_out[i].id, dispatched_out[i].id)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(DistanceKernels, IvfFullProbeIdsIdenticalScalarVsDispatched) {
+  // Full-probe IVF scans every leaf exactly; the returned ids must not
+  // depend on the kernel variant.
+  const rago::testing::AnnTestBed bed =
+      rago::testing::MakeAnnTestBed(1000, 24, 8);
+  Rng rng(21);
+  IvfOptions options;
+  options.nlist = 16;
+  const IvfIndex ivf(rago::testing::CopyMatrix(bed.data), Metric::kL2,
+                     options, rng);
+  for (size_t q = 0; q < bed.queries.rows(); ++q) {
+    std::vector<Neighbor> scalar_out;
+    std::vector<Neighbor> dispatched_out;
+    {
+      ForceScalarGuard guard(true);
+      scalar_out = ivf.Search(bed.queries.Row(q), 5, /*nprobe=*/16);
+    }
+    {
+      ForceScalarGuard guard(false);
+      dispatched_out = ivf.Search(bed.queries.Row(q), 5, /*nprobe=*/16);
+    }
+    ASSERT_EQ(scalar_out.size(), dispatched_out.size());
+    for (size_t i = 0; i < scalar_out.size(); ++i) {
+      EXPECT_EQ(scalar_out[i].id, dispatched_out[i].id)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(DistanceKernels, IvfPqRecallParityScalarVsDispatched) {
+  // The ADC path is approximate: pin recall parity, not ids. Each
+  // variant builds its own index (training also runs on the kernels).
+  const rago::testing::AnnTestBed bed = rago::testing::MakeAnnTestBed();
+  auto recall_under = [&](bool force_scalar) {
+    ForceScalarGuard guard(force_scalar);
+    Rng rng(6);
+    IvfPqOptions options;
+    options.nlist = 32;
+    options.pq_subspaces = 8;
+    const IvfPqIndex index(rago::testing::CopyMatrix(bed.data), options,
+                           rng);
+    std::vector<std::vector<Neighbor>> results;
+    for (size_t q = 0; q < bed.queries.rows(); ++q) {
+      results.push_back(
+          index.Search(bed.queries.Row(q), 10, /*nprobe=*/8, /*rerank=*/50));
+    }
+    return MeanRecallAtK(results, bed.truth, 10);
+  };
+  const double scalar_recall = recall_under(true);
+  const double dispatched_recall = recall_under(false);
+  EXPECT_GT(scalar_recall, 0.8);
+  EXPECT_GT(dispatched_recall, 0.8);
+  EXPECT_NEAR(scalar_recall, dispatched_recall, 0.05);
+}
+
+TEST(DistanceKernels, HnswRecallParityScalarVsDispatched) {
+  const rago::testing::AnnTestBed bed = rago::testing::MakeAnnTestBed();
+  auto recall_under = [&](bool force_scalar) {
+    ForceScalarGuard guard(force_scalar);
+    Rng rng(7);
+    const HnswIndex index(rago::testing::CopyMatrix(bed.data), Metric::kL2,
+                          HnswOptions{}, rng);
+    const auto results = index.SearchBatch(bed.queries, 10, /*ef_search=*/64);
+    return MeanRecallAtK(results, bed.truth, 10);
+  };
+  const double scalar_recall = recall_under(true);
+  const double dispatched_recall = recall_under(false);
+  EXPECT_GT(scalar_recall, 0.85);
+  EXPECT_GT(dispatched_recall, 0.85);
+  EXPECT_NEAR(scalar_recall, dispatched_recall, 0.05);
+}
+
+}  // namespace
+}  // namespace rago::ann::kernels

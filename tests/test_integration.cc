@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "core/pipeline_model.h"
 #include "core/schema.h"
@@ -192,6 +194,57 @@ TEST(Integration, FunctionalShardedCalibrationDrivesServingDes) {
   EXPECT_LE(result.avg_ttft, analytic.avg_ttft * 1.01);
   EXPECT_LT(measured_tier.Search(1).latency,
             model.EvalRetrieval(1, schedule.retrieval_servers).latency);
+}
+
+TEST(Integration, ServingDesTracksAnalyticalModelAcrossOptimizerGrid) {
+  // ROADMAP cross-validation harness: instead of spot-checking one
+  // hand-written schedule, sweep SimulateServing across points of the
+  // optimizer's own Pareto frontier (searched in parallel via
+  // SearchOptions::num_threads) and assert bounded disagreement with
+  // the closed-form model at the operating points it describes:
+  //  - saturation: completion rate approaches the analytical QPS;
+  //  - light load with immediate batch flush: TTFT approaches the
+  //    analytical batch-flow latency;
+  //  - sub-saturation: throughput tracks the offered load.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  opt::SearchOptions options = rago::testing::SmallSearchGrid();
+  options.num_threads = 2;  // Results are thread-count-invariant.
+  const opt::OptimizerResult result = opt::Optimizer(model, options).Search();
+  ASSERT_FALSE(result.pareto.empty());
+
+  const size_t stride = std::max<size_t>(1, result.pareto.size() / 4);
+  int points_checked = 0;
+  for (size_t i = 0; i < result.pareto.size(); i += stride) {
+    const opt::ScheduledPoint& point = result.pareto[i];
+    ASSERT_TRUE(point.perf.feasible);
+
+    // Saturation: offered load far above capacity.
+    const sim::ServingSimResult saturated = sim::SimulateServing(
+        model, point.schedule,
+        sim::UniformTrace(1200, point.perf.qps * 5.0));
+    EXPECT_EQ(saturated.completed, 1200);
+    RAGO_EXPECT_REL_NEAR(saturated.throughput, point.perf.qps, 0.25);
+
+    // Light load, immediate partial-batch flush: no queueing or
+    // batch-forming wait, so TTFT ~= the analytical batch-flow TTFT.
+    sim::ServingSimOptions flush_fast;
+    flush_fast.batch_timeout = 1e-4;
+    const sim::ServingSimResult light = sim::SimulateServing(
+        model, point.schedule, sim::UniformTrace(30, 2.0), flush_fast);
+    EXPECT_EQ(light.completed, 30);
+    RAGO_EXPECT_REL_NEAR(light.avg_ttft, point.perf.ttft, 0.35);
+
+    // Sub-saturation: the DES must deliver the offered load. The trace
+    // is long enough that the drain tail after the last arrival cannot
+    // bias completed/makespan.
+    const double offered = point.perf.qps * 0.4;
+    const sim::ServingSimResult cruising = sim::SimulateServing(
+        model, point.schedule, sim::UniformTrace(2500, offered));
+    RAGO_EXPECT_REL_NEAR(cruising.throughput, offered, 0.10);
+
+    ++points_checked;
+  }
+  EXPECT_GE(points_checked, 3);
 }
 
 TEST(Integration, DesAgreesWithAnalyticalStallDirection) {
