@@ -1,0 +1,144 @@
+/**
+ * @file bench_runtime_slo.cc
+ * SLO sweep over the online serving runtime: offered-load multipliers
+ * x workload scenarios (Poisson, bursty MMPP, diurnal) against one
+ * optimizer-chosen schedule on a live sharded retrieval tier. Reports
+ * delivered throughput, TTFT/TPOT percentiles, queue waits, rejection
+ * counts, and SLO attainment per operating point — the knee of the
+ * attainment curve is the capacity a (TTFT, TPOT) target really buys,
+ * which the closed-form QPS alone cannot show. `--json out.json`
+ * emits the rows machine-readably for perf-trajectory tracking.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "retrieval/ann/dataset.h"
+#include "retrieval/serving/sharded_index.h"
+#include "serving/runtime/runtime.h"
+#include "serving/runtime/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace rago;
+  using namespace rago::bench;
+  using namespace rago::runtime;
+
+  // Live tier: small enough that every sweep point stays sub-second.
+  Rng rng(51);
+  ann::Matrix corpus = ann::GenClustered(10'000, 32, 32, 0.3f, rng);
+  const ann::Matrix query_pool =
+      ann::GenQueriesNear(corpus, 128, 0.1f, rng);
+  serving::ShardedIndexOptions tier_options;
+  tier_options.num_shards = 4;
+  tier_options.backend = serving::ShardBackend::kIvf;
+  tier_options.ivf.nlist = 32;
+  tier_options.nprobe = 8;
+  tier_options.num_threads = 1;
+  const serving::ShardedIndex tier(std::move(corpus), tier_options);
+
+  // Optimizer-chosen schedule for the paper's Case I at 8B.
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  DefaultCluster());
+  opt::SearchOptions grid;
+  grid.batch_sizes = {1, 4, 16, 64};
+  grid.decode_batch_sizes = {16, 64, 256};
+  const opt::ScheduledPoint chosen =
+      opt::Optimizer(model, grid).Search().MaxQpsPerChip();
+
+  RuntimeOptions options;
+  options.admission_queue_limit = 512;
+  options.slo.ttft_seconds = chosen.perf.ttft * 3.0 + 0.1;
+  options.slo.tpot_seconds = chosen.perf.tpot * 3.0;
+  const ServingRuntime server(model, chosen.schedule, tier, options);
+
+  Banner("runtime SLO sweep (optimizer-chosen schedule, live scans)");
+  std::printf("schedule: analytical %.1f QPS, TTFT %.1f ms; SLO "
+              "(TTFT %.0f ms, TPOT %.1f ms)\n",
+              chosen.perf.qps, ToMillis(chosen.perf.ttft),
+              options.slo.ttft_seconds * 1e3,
+              options.slo.tpot_seconds * 1e3);
+
+  TextTable table;
+  table.SetHeader({"workload", "load x", "QPS", "rejected", "p50 TTFT ms",
+                   "p95 TTFT ms", "p99 TTFT ms", "p95 TPOT ms",
+                   "p95 wait ms", "SLO att."});
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("runtime_slo");
+  json.Key("analytical_qps").Number(chosen.perf.qps);
+  json.Key("slo_ttft_seconds").Number(options.slo.ttft_seconds);
+  json.Key("slo_tpot_seconds").Number(options.slo.tpot_seconds);
+  json.Key("results").BeginArray();
+
+  const int requests = 500;
+  const std::vector<double> loads = {0.3, 0.6, 0.9, 1.2, 2.0};
+  for (const std::string& scenario :
+       {std::string("poisson"), std::string("mmpp"),
+        std::string("diurnal")}) {
+    for (double load : loads) {
+      const double qps = chosen.perf.qps * load;
+      ArrivalTrace trace;
+      if (scenario == "poisson") {
+        trace = PoissonTrace(requests, qps, 71);
+      } else if (scenario == "mmpp") {
+        MmppOptions mmpp;
+        mmpp.quiet_qps = qps * 0.5;
+        mmpp.burst_qps = qps * 3.0;
+        mmpp.mean_quiet_seconds = 1.0;
+        mmpp.mean_burst_seconds = 0.25;
+        trace = MmppTrace(requests, mmpp, 71);
+      } else {
+        DiurnalOptions diurnal;
+        diurnal.mean_qps = qps;
+        diurnal.period_seconds = 8.0;
+        diurnal.amplitude = 0.8;
+        trace = DiurnalTrace(requests, diurnal, 71);
+      }
+      const RuntimeResult result = server.Serve(trace, query_pool);
+
+      table.AddRow({scenario, TextTable::Num(load, 2),
+                    TextTable::Num(result.throughput, 4),
+                    std::to_string(result.rejected),
+                    TextTable::Num(result.ttft.Percentile(0.5) * 1e3, 4),
+                    TextTable::Num(result.ttft.Percentile(0.95) * 1e3, 4),
+                    TextTable::Num(result.ttft.Percentile(0.99) * 1e3, 4),
+                    TextTable::Num(result.tpot.Percentile(0.95) * 1e3, 4),
+                    TextTable::Num(
+                        result.queue_wait.Percentile(0.95) * 1e3, 4),
+                    TextTable::Num(result.slo_attainment, 4)});
+
+      json.BeginObject();
+      json.Key("workload").String(scenario);
+      json.Key("load_multiplier").Number(load);
+      json.Key("offered_qps").Number(qps);
+      json.Key("throughput").Number(result.throughput);
+      json.Key("rejected").Int(result.rejected);
+      json.Key("p50_ttft").Number(result.ttft.Percentile(0.5));
+      json.Key("p95_ttft").Number(result.ttft.Percentile(0.95));
+      json.Key("p99_ttft").Number(result.ttft.Percentile(0.99));
+      json.Key("p95_tpot").Number(result.tpot.Percentile(0.95));
+      json.Key("p95_queue_wait").Number(result.queue_wait.Percentile(0.95));
+      json.Key("slo_attainment").Number(result.slo_attainment);
+      json.Key("real_scan_seconds").Number(result.real_scan_seconds);
+      json.Key("real_scan_bytes").Number(result.real_scan_bytes);
+      json.EndObject();
+    }
+  }
+  table.Print();
+  json.EndArray();
+  json.EndObject();
+  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+
+  std::printf(
+      "(attainment holds near 1.0 below capacity and collapses past\n"
+      " it; bursty MMPP traffic breaks the SLO earlier than Poisson at\n"
+      " the same mean load — the queueing headroom the closed form\n"
+      " cannot price)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file histogram.h
+ * Exact-sample latency recorder with percentile queries.
+ *
+ * The serving DES and the online runtime both report latency
+ * percentiles (TTFT, TPOT, queue wait). Both are bound by the repo's
+ * determinism contract — fixed seed => bit-identical statistics for
+ * any thread count — so the recorder keeps the exact samples rather
+ * than bucketed counts: percentiles are then pure functions of the
+ * recorded multiset, never of a binning policy, and two runs that
+ * produced the same samples report the same doubles to the last bit.
+ * Sample volumes here are requests per run (thousands), so exactness
+ * costs nothing material.
+ */
+#ifndef RAGO_COMMON_HISTOGRAM_H
+#define RAGO_COMMON_HISTOGRAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rago {
+
+/// Accumulates double samples; answers mean/min/max/percentile.
+class Histogram {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sum_ += value;
+    sorted_ = false;
+  }
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Arithmetic mean; 0 when no samples were recorded.
+  double Mean() const {
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
+  }
+
+  /**
+   * Nearest-rank percentile: the sorted sample at index
+   * floor(p * (n - 1)), the convention the serving DES has always used
+   * for p99 TTFT. `p` must be in [0, 1]; 0 when no samples were
+   * recorded.
+   */
+  double Percentile(double p) const {
+    RAGO_REQUIRE(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    EnsureSorted();
+    const auto index = static_cast<size_t>(
+        p * static_cast<double>(samples_.size() - 1));
+    return samples_[index];
+  }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_HISTOGRAM_H

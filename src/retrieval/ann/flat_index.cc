@@ -4,15 +4,6 @@
 #include "retrieval/ann/kernels/distance_kernels.h"
 
 namespace rago::ann {
-namespace {
-
-/// Batched-search tile shape: 8 queries x 1024 rows of distances is a
-/// 32 KB scratch block (L1/L2-resident at any dim), and 8 queries per
-/// row pass feed the 4-query micro-tile kernel two full groups.
-constexpr size_t kQueryTile = 8;
-constexpr size_t kRowTile = 1024;
-
-}  // namespace
 
 FlatIndex::FlatIndex(Matrix data, Metric metric)
     : data_(std::move(data)), metric_(metric) {
@@ -32,36 +23,17 @@ std::vector<std::vector<Neighbor>>
 FlatIndex::SearchBatch(const Matrix& queries, size_t k) const {
   RAGO_REQUIRE(queries.dim() == data_.dim(), "query dimensionality mismatch");
   const size_t num_queries = queries.rows();
-  const size_t num_rows = data_.rows();
   std::vector<TopK> heaps;
   heaps.reserve(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {
     heaps.emplace_back(k);
   }
-  // Rows in the outer loop: each database tile is streamed once and
-  // scored against every query via the micro-tile kernel. Distances
-  // reach each heap in ascending row order, so results are
-  // bit-identical to per-query Search for any tiling.
-  std::vector<float> dists(kQueryTile * kRowTile);
-  for (size_t row0 = 0; row0 < num_rows; row0 += kRowTile) {
-    const size_t rows_here =
-        num_rows - row0 < kRowTile ? num_rows - row0 : kRowTile;
-    for (size_t query0 = 0; query0 < num_queries; query0 += kQueryTile) {
-      const size_t queries_here = num_queries - query0 < kQueryTile
-                                      ? num_queries - query0
-                                      : kQueryTile;
-      kernels::DistanceTile(metric_, queries.Row(query0), queries_here,
-                            data_.Row(row0), rows_here, data_.dim(),
-                            dists.data());
-      for (size_t q = 0; q < queries_here; ++q) {
-        TopK& heap = heaps[query0 + q];
-        const float* row_dists = dists.data() + q * rows_here;
-        for (size_t i = 0; i < rows_here; ++i) {
-          heap.Push(row_dists[i], static_cast<int64_t>(row0 + i));
-        }
-      }
-    }
-  }
+  // Shared micro-tiled scan: every database row is streamed once per
+  // query tile, and each heap sees distances in ascending row order,
+  // so results are bit-identical to per-query Search.
+  kernels::ScanTileIntoTopK(metric_, queries.data(), num_queries,
+                            data_.data(), data_.rows(), data_.dim(),
+                            /*base_id=*/0, heaps.data());
   std::vector<std::vector<Neighbor>> out(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {
     out[q] = heaps[q].SortedTake();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "retrieval/ann/coarse_rank.h"
 #include "retrieval/ann/kernels/distance_kernels.h"
 
 namespace rago::ann {
@@ -57,10 +58,10 @@ IvfIndex::NearestClusters(const float* query, int nprobe) const {
 }
 
 std::vector<Neighbor>
-IvfIndex::Search(const float* query, size_t k, int nprobe) const {
-  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+IvfIndex::SearchLists(const float* query, size_t k,
+                      const std::vector<int32_t>& clusters) const {
   TopK topk(k);
-  for (int32_t cluster : NearestClusters(query, nprobe)) {
+  for (int32_t cluster : clusters) {
     const auto c = static_cast<size_t>(cluster);
     const size_t begin = list_offsets_[c];
     const size_t count = list_offsets_[c + 1] - begin;
@@ -73,12 +74,24 @@ IvfIndex::Search(const float* query, size_t k, int nprobe) const {
   return topk.SortedTake();
 }
 
+std::vector<Neighbor>
+IvfIndex::Search(const float* query, size_t k, int nprobe) const {
+  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+  return SearchLists(query, k, NearestClusters(query, nprobe));
+}
+
 std::vector<std::vector<Neighbor>>
 IvfIndex::SearchBatch(const Matrix& queries, size_t k, int nprobe) const {
   RAGO_REQUIRE(queries.dim() == dim_, "query dimensionality mismatch");
+  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+  // Rank coarse centroids for the whole block at once (micro-tile
+  // kernel); bit-identical to the per-query ranking, so batched and
+  // per-query search return the same ids.
+  const std::vector<std::vector<int32_t>> ranked =
+      RankCentroidsBatch(queries, centroids_, nprobe);
   std::vector<std::vector<Neighbor>> out(queries.rows());
   for (size_t q = 0; q < queries.rows(); ++q) {
-    out[q] = Search(queries.Row(q), k, nprobe);
+    out[q] = SearchLists(queries.Row(q), k, ranked[q]);
   }
   return out;
 }

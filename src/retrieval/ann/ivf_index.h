@@ -43,7 +43,11 @@ class IvfIndex {
   std::vector<Neighbor> Search(const float* query, size_t k,
                                int nprobe) const;
 
-  /// Batched Search over every row of `queries`.
+  /**
+   * Batched Search over every row of `queries`. Coarse centroids are
+   * ranked for the whole block through the micro-tile kernel
+   * (coarse_rank.h); results are exactly per-query Search's.
+   */
   std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
                                                  size_t k, int nprobe) const;
 
@@ -60,6 +64,11 @@ class IvfIndex {
 
  private:
   std::vector<int32_t> NearestClusters(const float* query, int nprobe) const;
+
+  /// Scans the given ranked clusters' lists for one query.
+  std::vector<Neighbor> SearchLists(
+      const float* query, size_t k,
+      const std::vector<int32_t>& clusters) const;
 
   Metric metric_;
   int nlist_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "retrieval/ann/coarse_rank.h"
 #include "retrieval/ann/kernels/distance_kernels.h"
 #include "retrieval/ann/kmeans.h"
 #include "retrieval/ann/rerank.h"
@@ -57,26 +58,19 @@ IvfPqIndex::IvfPqIndex(Matrix data, const IvfPqOptions& options, Rng& rng)
 }
 
 std::vector<Neighbor>
-IvfPqIndex::Search(const float* query, size_t k, int nprobe,
-                   int rerank) const {
-  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+IvfPqIndex::SearchLists(const float* query, size_t k, int rerank,
+                        const std::vector<int32_t>& clusters) const {
   RAGO_REQUIRE(rerank == 0 || !raw_.empty(),
                "re-ranking requires keep_raw_vectors at build time");
   const size_t dim = centroids_.dim();
-
-  // Rank coarse clusters.
-  TopK cluster_rank(static_cast<size_t>(std::min(nprobe, nlist_)));
-  kernels::ScanRowsIntoTopK(Metric::kL2, query, centroids_.data(),
-                            centroids_.rows(), dim, /*ids=*/nullptr,
-                            /*base_id=*/0, cluster_rank);
 
   // ADC scan inside probed lists. The candidate pool is max(k, rerank)
   // wide so re-ranking has material to work with.
   const size_t pool = std::max(k, static_cast<size_t>(rerank));
   TopK candidates(pool);
   std::vector<float> shifted(dim);
-  for (const Neighbor& cluster : cluster_rank.SortedTake()) {
-    const auto c = static_cast<size_t>(cluster.id);
+  for (int32_t cluster : clusters) {
+    const auto c = static_cast<size_t>(cluster);
     const float* centroid = centroids_.Row(c);
     const float* table_query = query;
     if (encode_residuals_) {
@@ -102,14 +96,35 @@ IvfPqIndex::Search(const float* query, size_t k, int nprobe,
   return RerankExactL2(approx, query, raw_, k);
 }
 
+std::vector<Neighbor>
+IvfPqIndex::Search(const float* query, size_t k, int nprobe,
+                   int rerank) const {
+  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+  // Rank coarse clusters.
+  TopK cluster_rank(static_cast<size_t>(std::min(nprobe, nlist_)));
+  kernels::ScanRowsIntoTopK(Metric::kL2, query, centroids_.data(),
+                            centroids_.rows(), centroids_.dim(),
+                            /*ids=*/nullptr, /*base_id=*/0, cluster_rank);
+  std::vector<int32_t> clusters;
+  for (const Neighbor& cluster : cluster_rank.SortedTake()) {
+    clusters.push_back(static_cast<int32_t>(cluster.id));
+  }
+  return SearchLists(query, k, rerank, clusters);
+}
+
 std::vector<std::vector<Neighbor>>
 IvfPqIndex::SearchBatch(const Matrix& queries, size_t k, int nprobe,
                         int rerank) const {
   RAGO_REQUIRE(queries.dim() == pq_->dim(),
                "query dimensionality mismatch");
+  RAGO_REQUIRE(nprobe > 0, "nprobe must be positive");
+  // Whole-block coarse ranking through the micro-tile kernel;
+  // bit-identical to per-query Search's ranking.
+  const std::vector<std::vector<int32_t>> ranked =
+      RankCentroidsBatch(queries, centroids_, nprobe);
   std::vector<std::vector<Neighbor>> out(queries.rows());
   for (size_t q = 0; q < queries.rows(); ++q) {
-    out[q] = Search(queries.Row(q), k, nprobe, rerank);
+    out[q] = SearchLists(queries.Row(q), k, rerank, ranked[q]);
   }
   return out;
 }

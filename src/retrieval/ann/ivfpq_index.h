@@ -44,7 +44,11 @@ class IvfPqIndex {
   std::vector<Neighbor> Search(const float* query, size_t k, int nprobe,
                                int rerank = 0) const;
 
-  /// Batched Search over every row of `queries`.
+  /**
+   * Batched Search over every row of `queries`. Coarse centroids are
+   * ranked for the whole block through the micro-tile kernel
+   * (coarse_rank.h); results are exactly per-query Search's.
+   */
   std::vector<std::vector<Neighbor>> SearchBatch(const Matrix& queries,
                                                  size_t k, int nprobe,
                                                  int rerank = 0) const;
@@ -57,6 +61,11 @@ class IvfPqIndex {
   const ProductQuantizer& pq() const { return *pq_; }
 
  private:
+  /// ADC-scans the given ranked clusters' lists for one query.
+  std::vector<Neighbor> SearchLists(
+      const float* query, size_t k, int rerank,
+      const std::vector<int32_t>& clusters) const;
+
   size_t num_vectors_ = 0;
   int nlist_ = 0;
   bool encode_residuals_ = true;

@@ -83,6 +83,13 @@ bool EnvForcesScalar() {
 /// scratch stays L1/L2-resident for any realistic dim.
 constexpr size_t kScanTile = 512;
 
+/// Multi-query tile shape for ScanTileIntoTopK: 8 queries x 1024 rows
+/// of distances is a 32 KB scratch block (L1/L2-resident at any dim),
+/// and 8 queries per row pass feed the 4-query micro-tile kernel two
+/// full groups.
+constexpr size_t kQueryTile = 8;
+constexpr size_t kRowTile = 1024;
+
 /// The per-thread buffer behind the scratch-less helper overloads.
 std::vector<float>& TlsScratch() {
   static thread_local std::vector<float> scratch;
@@ -236,6 +243,40 @@ ScanCodesIntoTopK(const float* table, const uint8_t* codes, size_t num_codes,
       topk.Push(scratch[i],
                 ids != nullptr ? ids[code]
                                : base_id + static_cast<int64_t>(code));
+    }
+  }
+}
+
+void
+ScanTileIntoTopK(Metric metric, const float* queries, size_t num_queries,
+                 const float* rows, size_t num_rows, size_t dim,
+                 int64_t base_id, TopK* heaps) {
+  // Rows in the outer loop: each row tile is streamed once and scored
+  // against every query. Distances reach each heap in ascending row
+  // order, so results are bit-identical to a per-query scan for any
+  // tiling. Scratch comes from the shared per-thread buffer (this
+  // helper never nests with the other scan helpers).
+  std::vector<float>& dists = TlsScratch();
+  if (dists.size() < kQueryTile * kRowTile) {
+    dists.resize(kQueryTile * kRowTile);
+  }
+  for (size_t row0 = 0; row0 < num_rows; row0 += kRowTile) {
+    const size_t rows_here =
+        num_rows - row0 < kRowTile ? num_rows - row0 : kRowTile;
+    for (size_t query0 = 0; query0 < num_queries; query0 += kQueryTile) {
+      const size_t queries_here = num_queries - query0 < kQueryTile
+                                      ? num_queries - query0
+                                      : kQueryTile;
+      DistanceTile(metric, queries + query0 * dim, queries_here,
+                   rows + row0 * dim, rows_here, dim, dists.data());
+      for (size_t q = 0; q < queries_here; ++q) {
+        TopK& heap = heaps[query0 + q];
+        const float* row_dists = dists.data() + q * rows_here;
+        for (size_t i = 0; i < rows_here; ++i) {
+          heap.Push(row_dists[i],
+                    base_id + static_cast<int64_t>(row0 + i));
+        }
+      }
     }
   }
 }

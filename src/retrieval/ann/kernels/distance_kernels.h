@@ -154,6 +154,20 @@ void ScanCodesIntoTopK(const float* table, const uint8_t* codes,
                        std::vector<float>& scratch);
 
 /**
+ * Micro-tiled multi-query scan: streams `num_rows` contiguous rows
+ * once per query tile through the tile kernel and offers every
+ * (query, row) distance to `heaps[query]` in ascending row order
+ * (candidate ids `base_id + row`), so per-heap tie-breaks match a
+ * per-query ScanRowsIntoTopK scan exactly. `heaps` must hold
+ * `num_queries` accumulators. The shared core of
+ * FlatIndex::SearchBatch and the IVF coarse-centroid block ranking.
+ */
+void ScanTileIntoTopK(Metric metric, const float* queries,
+                      size_t num_queries, const float* rows,
+                      size_t num_rows, size_t dim, int64_t base_id,
+                      TopK* heaps);
+
+/**
  * Index of the row nearest to `query` by squared L2 (first index wins
  * ties, matching the sequential `d < best` loops this replaces). When
  * `min_dist` is non-null it receives the winning distance.

@@ -1,0 +1,517 @@
+#include "serving/runtime/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rago::runtime {
+namespace {
+
+using core::PipelineModel;
+using core::StageType;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// FNV-1a 64-bit fold of an arbitrary byte span.
+uint64_t FnvFold(uint64_t hash, const void* bytes, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t FnvFoldU64(uint64_t hash, uint64_t value) {
+  return FnvFold(hash, &value, sizeof(value));
+}
+
+uint64_t FnvFoldDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvFoldU64(hash, bits);
+}
+
+uint64_t FnvFoldFloat(uint64_t hash, float value) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvFoldU64(hash, bits);
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+/// One request waiting in a stage queue.
+struct QueueEntry {
+  int id = 0;
+  double enqueued = 0.0;  ///< Virtual time it entered this queue.
+};
+
+/// One pipeline stage instantiated for execution.
+struct ExecStage {
+  StageType type = StageType::kPrefix;
+  int server = 0;
+  int64_t batch = 1;
+  double latency = 0.0;   ///< Virtual completion time of one batch.
+  double interval = 0.0;  ///< Virtual server occupancy per batch.
+  std::deque<QueueEntry> queue;
+  double oldest_enqueue = 0.0;
+};
+
+/// Scheduler event; kind ascending breaks time ties (arrivals first),
+/// then payload ascending so simultaneous arrivals (burst traces) pop
+/// in request-id order on every standard library, keeping outcomes
+/// platform-reproducible, not just run-reproducible.
+struct Event {
+  double time = 0.0;
+  int kind = 0;  // 0 = arrival, 1 = stage-done, 2 = flush, 3 = step.
+  int a = 0;     // arrival: request id; stage-done/flush: stage index.
+
+  friend bool operator>(const Event& lhs, const Event& rhs) {
+    if (lhs.time != rhs.time) {
+      return lhs.time > rhs.time;
+    }
+    if (lhs.kind != rhs.kind) {
+      return lhs.kind > rhs.kind;
+    }
+    return lhs.a > rhs.a;
+  }
+};
+
+}  // namespace
+
+void
+RuntimeOptions::Validate() const {
+  RAGO_REQUIRE(admission_queue_limit > 0,
+               "admission_queue_limit must be positive");
+  RAGO_REQUIRE(batch_timeout >= 0, "batch_timeout must be non-negative");
+  RAGO_REQUIRE(num_threads >= 0,
+               "num_threads must be >= 0 (0 = hardware concurrency)");
+  RAGO_REQUIRE(top_k >= 1, "top_k must be >= 1");
+  RAGO_REQUIRE(slo.ttft_seconds > 0 && slo.tpot_seconds > 0,
+               "SLO targets must be positive");
+  RAGO_REQUIRE(timeline_limit >= 0, "timeline_limit must be >= 0");
+}
+
+ServingRuntime::ServingRuntime(const PipelineModel& model,
+                               core::Schedule schedule,
+                               const serving::ShardedIndex& index,
+                               RuntimeOptions options)
+    : model_(model), schedule_(std::move(schedule)), index_(index),
+      options_(std::move(options)) {
+  options_.Validate();
+  RAGO_REQUIRE(model_.schema().retrieval_enabled,
+               "the serving runtime requires a retrieval stage");
+  RAGO_REQUIRE(!model_.schema().IterativeRetrieval(),
+               "iterative retrieval is not supported by the runtime "
+               "(use SimulateIterativeDecode)");
+  schedule_.Validate(model_.chain().size());
+  // A dedicated pool (even of one worker) so scan parallelism follows
+  // this runtime's knob, not the index's own num_threads default.
+  pool_ = std::make_unique<ThreadPool>(
+      ResolveNumThreads(options_.num_threads));
+}
+
+RuntimeResult
+ServingRuntime::Serve(const ArrivalTrace& workload,
+                      const ann::Matrix& query_pool) const {
+  RAGO_REQUIRE(!workload.arrivals.empty(), "empty arrival trace");
+  RAGO_REQUIRE(!query_pool.empty(), "empty query pool");
+  RAGO_REQUIRE(query_pool.dim() == index_.dim(),
+               "query pool dimensionality mismatch with the index");
+
+  // --- Instantiate the stage graph with model-priced service times
+  // (identical treatment to the serving DES, so the two engines are
+  // directly cross-checkable). ---
+  const auto& chain = model_.chain();
+  std::vector<ExecStage> stages;
+  const int retrieval_server = schedule_.NumGroups();
+  size_t retrieval_stage_index = 0;
+  size_t chain_index = 0;
+  for (StageType type : model_.schema().AllStages()) {
+    if (type == StageType::kDecode) {
+      continue;  // Decode runs in the continuous-batching pool below.
+    }
+    ExecStage stage;
+    stage.type = type;
+    if (type == StageType::kRetrieval) {
+      retrieval_stage_index = stages.size();
+      stage.server = retrieval_server;
+      stage.batch = schedule_.retrieval_batch;
+      const int64_t queries =
+          stage.batch * model_.schema().retrieval.queries_per_retrieval;
+      if (options_.retrieval_model != nullptr) {
+        const retrieval::RetrievalCost cost =
+            options_.retrieval_model->Search(queries);
+        stage.latency = cost.latency;
+        stage.interval = static_cast<double>(queries) / cost.throughput;
+      } else {
+        const core::StagePerf perf = model_.EvalRetrieval(
+            static_cast<int>(stage.batch), schedule_.retrieval_servers);
+        RAGO_REQUIRE(perf.feasible, "retrieval infeasible under schedule");
+        stage.latency = perf.latency;
+        stage.interval =
+            static_cast<double>(stage.batch) / perf.throughput;
+      }
+    } else {
+      RAGO_CHECK(chain_index < chain.size(), "chain/stage walk mismatch");
+      const int group = schedule_.chain_group[chain_index];
+      stage.server = group;
+      stage.batch = schedule_.chain_batch[chain_index];
+      const core::StagePerf perf = model_.EvalChainStage(
+          type, schedule_.group_chips[static_cast<size_t>(group)],
+          stage.batch);
+      RAGO_REQUIRE(perf.feasible, "stage infeasible under schedule");
+      stage.latency = perf.latency;
+      stage.interval = static_cast<double>(stage.batch) / perf.throughput;
+      ++chain_index;
+    }
+    stages.push_back(std::move(stage));
+  }
+  const int num_servers = retrieval_server + 1;
+
+  const core::StagePerf decode_perf =
+      model_.EvalDecode(schedule_.decode_chips, schedule_.decode_batch);
+  RAGO_REQUIRE(decode_perf.feasible, "decode infeasible under schedule");
+  const int decode_tokens = model_.schema().workload.decode_tokens;
+  const double step_latency =
+      static_cast<double>(schedule_.decode_batch) /
+      (decode_perf.throughput * decode_tokens);
+
+  // --- Serving state. ---
+  RuntimeResult result;
+  result.submitted = static_cast<int64_t>(workload.arrivals.size());
+  result.requests.resize(workload.arrivals.size());
+  for (size_t i = 0; i < workload.arrivals.size(); ++i) {
+    result.requests[i].arrival = workload.arrivals[i];
+  }
+  result.stages.resize(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    result.stages[s].type = stages[s].type;
+    result.stages[s].server = stages[s].server;
+  }
+
+  const int qpr = model_.schema().retrieval.queries_per_retrieval;
+  const size_t pool_rows = query_pool.rows();
+
+  std::vector<double> server_busy_until(static_cast<size_t>(num_servers),
+                                        0.0);
+  std::deque<int> decode_waiting;
+  struct ActiveSeq {
+    int id = 0;
+    int tokens = 0;
+  };
+  std::vector<ActiveSeq> decode_active;
+  double decode_busy_time = 0.0;
+  bool step_scheduled = false;
+  uint64_t digest = kFnvOffset;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events;
+  for (size_t i = 0; i < workload.arrivals.size(); ++i) {
+    events.push(Event{workload.arrivals[i], 0, static_cast<int>(i)});
+  }
+
+  int64_t completed = 0;
+  double now = 0.0;
+
+  struct InFlight {
+    size_t stage = 0;
+    std::vector<int> members;
+  };
+  std::vector<InFlight> in_flight;
+
+  auto record_timeline = [&](size_t s) {
+    StageTelemetry& telemetry = result.stages[s];
+    if (static_cast<int>(telemetry.timeline.size()) >=
+        options_.timeline_limit) {
+      return;
+    }
+    StageTimelinePoint point;
+    point.time = now;
+    point.queue_depth = static_cast<int>(stages[s].queue.size());
+    point.utilization =
+        now > 0.0 ? telemetry.busy_seconds / now : 0.0;
+    telemetry.timeline.push_back(point);
+  };
+
+  // Executes the real scatter-gather scan for one retrieval batch and
+  // records each member's retrieved neighbors into the digest. Virtual
+  // time is unaffected: the batch's service time stays model-priced.
+  auto run_retrieval_scan = [&](const std::vector<int>& members) {
+    ann::Matrix batch_queries(members.size() * static_cast<size_t>(qpr),
+                              query_pool.dim());
+    size_t row = 0;
+    for (int id : members) {
+      const size_t start = static_cast<size_t>(
+          Rng::DeriveSeed(options_.seed, static_cast<uint64_t>(id)) %
+          pool_rows);
+      for (int q = 0; q < qpr; ++q) {
+        batch_queries.CopyRowFrom(
+            query_pool, (start + static_cast<size_t>(q)) % pool_rows,
+            row++);
+      }
+    }
+    const Clock::time_point scan_start = Clock::now();
+    serving::ShardSearchStats stats;
+    const auto neighbors = index_.SearchBatch(
+        batch_queries, static_cast<size_t>(options_.top_k), pool_.get(),
+        &stats);
+    result.real_scan_seconds += SecondsSince(scan_start);
+    result.real_scan_bytes += stats.TotalScanBytes();
+    result.real_queries_scanned +=
+        static_cast<int64_t>(batch_queries.rows());
+
+    row = 0;
+    for (int id : members) {
+      RequestOutcome& outcome =
+          result.requests[static_cast<size_t>(id)];
+      digest = FnvFoldU64(digest, static_cast<uint64_t>(id));
+      for (int q = 0; q < qpr; ++q, ++row) {
+        for (const ann::Neighbor& neighbor : neighbors[row]) {
+          digest = FnvFoldU64(digest,
+                              static_cast<uint64_t>(neighbor.id));
+          digest = FnvFoldFloat(digest, neighbor.dist);
+        }
+        if (q == 0 && !neighbors[row].empty()) {
+          outcome.first_neighbor = neighbors[row].front().id;
+        }
+      }
+    }
+  };
+
+  auto start_batches = [&](bool force) {
+    for (size_t s = 0; s < stages.size(); ++s) {
+      ExecStage& stage = stages[s];
+      StageTelemetry& telemetry = result.stages[s];
+      const auto server = static_cast<size_t>(stage.server);
+      while (!stage.queue.empty() && server_busy_until[server] <= now) {
+        const bool full =
+            static_cast<int64_t>(stage.queue.size()) >= stage.batch;
+        // Tolerant flush comparison (see the DES): the flush event
+        // fires at exactly oldest + timeout, which can round below
+        // timeout when re-derived.
+        const bool timed_out =
+            now >= stage.oldest_enqueue + options_.batch_timeout - 1e-9;
+        if (!full && !force && !timed_out) {
+          break;
+        }
+        const auto take = static_cast<size_t>(std::min<int64_t>(
+            stage.batch, static_cast<int64_t>(stage.queue.size())));
+        InFlight batch;
+        batch.stage = s;
+        batch.members.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          const QueueEntry& entry = stage.queue[i];
+          batch.members.push_back(entry.id);
+          const double wait = now - entry.enqueued;
+          telemetry.queue_wait.Add(wait);
+          result.requests[static_cast<size_t>(entry.id)].queue_wait +=
+              wait;
+        }
+        stage.queue.erase(stage.queue.begin(),
+                          stage.queue.begin() + static_cast<long>(take));
+        stage.oldest_enqueue = now;
+        server_busy_until[server] = now + stage.interval;
+        telemetry.busy_seconds += stage.interval;
+        telemetry.batches += 1;
+        telemetry.full_batches +=
+            static_cast<int64_t>(take) == stage.batch ? 1 : 0;
+        telemetry.requests += static_cast<int64_t>(take);
+        if (s == retrieval_stage_index) {
+          run_retrieval_scan(batch.members);
+        }
+        record_timeline(s);
+        in_flight.push_back(std::move(batch));
+        events.push(Event{now + stage.latency, 1, static_cast<int>(s)});
+      }
+      if (!stage.queue.empty() && server_busy_until[server] <= now) {
+        events.push(Event{stage.oldest_enqueue + options_.batch_timeout,
+                          2, static_cast<int>(s)});
+      }
+    }
+  };
+
+  auto enqueue = [&](size_t s, int request) {
+    ExecStage& stage = stages[s];
+    if (stage.queue.empty()) {
+      stage.oldest_enqueue = now;
+      events.push(Event{now + options_.batch_timeout, 2,
+                        static_cast<int>(s)});
+    }
+    stage.queue.push_back(QueueEntry{request, now});
+    StageTelemetry& telemetry = result.stages[s];
+    telemetry.max_queue_depth =
+        std::max(telemetry.max_queue_depth,
+                 static_cast<int>(stage.queue.size()));
+    record_timeline(s);
+  };
+
+  auto admit_decode = [&]() {
+    while (static_cast<int64_t>(decode_active.size()) <
+               schedule_.decode_batch &&
+           !decode_waiting.empty()) {
+      const int id = decode_waiting.front();
+      decode_waiting.pop_front();
+      result.requests[static_cast<size_t>(id)].decode_start = now;
+      decode_active.push_back(ActiveSeq{id, 0});
+    }
+    if (!decode_active.empty() && !step_scheduled) {
+      events.push(Event{now + step_latency, 3, 0});
+      step_scheduled = true;
+      decode_busy_time += step_latency;
+    }
+  };
+
+  // Completes the oldest in-flight batch of stage `s`: members advance
+  // to the next stage, or emit their first token and join decode.
+  auto complete_stage = [&](size_t s) {
+    for (size_t b = 0; b < in_flight.size(); ++b) {
+      if (in_flight[b].stage != s) {
+        continue;
+      }
+      for (int id : in_flight[b].members) {
+        if (s + 1 < stages.size()) {
+          enqueue(s + 1, id);
+        } else {
+          RequestOutcome& outcome =
+              result.requests[static_cast<size_t>(id)];
+          outcome.ttft = now - outcome.arrival;
+          decode_waiting.push_back(id);
+          result.max_decode_queue_depth =
+              std::max(result.max_decode_queue_depth,
+                       static_cast<int>(decode_waiting.size()));
+        }
+      }
+      in_flight.erase(in_flight.begin() + static_cast<long>(b));
+      break;
+    }
+    admit_decode();
+  };
+
+  auto decode_step = [&]() {
+    step_scheduled = false;
+    std::vector<ActiveSeq> still;
+    still.reserve(decode_active.size());
+    for (ActiveSeq& seq : decode_active) {
+      if (++seq.tokens >= decode_tokens) {
+        RequestOutcome& outcome =
+            result.requests[static_cast<size_t>(seq.id)];
+        outcome.completion = now;
+        outcome.tpot = (now - outcome.decode_start) / decode_tokens;
+        ++completed;
+      } else {
+        still.push_back(seq);
+      }
+    }
+    decode_active = std::move(still);
+    admit_decode();
+  };
+
+  // --- Main loop. ---
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    now = std::max(now, event.time);
+
+    switch (event.kind) {
+      case 0: {  // Arrival: bounded admission into the first stage.
+        RequestOutcome& outcome =
+            result.requests[static_cast<size_t>(event.a)];
+        if (static_cast<int64_t>(stages[0].queue.size()) >=
+            options_.admission_queue_limit) {
+          outcome.admitted = false;
+          ++result.rejected;
+        } else {
+          outcome.admitted = true;
+          ++result.admitted;
+          enqueue(0, event.a);
+        }
+        break;
+      }
+      case 1: {
+        complete_stage(static_cast<size_t>(event.a));
+        break;
+      }
+      case 2: {
+        break;  // Flush deadline; start_batches below handles it.
+      }
+      case 3: {
+        decode_step();
+        break;
+      }
+      default:
+        RAGO_CHECK(false, "unknown event kind");
+    }
+    start_batches(/*force=*/false);
+  }
+
+  // --- Drain partial batches below the flush timeout at the end. ---
+  while (completed < result.admitted) {
+    start_batches(/*force=*/true);
+    if (events.empty()) {
+      break;
+    }
+    const Event event = events.top();
+    events.pop();
+    now = std::max(now, event.time);
+    if (event.kind == 1) {
+      complete_stage(static_cast<size_t>(event.a));
+    } else if (event.kind == 3) {
+      decode_step();
+    }
+  }
+  RAGO_CHECK(completed == result.admitted,
+             "serving runtime failed to drain all admitted requests");
+  result.completed = completed;
+
+  // --- Aggregate telemetry (id order: independent of event order). ---
+  result.makespan = now;
+  result.throughput =
+      static_cast<double>(completed) / std::max(now, 1e-12);
+  int64_t within_slo = 0;
+  for (RequestOutcome& outcome : result.requests) {
+    if (!outcome.admitted) {
+      continue;
+    }
+    RAGO_CHECK(outcome.ttft >= 0 && outcome.completion >= 0,
+               "admitted request did not finish");
+    result.ttft.Add(outcome.ttft);
+    result.tpot.Add(outcome.tpot);
+    result.queue_wait.Add(outcome.queue_wait);
+    outcome.slo_ok = outcome.ttft <= options_.slo.ttft_seconds &&
+                     outcome.tpot <= options_.slo.tpot_seconds;
+    within_slo += outcome.slo_ok ? 1 : 0;
+  }
+  result.slo_attainment =
+      static_cast<double>(within_slo) /
+      static_cast<double>(result.submitted);
+  for (StageTelemetry& telemetry : result.stages) {
+    telemetry.utilization =
+        telemetry.busy_seconds / std::max(result.makespan, 1e-12);
+  }
+  result.decode_utilization =
+      decode_busy_time / std::max(result.makespan, 1e-12);
+
+  for (const RequestOutcome& outcome : result.requests) {
+    digest = FnvFoldU64(digest, outcome.admitted ? 1u : 0u);
+    digest = FnvFoldDouble(digest, outcome.ttft);
+    digest = FnvFoldDouble(digest, outcome.tpot);
+    digest = FnvFoldDouble(digest, outcome.completion);
+    digest = FnvFoldU64(digest,
+                        static_cast<uint64_t>(outcome.first_neighbor));
+  }
+  result.outcome_digest = digest;
+  return result;
+}
+
+}  // namespace rago::runtime

@@ -1,0 +1,210 @@
+/**
+ * @file runtime.h
+ * Online RAG serving runtime: a request-level scheduler that executes
+ * a RAGO schedule against live traffic.
+ *
+ * The analytical model (core/pipeline_model.h) predicts a schedule's
+ * steady state and the DES (sim/serving_sim.h) replays it event by
+ * event — but neither *serves* anything. This runtime closes the loop:
+ * requests from a workload scenario (serving/runtime/workload.h) are
+ * admitted through a bounded queue and driven through the schedule's
+ * stage graph with per-stage continuous batching (size/timeout flush,
+ * like the DES), and the retrieval stage executes **real**
+ * ShardedIndex::SearchBatch scans — any backend/partitioner, SIMD
+ * kernels and all — fanned out on the shared thread pool.
+ *
+ * Execution is hybrid: XPU stages (encoder/rewriter/rerank/prefix) and
+ * decode consume modeled service times from the same PipelineModel
+ * cost models the optimizer uses, advanced on a virtual clock, while
+ * the retrieval stage's *results* come from real scans (its virtual
+ * service time stays model-priced so telemetry is reproducible). Wall
+ * time is therefore dominated by the real scans, and one machine can
+ * serve a schedule chosen by the optimizer over the very same
+ * calibrated costs — the end-to-end closed loop on the ROADMAP.
+ *
+ * Determinism contract (PR-3): a fixed RuntimeOptions::seed yields
+ * bit-identical request outcomes (retrieved ids, TTFT/TPOT), telemetry
+ * histograms, and the outcome digest for every num_threads, because
+ * the scheduler loop is serial on virtual time and ShardedIndex
+ * guarantees thread-count-invariant merged top-k.
+ */
+#ifndef RAGO_SERVING_RUNTIME_RUNTIME_H
+#define RAGO_SERVING_RUNTIME_RUNTIME_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+#include "core/pipeline_model.h"
+#include "core/schedule.h"
+#include "retrieval/perf/retrieval_model.h"
+#include "retrieval/serving/sharded_index.h"
+#include "serving/runtime/workload.h"
+
+namespace rago::runtime {
+
+/// Latency service-level objective for one deployment.
+struct SloTarget {
+  double ttft_seconds = 0.5;   ///< Max acceptable time to first token.
+  double tpot_seconds = 0.05;  ///< Max acceptable time per output token.
+};
+
+/// Runtime configuration knobs.
+struct RuntimeOptions {
+  /**
+   * Bounded admission queue: arrivals finding this many requests
+   * already waiting at the first stage are rejected (counted, never
+   * served). Must be positive.
+   */
+  int admission_queue_limit = 4096;
+  /// Maximum virtual seconds a stage waits to fill its batch before
+  /// flushing a partial one. Must be non-negative.
+  double batch_timeout = 0.050;
+  /**
+   * Worker threads for the real retrieval scans: 0 = hardware
+   * concurrency, 1 = a single worker. Results and telemetry are
+   * bit-identical for every value (the ShardedIndex contract).
+   */
+  int num_threads = 0;
+  /// Neighbors fetched per query vector by the retrieval stage.
+  int top_k = 10;
+  /// Seeds the query-vector assignment stream (request -> pool row).
+  uint64_t seed = 0x5eed;
+  /// SLO the attainment metric is scored against.
+  SloTarget slo;
+  /**
+   * Optional deterministic pricing of the retrieval stage's virtual
+   * service time (e.g. a MeasuredRetrievalModel calibrated from this
+   * very index). Defaults to the pipeline model's EvalRetrieval —
+   * identical to the DES's treatment. Not owned; must outlive Serve.
+   */
+  const retrieval::RetrievalModel* retrieval_model = nullptr;
+  /// Per-stage queue-depth timeline samples kept (0 disables).
+  int timeline_limit = 4096;
+
+  /// Throws ConfigError on invalid knobs.
+  void Validate() const;
+};
+
+/// One (virtual time, state) sample of a stage's telemetry timeline.
+struct StageTimelinePoint {
+  double time = 0.0;        ///< Virtual seconds.
+  int queue_depth = 0;      ///< Waiting requests after the event.
+  double utilization = 0.0; ///< Busy fraction of the stage so far.
+};
+
+/// Per-stage telemetry of one Serve call.
+struct StageTelemetry {
+  core::StageType type = core::StageType::kPrefix;
+  int server = 0;           ///< Collocation group id, or the dedicated
+                            ///< retrieval server index.
+  int64_t batches = 0;      ///< Batches flushed (full or timed out).
+  int64_t full_batches = 0; ///< Batches flushed at the configured size.
+  int64_t requests = 0;     ///< Requests processed.
+  double busy_seconds = 0.0;  ///< Virtual server occupancy.
+  double utilization = 0.0;   ///< busy_seconds / makespan.
+  int max_queue_depth = 0;
+  Histogram queue_wait;       ///< Virtual wait from enqueue to flush.
+  std::vector<StageTimelinePoint> timeline;
+};
+
+/// Outcome of one request (virtual seconds unless noted).
+struct RequestOutcome {
+  double arrival = 0.0;
+  bool admitted = false;
+  double ttft = -1.0;        ///< Arrival to first token; -1 if rejected.
+  double decode_start = -1.0;  ///< Admission into the decode pool.
+  double tpot = -1.0;        ///< Decode seconds per output token (from
+                             ///< decode_start, matching the DES).
+  double completion = -1.0;  ///< Absolute completion time.
+  double queue_wait = 0.0;   ///< Summed pre-decode queue waits.
+  int64_t first_neighbor = -1;  ///< Top-1 global id of the request's
+                                ///< first query (a real scan result).
+  bool slo_ok = false;       ///< Completed within both SLO targets.
+};
+
+/// Aggregate result of one Serve call.
+struct RuntimeResult {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  double makespan = 0.0;     ///< Last completion (virtual seconds).
+  double throughput = 0.0;   ///< completed / makespan.
+
+  Histogram ttft;            ///< Completed requests only.
+  Histogram tpot;
+  Histogram queue_wait;      ///< Summed pre-decode waits per request.
+
+  /**
+   * Fraction of *submitted* requests that completed within both SLO
+   * targets — rejected requests score as violations, so shedding load
+   * cannot inflate attainment.
+   */
+  double slo_attainment = 0.0;
+
+  std::vector<StageTelemetry> stages;  ///< Pre-decode stages, in order.
+  double decode_utilization = 0.0;
+  int max_decode_queue_depth = 0;
+
+  /// Real-scan accounting (host wall clock; *not* covered by the
+  /// determinism contract, unlike everything above).
+  double real_scan_seconds = 0.0;
+  double real_scan_bytes = 0.0;
+  int64_t real_queries_scanned = 0;
+
+  std::vector<RequestOutcome> requests;  ///< Indexed by request id.
+
+  /**
+   * FNV-1a digest over every request outcome in id order: admission,
+   * retrieved (id, distance-bit) pairs, and TTFT/TPOT/completion bit
+   * patterns. Two runs serve identically iff digests match — the
+   * determinism tests sweep num_threads against this.
+   */
+  uint64_t outcome_digest = 0;
+};
+
+/**
+ * The serving engine for one (model, schedule, index) deployment.
+ * Construction validates the schedule against the model and the
+ * options; Serve may be called repeatedly (each call is independent).
+ */
+class ServingRuntime {
+ public:
+  /**
+   * `model`, `index`, and (when set) `options.retrieval_model` are
+   * borrowed and must outlive the runtime. The schema must not use
+   * iterative retrieval (runtime counterpart of the DES restriction).
+   */
+  ServingRuntime(const core::PipelineModel& model, core::Schedule schedule,
+                 const serving::ShardedIndex& index,
+                 RuntimeOptions options = {});
+
+  /**
+   * Serves `workload` end to end. Each admitted request draws
+   * queries_per_retrieval consecutive rows (wrapping) from
+   * `query_pool`, starting at a seed-derived row, and retrieves
+   * top_k neighbors through the live sharded index.
+   */
+  RuntimeResult Serve(const ArrivalTrace& workload,
+                      const ann::Matrix& query_pool) const;
+
+  const core::Schedule& schedule() const { return schedule_; }
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  const core::PipelineModel& model_;
+  core::Schedule schedule_;
+  const serving::ShardedIndex& index_;
+  RuntimeOptions options_;
+  /// Owned pool of ResolveNumThreads(options_.num_threads) workers
+  /// (always allocated, even for a single worker, so scan parallelism
+  /// follows this runtime's knob rather than the index's own default).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace rago::runtime
+
+#endif  // RAGO_SERVING_RUNTIME_RUNTIME_H

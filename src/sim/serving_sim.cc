@@ -6,7 +6,7 @@
 #include <queue>
 
 #include "common/check.h"
-#include "common/rng.h"
+#include "common/histogram.h"
 
 namespace rago::sim {
 namespace {
@@ -46,50 +46,25 @@ struct Event {
     if (lhs.time != rhs.time) {
       return lhs.time > rhs.time;
     }
-    return lhs.kind > rhs.kind;  // Prefer arrivals first at ties.
+    if (lhs.kind != rhs.kind) {
+      return lhs.kind > rhs.kind;  // Prefer arrivals first at ties.
+    }
+    // Payload ascending: simultaneous arrivals (burst traces) enqueue
+    // in request-id order on every standard library, mirroring the
+    // runtime's scheduler so the engines stay cross-checkable.
+    return lhs.a > rhs.a;
   }
 };
 
 }  // namespace
-
-ArrivalTrace
-UniformTrace(int count, double qps) {
-  RAGO_REQUIRE(count > 0 && qps > 0, "trace needs positive count and rate");
-  ArrivalTrace trace;
-  trace.arrivals.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    trace.arrivals.push_back(i / qps);
-  }
-  return trace;
-}
-
-ArrivalTrace
-PoissonTrace(int count, double qps, uint64_t seed) {
-  RAGO_REQUIRE(count > 0 && qps > 0, "trace needs positive count and rate");
-  Rng rng(seed);
-  ArrivalTrace trace;
-  trace.arrivals.reserve(static_cast<size_t>(count));
-  double t = 0.0;
-  for (int i = 0; i < count; ++i) {
-    t += -std::log(std::max(rng.NextDouble(), 1e-12)) / qps;
-    trace.arrivals.push_back(t);
-  }
-  return trace;
-}
-
-ArrivalTrace
-BurstTrace(int count) {
-  RAGO_REQUIRE(count > 0, "trace needs positive count");
-  ArrivalTrace trace;
-  trace.arrivals.assign(static_cast<size_t>(count), 0.0);
-  return trace;
-}
 
 ServingSimResult
 SimulateServing(const PipelineModel& model, const Schedule& schedule,
                 const ArrivalTrace& trace,
                 const ServingSimOptions& options) {
   RAGO_REQUIRE(!trace.arrivals.empty(), "empty arrival trace");
+  RAGO_REQUIRE(options.batch_timeout >= 0,
+               "batch_timeout must be non-negative");
   RAGO_REQUIRE(!model.schema().IterativeRetrieval(),
                "iterative retrieval uses SimulateIterativeDecode");
   schedule.Validate(model.chain().size());
@@ -364,21 +339,23 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
   result.completed = completed;
   result.makespan = now;
   result.throughput = completed / std::max(now, 1e-12);
-  std::vector<double> ttfts;
-  double ttft_sum = 0.0;
-  double tpot_sum = 0.0;
+  Histogram ttft_hist;
+  Histogram tpot_hist;
   for (const Request& request : requests) {
     RAGO_CHECK(request.ttft >= 0 && request.completion >= 0,
                "request did not finish");
-    ttfts.push_back(request.ttft);
-    ttft_sum += request.ttft;
-    tpot_sum += (request.completion - request.decode_start) / decode_tokens;
+    ttft_hist.Add(request.ttft);
+    tpot_hist.Add((request.completion - request.decode_start) /
+                  decode_tokens);
   }
-  std::sort(ttfts.begin(), ttfts.end());
-  result.avg_ttft = ttft_sum / static_cast<double>(requests.size());
-  result.p99_ttft = ttfts[static_cast<size_t>(
-      0.99 * static_cast<double>(ttfts.size() - 1))];
-  result.avg_tpot = tpot_sum / static_cast<double>(requests.size());
+  result.avg_ttft = ttft_hist.Mean();
+  result.p50_ttft = ttft_hist.Percentile(0.50);
+  result.p95_ttft = ttft_hist.Percentile(0.95);
+  result.p99_ttft = ttft_hist.Percentile(0.99);
+  result.avg_tpot = tpot_hist.Mean();
+  result.p50_tpot = tpot_hist.Percentile(0.50);
+  result.p95_tpot = tpot_hist.Percentile(0.95);
+  result.p99_tpot = tpot_hist.Percentile(0.99);
   result.group_utilization.resize(static_cast<size_t>(schedule.NumGroups()));
   for (int g = 0; g < schedule.NumGroups(); ++g) {
     result.group_utilization[static_cast<size_t>(g)] =

@@ -24,27 +24,36 @@
 #include "core/pipeline_model.h"
 #include "core/schedule.h"
 #include "retrieval/perf/retrieval_model.h"
+#include "serving/runtime/workload.h"
 
 namespace rago::sim {
 
-/// Request arrival trace (seconds, non-decreasing).
-struct ArrivalTrace {
-  std::vector<double> arrivals;
-};
+// The arrival-trace type and its generators live in the shared
+// scenario library (serving/runtime/workload.h) so the DES and the
+// online runtime consume identical traffic; these aliases keep the
+// historical sim:: spellings working.
+using ArrivalTrace = ::rago::runtime::ArrivalTrace;
 
 /// Uniform (open-loop) arrivals: `count` requests at fixed `qps`.
-ArrivalTrace UniformTrace(int count, double qps);
+inline ArrivalTrace UniformTrace(int count, double qps) {
+  return ::rago::runtime::UniformTrace(count, qps);
+}
 
 /// Poisson arrivals at rate `qps`, seeded.
-ArrivalTrace PoissonTrace(int count, double qps, uint64_t seed);
+inline ArrivalTrace PoissonTrace(int count, double qps, uint64_t seed) {
+  return ::rago::runtime::PoissonTrace(count, qps, seed);
+}
 
 /// One burst of `count` simultaneous arrivals at t = 0.
-ArrivalTrace BurstTrace(int count);
+inline ArrivalTrace BurstTrace(int count) {
+  return ::rago::runtime::BurstTrace(count);
+}
 
 /// Simulation knobs.
 struct ServingSimOptions {
   /// Maximum time a stage waits to fill its batch before flushing a
-  /// partial one (prevents starvation under light load).
+  /// partial one (prevents starvation under light load). Must be
+  /// non-negative (validated by SimulateServing).
   double batch_timeout = 0.050;
   /**
    * Pluggable retrieval tier: when set, retrieval service times come
@@ -55,14 +64,21 @@ struct ServingSimOptions {
   const retrieval::RetrievalModel* retrieval_model = nullptr;
 };
 
-/// Aggregate results of one simulation run.
+/// Aggregate results of one simulation run. Percentiles use the
+/// shared nearest-rank convention of common/histogram.h (the same
+/// implementation the online runtime reports through).
 struct ServingSimResult {
   int64_t completed = 0;
   double makespan = 0.0;        ///< Last completion time (s).
   double throughput = 0.0;      ///< Completed / makespan.
   double avg_ttft = 0.0;        ///< Mean time to first token (s).
+  double p50_ttft = 0.0;        ///< Median TTFT (s).
+  double p95_ttft = 0.0;        ///< 95th-percentile TTFT (s).
   double p99_ttft = 0.0;        ///< 99th-percentile TTFT (s).
   double avg_tpot = 0.0;        ///< Mean time per output token (s).
+  double p50_tpot = 0.0;        ///< Median TPOT (s).
+  double p95_tpot = 0.0;        ///< 95th-percentile TPOT (s).
+  double p99_tpot = 0.0;        ///< 99th-percentile TPOT (s).
   /// Busy-time fraction of each collocation group, indexed by group.
   std::vector<double> group_utilization;
   double retrieval_utilization = 0.0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/histogram.h"
 #include "common/json_writer.h"
 #include "common/math_util.h"
 #include "common/pareto.h"
@@ -37,6 +38,36 @@ TEST(Units, DecimalAndBinaryMultipliers) {
 TEST(Units, TimeConversions) {
   EXPECT_DOUBLE_EQ(ToMillis(1.5), 1500.0);
   EXPECT_DOUBLE_EQ(ToMicros(0.001), 1000.0);
+}
+
+TEST(Histogram, PercentilesUseNearestRankConvention) {
+  // The convention the serving DES has always used for p99:
+  // sorted[(size_t)(p * (n - 1))]. Insertion order must not matter.
+  Histogram hist;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) {
+    hist.Add(v);
+  }
+  EXPECT_EQ(hist.count(), 5);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 4.0);  // floor(0.99 * 4) = 3.
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 5.0);
+  // Adding after a percentile query re-sorts correctly.
+  hist.Add(0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 2.5);
+}
+
+TEST(Histogram, EmptyAndInvalidQueries) {
+  const Histogram empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  Histogram hist;
+  hist.Add(1.0);
+  EXPECT_THROW(hist.Percentile(-0.1), rago::ConfigError);
+  EXPECT_THROW(hist.Percentile(1.5), rago::ConfigError);
 }
 
 TEST(Check, RequireThrowsConfigError) {

@@ -308,6 +308,70 @@ TEST(DistanceKernels, IvfFullProbeIdsIdenticalScalarVsDispatched) {
   }
 }
 
+TEST(DistanceKernels, IvfBatchedCoarseRankingMatchesPerQuerySearch) {
+  // SearchBatch ranks coarse centroids for the whole block through the
+  // micro-tile kernel; within one variant tile and batch kernels are
+  // bit-identical, so batched results must equal per-query Search
+  // exactly — ids and distance bits — under every variant.
+  rago::testing::AnnTestBedOptions bed_options;
+  bed_options.rows = 1500;
+  bed_options.dim = 25;  // Remainder lanes in the centroid ranking.
+  bed_options.num_queries = 21;  // Partial query tile at the end.
+  const rago::testing::AnnTestBed bed =
+      rago::testing::MakeAnnTestBed(bed_options);
+  Rng rng(33);
+  IvfOptions options;
+  options.nlist = 24;
+  const IvfIndex ivf(rago::testing::CopyMatrix(bed.data), Metric::kL2,
+                     options, rng);
+  for (bool force_scalar : {true, false}) {
+    ForceScalarGuard guard(force_scalar);
+    const auto batched = ivf.SearchBatch(bed.queries, 7, /*nprobe=*/4);
+    ASSERT_EQ(batched.size(), bed.queries.rows());
+    for (size_t q = 0; q < bed.queries.rows(); ++q) {
+      const auto single = ivf.Search(bed.queries.Row(q), 7, /*nprobe=*/4);
+      ASSERT_EQ(batched[q].size(), single.size());
+      for (size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(batched[q][i].id, single[i].id)
+            << "variant " << (force_scalar ? "scalar" : "dispatched")
+            << " query " << q << " rank " << i;
+        EXPECT_EQ(batched[q][i].dist, single[i].dist);
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, IvfPqBatchedCoarseRankingMatchesPerQuerySearch) {
+  // Same contract for the ADC path, with exact re-ranking in the mix.
+  const rago::testing::AnnTestBed bed =
+      rago::testing::MakeAnnTestBed(1200, 24, 19);
+  Rng rng(35);
+  IvfPqOptions options;
+  options.nlist = 24;
+  options.pq_subspaces = 8;
+  const IvfPqIndex index(rago::testing::CopyMatrix(bed.data), options,
+                         rng);
+  for (bool force_scalar : {true, false}) {
+    ForceScalarGuard guard(force_scalar);
+    for (int rerank : {0, 40}) {
+      const auto batched =
+          index.SearchBatch(bed.queries, 6, /*nprobe=*/5, rerank);
+      ASSERT_EQ(batched.size(), bed.queries.rows());
+      for (size_t q = 0; q < bed.queries.rows(); ++q) {
+        const auto single =
+            index.Search(bed.queries.Row(q), 6, /*nprobe=*/5, rerank);
+        ASSERT_EQ(batched[q].size(), single.size());
+        for (size_t i = 0; i < single.size(); ++i) {
+          EXPECT_EQ(batched[q][i].id, single[i].id)
+              << "variant " << (force_scalar ? "scalar" : "dispatched")
+              << " rerank " << rerank << " query " << q << " rank " << i;
+          EXPECT_EQ(batched[q][i].dist, single[i].dist);
+        }
+      }
+    }
+  }
+}
+
 TEST(DistanceKernels, IvfPqRecallParityScalarVsDispatched) {
   // The ADC path is approximate: pin recall parity, not ids. Each
   // variant builds its own index (training also runs on the kernels).

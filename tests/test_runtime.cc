@@ -1,0 +1,441 @@
+/**
+ * @file test_runtime.cc
+ * Tests for the online serving runtime and its workload scenario
+ * library: determinism across thread counts (bit-identical outcomes
+ * and telemetry), bounded runtime-vs-DES disagreement on the operating
+ * points both engines describe, SLO-attainment monotonicity under
+ * rising offered load, trace-file round-trips, and option validation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "core/pipeline_model.h"
+#include "hardware/cluster.h"
+#include "hardware/cpu_server.h"
+#include "rago/optimizer.h"
+#include "retrieval/ann/dataset.h"
+#include "retrieval/perf/measured_model.h"
+#include "retrieval/serving/sharded_index.h"
+#include "serving/runtime/runtime.h"
+#include "serving/runtime/workload.h"
+#include "sim/serving_sim.h"
+#include "tests/testing/test_support.h"
+
+namespace rago::runtime {
+namespace {
+
+core::Schedule SimpleSchedule(const core::PipelineModel& model,
+                              int group_chips, int decode_chips,
+                              int64_t batch, int64_t decode_batch) {
+  core::Schedule schedule;
+  schedule.chain_group.assign(model.chain().size(), 0);
+  schedule.group_chips = {group_chips};
+  schedule.chain_batch.assign(model.chain().size(), batch);
+  schedule.decode_chips = decode_chips;
+  schedule.decode_batch = decode_batch;
+  schedule.retrieval_servers = model.MinRetrievalServers();
+  schedule.retrieval_batch = batch;
+  return schedule;
+}
+
+/// Small live retrieval tier + query pool shared by the tests.
+struct LiveTier {
+  serving::ShardedIndex index;
+  ann::Matrix queries;
+};
+
+LiveTier MakeLiveTier(serving::ShardBackend backend =
+                          serving::ShardBackend::kFlat) {
+  Rng rng(91);
+  ann::Matrix data = ann::GenClustered(2000, 16, 16, 0.3f, rng);
+  ann::Matrix queries = ann::GenQueriesNear(data, 64, 0.1f, rng);
+  serving::ShardedIndexOptions options;
+  options.num_shards = 3;
+  options.backend = backend;
+  options.num_threads = 1;  // The runtime's pool drives parallelism.
+  return LiveTier{serving::ShardedIndex(std::move(data), options),
+                  std::move(queries)};
+}
+
+// ---------------------------------------------------------------------------
+// Workload scenario library
+// ---------------------------------------------------------------------------
+
+TEST(Workload, MmppTraceIsSeededBurstyAndRateConsistent) {
+  MmppOptions options;
+  options.quiet_qps = 40.0;
+  options.burst_qps = 400.0;
+  options.mean_quiet_seconds = 1.0;
+  options.mean_burst_seconds = 0.25;
+  const ArrivalTrace trace = MmppTrace(4000, options, 5);
+  ASSERT_EQ(trace.arrivals.size(), 4000u);
+  for (size_t i = 1; i < trace.arrivals.size(); ++i) {
+    EXPECT_GE(trace.arrivals[i], trace.arrivals[i - 1]);
+  }
+  // Long-run rate within 20% of the dwell-weighted mean.
+  RAGO_EXPECT_REL_NEAR(OfferedQps(trace), options.MeanQps(), 0.20);
+  // Same seed reproduces the trace bit-exactly; another seed does not.
+  const ArrivalTrace again = MmppTrace(4000, options, 5);
+  EXPECT_EQ(trace.arrivals, again.arrivals);
+  const ArrivalTrace other = MmppTrace(4000, options, 6);
+  EXPECT_NE(trace.arrivals, other.arrivals);
+}
+
+TEST(Workload, DiurnalTraceOscillatesAroundMeanRate) {
+  DiurnalOptions options;
+  options.mean_qps = 80.0;
+  options.period_seconds = 10.0;
+  options.amplitude = 0.9;
+  const ArrivalTrace trace = DiurnalTrace(6000, options, 7);
+  for (size_t i = 1; i < trace.arrivals.size(); ++i) {
+    EXPECT_GE(trace.arrivals[i], trace.arrivals[i - 1]);
+  }
+  RAGO_EXPECT_REL_NEAR(OfferedQps(trace), options.mean_qps, 0.20);
+  // The peak window must be visibly denser than the trough window:
+  // count arrivals in the first quarter-period vs the third.
+  int peak = 0;
+  int trough = 0;
+  for (double t : trace.arrivals) {
+    const double phase = std::fmod(t, options.period_seconds) /
+                         options.period_seconds;
+    if (phase < 0.25) {
+      ++peak;
+    } else if (phase >= 0.5 && phase < 0.75) {
+      ++trough;
+    }
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(Workload, TraceFileRoundTripsBitExactly) {
+  const std::string path =
+      ::testing::TempDir() + "/rago_roundtrip.trace";
+  for (const ArrivalTrace& trace :
+       {PoissonTrace(500, 73.0, 11),
+        MmppTrace(300, MmppOptions{}, 13),
+        BurstTrace(32)}) {
+    SaveTrace(trace, path);
+    const ArrivalTrace loaded = LoadTrace(path);
+    ASSERT_EQ(loaded.arrivals.size(), trace.arrivals.size());
+    for (size_t i = 0; i < trace.arrivals.size(); ++i) {
+      EXPECT_EQ(loaded.arrivals[i], trace.arrivals[i]) << "index " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Workload, RejectsInvalidOptionsAndFiles) {
+  EXPECT_THROW(UniformTrace(0, 10.0), ConfigError);
+  EXPECT_THROW(PoissonTrace(10, -1.0, 0), ConfigError);
+  EXPECT_THROW(BurstTrace(0), ConfigError);
+
+  MmppOptions mmpp;
+  mmpp.burst_qps = 0.0;
+  EXPECT_THROW(MmppTrace(10, mmpp, 0), ConfigError);
+  mmpp = MmppOptions{};
+  mmpp.mean_burst_seconds = -1.0;
+  EXPECT_THROW(MmppTrace(10, mmpp, 0), ConfigError);
+
+  DiurnalOptions diurnal;
+  diurnal.amplitude = 1.0;  // Would make the trough rate zero.
+  EXPECT_THROW(DiurnalTrace(10, diurnal, 0), ConfigError);
+  diurnal = DiurnalOptions{};
+  diurnal.period_seconds = 0.0;
+  EXPECT_THROW(DiurnalTrace(10, diurnal, 0), ConfigError);
+
+  EXPECT_THROW(LoadTrace("/nonexistent/rago.trace"), ConfigError);
+  // A malformed header must be rejected, not parsed as arrivals.
+  const std::string path = ::testing::TempDir() + "/rago_bad.trace";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("not-a-trace\n1.0\n", file);
+  std::fclose(file);
+  EXPECT_THROW(LoadTrace(path), ConfigError);
+  // A lying (huge) header count must report ConfigError when the
+  // arrivals run out, not die in a giant up-front allocation.
+  file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("rago-trace v1 18446744073709551615\n0.5\n1.5\n", file);
+  std::fclose(file);
+  EXPECT_THROW(LoadTrace(path), ConfigError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime option validation
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeOptionsTest, RejectsInvalidKnobs) {
+  RuntimeOptions options;
+  options.admission_queue_limit = 0;
+  EXPECT_THROW(options.Validate(), ConfigError);
+  options = RuntimeOptions{};
+  options.batch_timeout = -0.001;
+  EXPECT_THROW(options.Validate(), ConfigError);
+  options = RuntimeOptions{};
+  options.top_k = 0;
+  EXPECT_THROW(options.Validate(), ConfigError);
+  options = RuntimeOptions{};
+  options.slo.ttft_seconds = 0.0;
+  EXPECT_THROW(options.Validate(), ConfigError);
+  options = RuntimeOptions{};
+  options.timeline_limit = -1;
+  EXPECT_THROW(options.Validate(), ConfigError);
+  options = RuntimeOptions{};
+  EXPECT_NO_THROW(options.Validate());
+}
+
+TEST(RuntimeOptionsTest, ConstructorRejectsBadConfigurations) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const LiveTier tier = MakeLiveTier();
+  RuntimeOptions bad;
+  bad.admission_queue_limit = -3;
+  EXPECT_THROW(ServingRuntime(model, SimpleSchedule(model, 8, 8, 4, 64),
+                              tier.index, bad),
+               ConfigError);
+  // Iterative schemas are the DES's SimulateIterativeDecode territory.
+  const core::PipelineModel iterative(core::MakeIterativeSchema(8, 4),
+                                      DefaultCluster());
+  EXPECT_THROW(
+      ServingRuntime(iterative, SimpleSchedule(iterative, 8, 8, 4, 64),
+                     tier.index, RuntimeOptions{}),
+      ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving
+// ---------------------------------------------------------------------------
+
+TEST(ServingRuntimeTest, ServesPoissonWorkloadEndToEnd) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier();
+  RuntimeOptions options;
+  options.num_threads = 2;
+  options.top_k = 5;
+  const ServingRuntime runtime(model, schedule, tier.index, options);
+  const RuntimeResult result =
+      runtime.Serve(PoissonTrace(200, 100.0, 3), tier.queries);
+
+  EXPECT_EQ(result.submitted, 200);
+  EXPECT_EQ(result.rejected, 0);
+  EXPECT_EQ(result.completed, 200);
+  EXPECT_GT(result.throughput, 0.0);
+  EXPECT_EQ(result.ttft.count(), 200);
+  EXPECT_GE(result.ttft.Percentile(0.99), result.ttft.Percentile(0.50));
+  EXPECT_GT(result.tpot.Mean(), 0.0);
+
+  // Stage telemetry: the retrieval stage ran real scans.
+  ASSERT_EQ(result.stages.size(), 2u);  // retrieval, prefix.
+  EXPECT_EQ(result.stages[0].type, core::StageType::kRetrieval);
+  EXPECT_EQ(result.stages[0].requests, 200);
+  EXPECT_GT(result.stages[0].batches, 0);
+  EXPECT_GE(result.stages[0].batches, result.stages[0].full_batches);
+  EXPECT_EQ(result.stages[0].queue_wait.count(), 200);
+  EXPECT_FALSE(result.stages[0].timeline.empty());
+  for (const StageTelemetry& stage : result.stages) {
+    EXPECT_GE(stage.utilization, 0.0);
+    EXPECT_LE(stage.utilization, 1.01);
+  }
+  EXPECT_LE(result.decode_utilization, 1.01);
+
+  // Real-scan accounting: every admitted request retrieved neighbors.
+  const int qpr = model.schema().retrieval.queries_per_retrieval;
+  EXPECT_EQ(result.real_queries_scanned, 200 * qpr);
+  EXPECT_GT(result.real_scan_bytes, 0.0);
+  for (const RequestOutcome& outcome : result.requests) {
+    EXPECT_TRUE(outcome.admitted);
+    EXPECT_GE(outcome.first_neighbor, 0);
+    EXPECT_LT(outcome.first_neighbor,
+              static_cast<int64_t>(tier.index.size()));
+    EXPECT_GE(outcome.ttft, 0.0);
+    EXPECT_GE(outcome.completion, outcome.arrival);
+  }
+}
+
+TEST(ServingRuntimeTest, BoundedAdmissionShedsLoadAndScoresAgainstSlo) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 16);
+  const LiveTier tier = MakeLiveTier();
+  RuntimeOptions options;
+  options.admission_queue_limit = 4;
+  options.num_threads = 1;
+  const ServingRuntime runtime(model, schedule, tier.index, options);
+  const RuntimeResult result =
+      runtime.Serve(BurstTrace(64), tier.queries);
+
+  EXPECT_GT(result.rejected, 0);
+  EXPECT_EQ(result.admitted + result.rejected, 64);
+  EXPECT_EQ(result.completed, result.admitted);
+  // Rejected requests count as SLO violations by construction.
+  EXPECT_LT(result.slo_attainment, 1.0);
+  for (const RequestOutcome& outcome : result.requests) {
+    if (!outcome.admitted) {
+      EXPECT_LT(outcome.ttft, 0.0);
+      EXPECT_EQ(outcome.first_neighbor, -1);
+    }
+  }
+}
+
+TEST(ServingRuntimeTest, DeterministicAcrossThreadCounts) {
+  // The PR-3 contract extended to the runtime: a fixed seed must give
+  // bit-identical request outcomes, digests, and percentile telemetry
+  // for every worker-pool size, with real scans in the loop.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier(serving::ShardBackend::kIvf);
+  const ArrivalTrace trace = PoissonTrace(150, 120.0, 17);
+
+  std::vector<RuntimeResult> results;
+  for (int threads : {1, 2, 8}) {
+    RuntimeOptions options;
+    options.num_threads = threads;
+    options.top_k = 5;
+    const ServingRuntime runtime(model, schedule, tier.index, options);
+    results.push_back(runtime.Serve(trace, tier.queries));
+  }
+  const RuntimeResult& base = results.front();
+  for (size_t i = 1; i < results.size(); ++i) {
+    const RuntimeResult& other = results[i];
+    EXPECT_EQ(base.outcome_digest, other.outcome_digest);
+    EXPECT_EQ(base.completed, other.completed);
+    EXPECT_EQ(base.makespan, other.makespan);
+    EXPECT_EQ(base.throughput, other.throughput);
+    EXPECT_EQ(base.slo_attainment, other.slo_attainment);
+    for (double p : {0.5, 0.95, 0.99}) {
+      EXPECT_EQ(base.ttft.Percentile(p), other.ttft.Percentile(p));
+      EXPECT_EQ(base.tpot.Percentile(p), other.tpot.Percentile(p));
+      EXPECT_EQ(base.queue_wait.Percentile(p),
+                other.queue_wait.Percentile(p));
+    }
+    EXPECT_EQ(base.ttft.Mean(), other.ttft.Mean());
+    ASSERT_EQ(base.requests.size(), other.requests.size());
+    for (size_t r = 0; r < base.requests.size(); ++r) {
+      EXPECT_EQ(base.requests[r].first_neighbor,
+                other.requests[r].first_neighbor);
+      EXPECT_EQ(base.requests[r].ttft, other.requests[r].ttft);
+      EXPECT_EQ(base.requests[r].completion,
+                other.requests[r].completion);
+    }
+    ASSERT_EQ(base.stages.size(), other.stages.size());
+    for (size_t s = 0; s < base.stages.size(); ++s) {
+      EXPECT_EQ(base.stages[s].batches, other.stages[s].batches);
+      EXPECT_EQ(base.stages[s].busy_seconds,
+                other.stages[s].busy_seconds);
+      EXPECT_EQ(base.stages[s].queue_wait.Percentile(0.95),
+                other.stages[s].queue_wait.Percentile(0.95));
+    }
+  }
+}
+
+TEST(ServingRuntimeTest, TracksServingDesAcrossOptimizerPoints) {
+  // Runtime-vs-DES cross-check, mirroring the PR-4 DES-vs-analytical
+  // harness: both engines run the same schedule batching semantics on
+  // model-priced virtual time, so for the same Poisson trace their
+  // throughput and mean TTFT must agree within a tight bound — the
+  // runtime merely adds (bounded-but-large) admission and real scans.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  opt::SearchOptions search = rago::testing::SmallSearchGrid();
+  search.num_threads = 2;
+  const opt::OptimizerResult frontier =
+      opt::Optimizer(model, search).Search();
+  ASSERT_FALSE(frontier.pareto.empty());
+  const LiveTier tier = MakeLiveTier();
+
+  const size_t stride = std::max<size_t>(1, frontier.pareto.size() / 3);
+  int points_checked = 0;
+  for (size_t i = 0; i < frontier.pareto.size(); i += stride) {
+    const opt::ScheduledPoint& point = frontier.pareto[i];
+    const ArrivalTrace trace =
+        PoissonTrace(400, point.perf.qps * 0.6, 23);
+
+    const sim::ServingSimResult des =
+        sim::SimulateServing(model, point.schedule, trace);
+    RuntimeOptions options;
+    options.admission_queue_limit = 1 << 20;  // Effectively unbounded.
+    options.num_threads = 2;
+    const ServingRuntime runtime(model, point.schedule, tier.index,
+                                 options);
+    const RuntimeResult live = runtime.Serve(trace, tier.queries);
+
+    EXPECT_EQ(live.completed, des.completed);
+    RAGO_EXPECT_REL_NEAR(live.throughput, des.throughput, 0.05);
+    RAGO_EXPECT_REL_NEAR(live.ttft.Mean(), des.avg_ttft, 0.05);
+    RAGO_EXPECT_REL_NEAR(live.tpot.Mean(), des.avg_tpot, 0.05);
+    ++points_checked;
+  }
+  EXPECT_GE(points_checked, 2);
+}
+
+TEST(ServingRuntimeTest, SloAttainmentMonotoneUnderRisingLoad) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const core::EndToEndPerf perf = model.Evaluate(schedule);
+  ASSERT_TRUE(perf.feasible);
+  const LiveTier tier = MakeLiveTier();
+
+  RuntimeOptions options;
+  options.num_threads = 1;
+  // SLO placed between the unloaded and the saturated operating
+  // points, so attainment must degrade as queues build. The light-load
+  // TTFT includes up to one batch-forming timeout per pre-decode
+  // stage, so the target budgets for those on top of the batch-flow
+  // latency.
+  options.batch_timeout = 0.005;
+  options.slo.ttft_seconds = perf.ttft * 3.0 + 3 * options.batch_timeout;
+  options.slo.tpot_seconds = perf.tpot * 3.0;
+  options.admission_queue_limit = 64;
+  const ServingRuntime runtime(model, schedule, tier.index, options);
+
+  std::vector<double> attainment;
+  for (double load : {0.3, 1.2, 4.0}) {
+    const RuntimeResult result = runtime.Serve(
+        PoissonTrace(300, perf.qps * load, 29), tier.queries);
+    attainment.push_back(result.slo_attainment);
+  }
+  EXPECT_GT(attainment[0], 0.9);  // Light load comfortably meets SLO.
+  // Monotone non-increasing (tiny tolerance for Poisson luck).
+  EXPECT_GE(attainment[0] + 0.02, attainment[1]);
+  EXPECT_GE(attainment[1] + 0.02, attainment[2]);
+  EXPECT_LT(attainment[2], attainment[0]);
+}
+
+TEST(ServingRuntimeTest, RetrievalModelOverridePricesVirtualTime) {
+  // Swapping in a pluggable retrieval model must change the virtual
+  // timing (like the DES) while the scans keep returning real ids.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier();
+
+  retrieval::MeasuredScanProfile profile;
+  profile.bytes_per_query_per_server = 64.0 * kMiB;
+  profile.scan_bytes_per_core = 2.0 * kGiB;
+  profile.merge_seconds_per_query = 1e-5;
+  const retrieval::MeasuredRetrievalModel slow(
+      profile, DefaultCpuServer(), schedule.retrieval_servers);
+
+  RuntimeOptions options;
+  options.num_threads = 1;
+  const ServingRuntime baseline(model, schedule, tier.index, options);
+  options.retrieval_model = &slow;
+  const ServingRuntime priced(model, schedule, tier.index, options);
+
+  const ArrivalTrace trace = PoissonTrace(60, 40.0, 31);
+  const RuntimeResult fast_result = baseline.Serve(trace, tier.queries);
+  const RuntimeResult slow_result = priced.Serve(trace, tier.queries);
+  EXPECT_GT(slow_result.ttft.Mean(), fast_result.ttft.Mean());
+  ASSERT_EQ(fast_result.requests.size(), slow_result.requests.size());
+  for (size_t r = 0; r < fast_result.requests.size(); ++r) {
+    EXPECT_EQ(fast_result.requests[r].first_neighbor,
+              slow_result.requests[r].first_neighbor);
+  }
+}
+
+}  // namespace
+}  // namespace rago::runtime

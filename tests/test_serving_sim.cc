@@ -60,6 +60,32 @@ TEST(ServingSim, AllRequestsComplete) {
   EXPECT_GE(result.p99_ttft, result.avg_ttft);
 }
 
+TEST(ServingSim, PercentilesOrderedAndPopulated) {
+  // TTFT/TPOT percentiles flow through the shared histogram; they must
+  // be ordered and consistent with the means.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const ServingSimResult result =
+      SimulateServing(model, schedule, PoissonTrace(400, 150.0, 5));
+  EXPECT_GT(result.p50_ttft, 0.0);
+  EXPECT_LE(result.p50_ttft, result.p95_ttft);
+  EXPECT_LE(result.p95_ttft, result.p99_ttft);
+  EXPECT_LE(result.p50_ttft, result.avg_ttft * 2.0);
+  EXPECT_GT(result.p50_tpot, 0.0);
+  EXPECT_LE(result.p50_tpot, result.p95_tpot);
+  EXPECT_LE(result.p95_tpot, result.p99_tpot);
+}
+
+TEST(ServingSim, RejectsNegativeBatchTimeout) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  ServingSimOptions options;
+  options.batch_timeout = -0.01;
+  EXPECT_THROW(
+      SimulateServing(model, schedule, UniformTrace(10, 5.0), options),
+      rago::ConfigError);
+}
+
 TEST(ServingSim, LowLoadTtftApproachesAnalyticalLatency) {
   // One request at a time: no queueing, so TTFT ~= sum of stage
   // latencies plus at most the batch-forming timeout per stage.
