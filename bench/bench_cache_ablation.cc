@@ -1,0 +1,193 @@
+/**
+ * @file bench_cache_ablation.cc
+ * Cache-tier ablation: retrieval-result cache capacity x Zipf query
+ * skew, served by the online runtime against a live sharded index.
+ * Each point reports the *measured* retrieval/document cache hit
+ * rates, the measured prefix hit rate that replaces the schema's
+ * assumed knob, TTFT percentiles split into cached vs uncached
+ * populations, and SLO attainment — the ablation that shows when a
+ * cache tier pays (heavy-tailed popularity) and when it is dead
+ * weight (uniform traffic, zero capacity). `--json out.json` emits
+ * machine-readable rows; `--quick` trims the grid for CI smoke runs.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "retrieval/ann/dataset.h"
+#include "retrieval/serving/sharded_index.h"
+#include "serving/runtime/runtime.h"
+#include "serving/runtime/workload.h"
+
+namespace {
+
+double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return -1.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rago;
+  using namespace rago::bench;
+  using namespace rago::runtime;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    }
+  }
+
+  // Live tier sized so every sweep point stays sub-second; the query
+  // pool (256 rows) is the popularity universe the Zipf streams skew.
+  Rng rng(61);
+  ann::Matrix corpus = ann::GenClustered(8'000, 32, 32, 0.3f, rng);
+  const int64_t pool_rows = 256;
+  const ann::Matrix query_pool =
+      ann::GenQueriesNear(corpus, static_cast<size_t>(pool_rows), 0.1f,
+                          rng);
+  serving::ShardedIndexOptions tier_options;
+  tier_options.num_shards = 4;
+  tier_options.backend = serving::ShardBackend::kFlat;
+  tier_options.num_threads = 1;
+  const serving::ShardedIndex tier(std::move(corpus), tier_options);
+
+  // Optimizer-chosen schedule for the paper's Case I at 8B.
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  DefaultCluster());
+  opt::SearchOptions grid;
+  grid.batch_sizes = {1, 4, 16, 64};
+  grid.decode_batch_sizes = {16, 64, 256};
+  const opt::ScheduledPoint chosen =
+      opt::Optimizer(model, grid).Search().MaxQpsPerChip();
+
+  const int requests = quick ? 300 : 1200;
+  const double offered_qps = chosen.perf.qps * 0.7;
+  const std::vector<int64_t> capacities =
+      quick ? std::vector<int64_t>{0, 128}
+            : std::vector<int64_t>{0, 32, 128};
+  const std::vector<double> skews =
+      quick ? std::vector<double>{0.0, 1.0}
+            : std::vector<double>{0.0, 0.7, 1.0, 1.3};
+  const ArrivalTrace trace = PoissonTrace(requests, offered_qps, 67);
+
+  Banner("cache ablation (capacity x Zipf skew, live scans)");
+  std::printf("schedule: analytical %.1f QPS; offered %.1f QPS; "
+              "%d requests over a %lld-row query pool\n",
+              chosen.perf.qps, offered_qps, requests,
+              static_cast<long long>(pool_rows));
+
+  TextTable table;
+  table.SetHeader({"skew", "capacity", "hit rate", "doc rate",
+                   "prefix rate", "p50 TTFT ms", "p95 TTFT ms",
+                   "p50 hit ms", "p50 miss ms", "SLO att."});
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("cache_ablation");
+  json.Key("requests").Int(requests);
+  json.Key("pool_rows").Int(pool_rows);
+  json.Key("offered_qps").Number(offered_qps);
+  json.Key("results").BeginArray();
+
+  for (double skew : skews) {
+    const QueryStream stream = ZipfianQueryStream(
+        requests, pool_rows, skew,
+        73 + static_cast<uint64_t>(skew * 100));
+    double baseline_p50 = -1.0;
+    for (int64_t capacity : capacities) {
+      RuntimeOptions options;
+      options.num_threads = 2;
+      options.slo.ttft_seconds = chosen.perf.ttft * 3.0 + 0.1;
+      options.slo.tpot_seconds = chosen.perf.tpot * 3.0;
+      options.cache.retrieval_capacity = capacity;
+      // The document KV level scales with the result cache: enough
+      // blocks for the hot set's retrieved passages.
+      options.cache.doc_capacity = capacity * 32;
+      const ServingRuntime server(model, chosen.schedule, tier,
+                                  options);
+      const RuntimeResult result =
+          server.Serve(trace, query_pool, stream);
+
+      std::vector<double> all_ttft;
+      std::vector<double> hit_ttft;
+      std::vector<double> miss_ttft;
+      for (const RequestOutcome& outcome : result.requests) {
+        if (!outcome.admitted) {
+          continue;
+        }
+        all_ttft.push_back(outcome.ttft);
+        (outcome.retrieval_cache_hit ? hit_ttft : miss_ttft)
+            .push_back(outcome.ttft);
+      }
+      const double p50 = PercentileOf(all_ttft, 0.5);
+      if (capacity == 0) {
+        baseline_p50 = p50;
+      }
+      const double p50_hit = PercentileOf(hit_ttft, 0.5);
+
+      table.AddRow(
+          {TextTable::Num(skew, 2), std::to_string(capacity),
+           TextTable::Num(result.retrieval_cache.HitRate(), 4),
+           TextTable::Num(result.doc_cache.HitRate(), 4),
+           TextTable::Num(result.measured_prefix_hit_rate, 4),
+           TextTable::Num(p50 * 1e3, 4),
+           TextTable::Num(PercentileOf(all_ttft, 0.95) * 1e3, 4),
+           p50_hit < 0 ? "-" : TextTable::Num(p50_hit * 1e3, 4),
+           TextTable::Num(PercentileOf(miss_ttft, 0.5) * 1e3, 4),
+           TextTable::Num(result.slo_attainment, 4)});
+
+      json.BeginObject();
+      json.Key("zipf_skew").Number(skew);
+      json.Key("retrieval_capacity").Int(capacity);
+      json.Key("doc_capacity").Int(options.cache.doc_capacity);
+      json.Key("retrieval_hit_rate")
+          .Number(result.retrieval_cache.HitRate());
+      json.Key("retrieval_hits").Int(result.retrieval_cache.hits);
+      json.Key("retrieval_misses").Int(result.retrieval_cache.misses);
+      json.Key("retrieval_evictions")
+          .Int(result.retrieval_cache.evictions);
+      json.Key("doc_hit_rate").Number(result.doc_cache.HitRate());
+      json.Key("measured_prefix_hit_rate")
+          .Number(result.measured_prefix_hit_rate);
+      json.Key("p50_ttft").Number(p50);
+      json.Key("p95_ttft").Number(PercentileOf(all_ttft, 0.95));
+      json.Key("p50_ttft_cached").Number(p50_hit);
+      json.Key("p50_ttft_uncached")
+          .Number(PercentileOf(miss_ttft, 0.5));
+      json.Key("p50_ttft_cache_off_baseline").Number(baseline_p50);
+      json.Key("cached_below_baseline")
+          .Bool(p50_hit >= 0 && baseline_p50 >= 0 &&
+                p50_hit < baseline_p50);
+      json.Key("throughput").Number(result.throughput);
+      json.Key("slo_attainment").Number(result.slo_attainment);
+      json.Key("outcome_digest")
+          .String(std::to_string(result.outcome_digest));
+      json.EndObject();
+    }
+  }
+  table.Print();
+  json.EndArray();
+  json.EndObject();
+  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+
+  std::printf(
+      "(uniform traffic defeats any capacity; Zipf skew >= 1 turns a\n"
+      " moderate cache into a majority hit rate, and cached requests'\n"
+      " p50 TTFT collapses below the cache-off baseline — batch\n"
+      " formation plus the scan drop out of their critical path)\n");
+  return 0;
+}

@@ -135,37 +135,49 @@ PipelineModel::EvalChainStage(StageType stage, int chips,
       perf.feasible = best.feasible;
       return perf;
     }
-    case StageType::kPrefix: {
-      // Long-context LLM-only baselines use hybrid global/local
-      // attention (paper §5.2); RAG prompts use full attention.
-      const models::AttentionMode mode =
-          (!schema_.retrieval_enabled && w.context_tokens > 0)
-              ? models::HybridLocalAttention()
-              : models::FullAttention();
-      // Document-level KV caching (RAGCache-style) skips prefix
-      // compute for the cached share of the retrieved content.
-      int64_t prefix_tokens = w.prefix_tokens;
-      if (w.prefix_cache_hit_rate > 0 && schema_.retrieval_enabled) {
-        const double retrieved = w.prefix_tokens - w.question_tokens;
-        prefix_tokens =
-            w.question_tokens +
-            static_cast<int64_t>(retrieved *
-                                 (1.0 - w.prefix_cache_hit_rate));
-        prefix_tokens = std::max<int64_t>(prefix_tokens, 1);
-      }
-      const models::PhaseCost best =
-          ModelFor(stage).BestPrefix(chips, batch, prefix_tokens, mode);
-      perf.latency = best.latency;
-      perf.throughput = best.throughput;
-      perf.mem_per_chip = best.mem_per_chip;
-      perf.plan = best.plan;
-      perf.feasible = best.feasible;
-      return perf;
-    }
+    case StageType::kPrefix:
+      return EvalPrefixCached(chips, batch, w.prefix_cache_hit_rate);
     case StageType::kRetrieval:
     case StageType::kDecode:
       RAGO_REQUIRE(false, "EvalChainStage handles prefix-chain stages only");
   }
+  return perf;
+}
+
+StagePerf
+PipelineModel::EvalPrefixCached(int chips, int64_t batch,
+                                double hit_rate) const {
+  RAGO_REQUIRE(chips > 0 && batch > 0, "chips and batch must be positive");
+  RAGO_REQUIRE(hit_rate >= 0.0 && hit_rate <= 1.0,
+               "prefix cache hit rate must be in [0, 1]");
+  const WorkloadConfig& w = schema_.workload;
+  // Long-context LLM-only baselines use hybrid global/local
+  // attention (paper §5.2); RAG prompts use full attention.
+  const models::AttentionMode mode =
+      (!schema_.retrieval_enabled && w.context_tokens > 0)
+          ? models::HybridLocalAttention()
+          : models::FullAttention();
+  // Document-level KV caching (RAGCache-style) skips prefix compute
+  // for the cached share of the retrieved content. The clamp keeps
+  // the token count positive at the hit_rate = 1.0 limit even when
+  // question_tokens is 0, so the priced latency stays finite.
+  int64_t prefix_tokens = w.prefix_tokens;
+  if (hit_rate > 0 && schema_.retrieval_enabled) {
+    const double retrieved = w.prefix_tokens - w.question_tokens;
+    prefix_tokens =
+        w.question_tokens +
+        static_cast<int64_t>(retrieved * (1.0 - hit_rate));
+    prefix_tokens = std::max<int64_t>(prefix_tokens, 1);
+  }
+  const models::PhaseCost best = ModelFor(StageType::kPrefix)
+                                     .BestPrefix(chips, batch,
+                                                 prefix_tokens, mode);
+  StagePerf perf;
+  perf.latency = best.latency;
+  perf.throughput = best.throughput;
+  perf.mem_per_chip = best.mem_per_chip;
+  perf.plan = best.plan;
+  perf.feasible = best.feasible;
   return perf;
 }
 

@@ -79,6 +79,19 @@ class PipelineModel {
    */
   StagePerf EvalChainStage(StageType stage, int chips, int64_t batch) const;
 
+  /**
+   * Prefix-stage cost with an explicit document-level KV cache hit
+   * rate in [0, 1] overriding the schema's assumed
+   * `prefix_cache_hit_rate` knob. The serving runtime prices each
+   * prefix batch with the *measured* per-batch hit fraction from its
+   * cache tier through this entry point; EvalChainStage(kPrefix, ...)
+   * is equivalent to calling this with the schema knob. The
+   * hit_rate = 1.0 limit prices the question-only prompt (clamped to
+   * at least one token), never a zero/NaN prefix time.
+   */
+  StagePerf EvalPrefixCached(int chips, int64_t batch,
+                             double hit_rate) const;
+
   /// Cost of the main-LLM decode stage (continuous batching).
   StagePerf EvalDecode(int chips, int64_t batch) const;
 

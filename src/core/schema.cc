@@ -82,9 +82,12 @@ RAGSchema::Validate() const {
   }
   RAGO_REQUIRE(workload.prefix_tokens > 0 && workload.decode_tokens > 0,
                "prefix and decode lengths must be positive");
+  // Closed interval: a *measured* hit rate on a repeat-only trace
+  // legitimately reaches exactly 1.0 (every retrieved document
+  // resident), so the boundary is included on both ends.
   RAGO_REQUIRE(workload.prefix_cache_hit_rate >= 0.0 &&
-                   workload.prefix_cache_hit_rate < 1.0,
-               "prefix cache hit rate must be in [0, 1)");
+                   workload.prefix_cache_hit_rate <= 1.0,
+               "prefix cache hit rate must be in [0, 1]");
 }
 
 namespace {

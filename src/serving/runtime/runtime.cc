@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <queue>
 #include <utility>
 
@@ -68,13 +69,19 @@ struct ExecStage {
 };
 
 /// Scheduler event; kind ascending breaks time ties (arrivals first),
-/// then payload ascending so simultaneous arrivals (burst traces) pop
-/// in request-id order on every standard library, keeping outcomes
-/// platform-reproducible, not just run-reproducible.
+/// then payload ascending so simultaneous events pop in a fixed order
+/// on every standard library, keeping outcomes platform-reproducible,
+/// not just run-reproducible. The (time, kind, payload) tie-break
+/// covers cache-hit deliveries too: simultaneous hits (e.g. a burst of
+/// hot queries) carry their request id as the payload, so the order
+/// results enter the post-retrieval stage — and therefore the outcome
+/// digest — never depends on anything but the trace.
 struct Event {
   double time = 0.0;
-  int kind = 0;  // 0 = arrival, 1 = stage-done, 2 = flush, 3 = step.
-  int a = 0;     // arrival: request id; stage-done/flush: stage index.
+  int kind = 0;  // 0 = arrival, 1 = stage-done, 2 = flush, 3 = step,
+                 // 4 = cache-hit delivery.
+  int a = 0;     // arrival/cache-hit: request id; stage-done/flush:
+                 // stage index.
 
   friend bool operator>(const Event& lhs, const Event& rhs) {
     if (lhs.time != rhs.time) {
@@ -100,6 +107,7 @@ RuntimeOptions::Validate() const {
   RAGO_REQUIRE(slo.ttft_seconds > 0 && slo.tpot_seconds > 0,
                "SLO targets must be positive");
   RAGO_REQUIRE(timeline_limit >= 0, "timeline_limit must be >= 0");
+  cache.Validate();
 }
 
 ServingRuntime::ServingRuntime(const PipelineModel& model,
@@ -126,6 +134,41 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
                       const ann::Matrix& query_pool) const {
   RAGO_REQUIRE(!workload.arrivals.empty(), "empty arrival trace");
   RAGO_REQUIRE(!query_pool.empty(), "empty query pool");
+  // Legacy assignment: each request's starting pool row derives from
+  // the seed (uniform over the pool), exactly as before query streams
+  // existed.
+  std::vector<size_t> row_start(workload.arrivals.size());
+  for (size_t i = 0; i < row_start.size(); ++i) {
+    row_start[i] = static_cast<size_t>(
+        Rng::DeriveSeed(options_.seed, static_cast<uint64_t>(i)) %
+        query_pool.rows());
+  }
+  return ServeImpl(workload, query_pool, row_start);
+}
+
+RuntimeResult
+ServingRuntime::Serve(const ArrivalTrace& workload,
+                      const ann::Matrix& query_pool,
+                      const QueryStream& stream) const {
+  RAGO_REQUIRE(!workload.arrivals.empty(), "empty arrival trace");
+  RAGO_REQUIRE(!query_pool.empty(), "empty query pool");
+  RAGO_REQUIRE(stream.rows.size() == workload.arrivals.size(),
+               "query stream length must match the arrival trace");
+  std::vector<size_t> row_start(stream.rows.size());
+  for (size_t i = 0; i < stream.rows.size(); ++i) {
+    const int64_t row = stream.rows[i];
+    RAGO_REQUIRE(row >= 0 &&
+                     row < static_cast<int64_t>(query_pool.rows()),
+                 "query stream row out of pool range");
+    row_start[i] = static_cast<size_t>(row);
+  }
+  return ServeImpl(workload, query_pool, row_start);
+}
+
+RuntimeResult
+ServingRuntime::ServeImpl(const ArrivalTrace& workload,
+                          const ann::Matrix& query_pool,
+                          const std::vector<size_t>& row_start) const {
   RAGO_REQUIRE(query_pool.dim() == index_.dim(),
                "query pool dimensionality mismatch with the index");
 
@@ -136,6 +179,8 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
   std::vector<ExecStage> stages;
   const int retrieval_server = schedule_.NumGroups();
   size_t retrieval_stage_index = 0;
+  size_t prefix_stage_index = 0;
+  int prefix_chips = 0;
   size_t chain_index = 0;
   for (StageType type : model_.schema().AllStages()) {
     if (type == StageType::kDecode) {
@@ -173,6 +218,11 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
       RAGO_REQUIRE(perf.feasible, "stage infeasible under schedule");
       stage.latency = perf.latency;
       stage.interval = static_cast<double>(stage.batch) / perf.throughput;
+      if (type == StageType::kPrefix) {
+        prefix_stage_index = stages.size();
+        prefix_chips =
+            schedule_.group_chips[static_cast<size_t>(group)];
+      }
       ++chain_index;
     }
     stages.push_back(std::move(stage));
@@ -202,6 +252,44 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
 
   const int qpr = model_.schema().retrieval.queries_per_retrieval;
   const size_t pool_rows = query_pool.rows();
+  RAGO_CHECK(row_start.size() == workload.arrivals.size(),
+             "row-start assignment length mismatch");
+
+  // --- Cache tier (per Serve call: the engine is reusable and each
+  // call's cache state is a pure function of the trace + stream). ---
+  cache::LruRetrievalCache retrieval_cache(
+      options_.cache.retrieval_capacity);
+  cache::LruDocCache doc_cache(options_.cache.doc_capacity);
+  // Content-based query fingerprints, computed up front so lookup
+  // cost in the event loop is O(1) per request.
+  std::vector<uint64_t> fingerprints;
+  if (retrieval_cache.enabled()) {
+    fingerprints.resize(workload.arrivals.size());
+    for (size_t i = 0; i < fingerprints.size(); ++i) {
+      fingerprints[i] =
+          cache::FingerprintQueries(query_pool, row_start[i], qpr);
+    }
+  }
+  // Measured-hit-rate prefix pricing, memoized per distinct rate (an
+  // ordered map: iteration order never matters, lookups are exact).
+  std::map<double, std::pair<double, double>> prefix_price_memo;
+  const int64_t prefix_batch = stages[prefix_stage_index].batch;
+  auto price_prefix = [&](double rate) {
+    auto it = prefix_price_memo.find(rate);
+    if (it == prefix_price_memo.end()) {
+      const core::StagePerf perf =
+          model_.EvalPrefixCached(prefix_chips, prefix_batch, rate);
+      RAGO_REQUIRE(perf.feasible,
+                   "prefix infeasible at measured cache hit rate");
+      it = prefix_price_memo
+               .emplace(rate,
+                        std::make_pair(perf.latency,
+                                       static_cast<double>(prefix_batch) /
+                                           perf.throughput))
+               .first;
+    }
+    return it->second;
+  };
 
   std::vector<double> server_busy_until(static_cast<size_t>(num_servers),
                                         0.0);
@@ -244,6 +332,33 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
     telemetry.timeline.push_back(point);
   };
 
+  // Folds one request's retrieved neighbor lists into the digest and
+  // outcome, measures its documents against the KV cache, and admits
+  // them. Shared by the real-scan and cache-hit delivery paths so the
+  // two are byte-for-byte interchangeable in the digest.
+  auto record_retrieval = [&](int id,
+                              const std::vector<std::vector<ann::Neighbor>>&
+                                  per_query) {
+    RequestOutcome& outcome = result.requests[static_cast<size_t>(id)];
+    digest = FnvFoldU64(digest, static_cast<uint64_t>(id));
+    std::vector<int64_t> doc_ids;
+    for (size_t q = 0; q < per_query.size(); ++q) {
+      for (const ann::Neighbor& neighbor : per_query[q]) {
+        digest = FnvFoldU64(digest, static_cast<uint64_t>(neighbor.id));
+        digest = FnvFoldFloat(digest, neighbor.dist);
+        if (doc_cache.enabled()) {
+          doc_ids.push_back(neighbor.id);
+        }
+      }
+      if (q == 0 && !per_query[q].empty()) {
+        outcome.first_neighbor = per_query[q].front().id;
+      }
+    }
+    if (doc_cache.enabled()) {
+      outcome.prefix_hit_fraction = doc_cache.MeasureAndAdmit(doc_ids);
+    }
+  };
+
   // Executes the real scatter-gather scan for one retrieval batch and
   // records each member's retrieved neighbors into the digest. Virtual
   // time is unaffected: the batch's service time stays model-priced.
@@ -252,9 +367,7 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
                               query_pool.dim());
     size_t row = 0;
     for (int id : members) {
-      const size_t start = static_cast<size_t>(
-          Rng::DeriveSeed(options_.seed, static_cast<uint64_t>(id)) %
-          pool_rows);
+      const size_t start = row_start[static_cast<size_t>(id)];
       for (int q = 0; q < qpr; ++q) {
         batch_queries.CopyRowFrom(
             query_pool, (start + static_cast<size_t>(q)) % pool_rows,
@@ -273,18 +386,14 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
 
     row = 0;
     for (int id : members) {
-      RequestOutcome& outcome =
-          result.requests[static_cast<size_t>(id)];
-      digest = FnvFoldU64(digest, static_cast<uint64_t>(id));
-      for (int q = 0; q < qpr; ++q, ++row) {
-        for (const ann::Neighbor& neighbor : neighbors[row]) {
-          digest = FnvFoldU64(digest,
-                              static_cast<uint64_t>(neighbor.id));
-          digest = FnvFoldFloat(digest, neighbor.dist);
-        }
-        if (q == 0 && !neighbors[row].empty()) {
-          outcome.first_neighbor = neighbors[row].front().id;
-        }
+      std::vector<std::vector<ann::Neighbor>> per_query(
+          neighbors.begin() + static_cast<long>(row),
+          neighbors.begin() + static_cast<long>(row + qpr));
+      row += static_cast<size_t>(qpr);
+      record_retrieval(id, per_query);
+      if (retrieval_cache.enabled()) {
+        retrieval_cache.Insert(fingerprints[static_cast<size_t>(id)],
+                               cache::CachedRetrieval{std::move(per_query)});
       }
     }
   };
@@ -310,19 +419,34 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
         InFlight batch;
         batch.stage = s;
         batch.members.reserve(take);
+        double hit_fraction_sum = 0.0;
         for (size_t i = 0; i < take; ++i) {
           const QueueEntry& entry = stage.queue[i];
           batch.members.push_back(entry.id);
           const double wait = now - entry.enqueued;
           telemetry.queue_wait.Add(wait);
-          result.requests[static_cast<size_t>(entry.id)].queue_wait +=
-              wait;
+          RequestOutcome& outcome =
+              result.requests[static_cast<size_t>(entry.id)];
+          outcome.queue_wait += wait;
+          hit_fraction_sum += outcome.prefix_hit_fraction;
         }
         stage.queue.erase(stage.queue.begin(),
                           stage.queue.begin() + static_cast<long>(take));
         stage.oldest_enqueue = now;
-        server_busy_until[server] = now + stage.interval;
-        telemetry.busy_seconds += stage.interval;
+        // Prefix batches are re-priced with the batch's *measured*
+        // document-cache hit fraction when the KV level is live;
+        // every other stage (and the cacheless default) keeps its
+        // schedule-time pricing.
+        double latency = stage.latency;
+        double interval = stage.interval;
+        if (s == prefix_stage_index && doc_cache.enabled()) {
+          const auto priced = price_prefix(
+              hit_fraction_sum / static_cast<double>(take));
+          latency = priced.first;
+          interval = priced.second;
+        }
+        server_busy_until[server] = now + interval;
+        telemetry.busy_seconds += interval;
         telemetry.batches += 1;
         telemetry.full_batches +=
             static_cast<int64_t>(take) == stage.batch ? 1 : 0;
@@ -332,7 +456,7 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
         }
         record_timeline(s);
         in_flight.push_back(std::move(batch));
-        events.push(Event{now + stage.latency, 1, static_cast<int>(s)});
+        events.push(Event{now + latency, 1, static_cast<int>(s)});
       }
       if (!stage.queue.empty() && server_busy_until[server] <= now) {
         events.push(Event{stage.oldest_enqueue + options_.batch_timeout,
@@ -354,6 +478,39 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
         std::max(telemetry.max_queue_depth,
                  static_cast<int>(stage.queue.size()));
     record_timeline(s);
+  };
+
+  // Entry of a request into stage `s`. The retrieval stage consults
+  // the retrieval-result cache first: a hit skips the batch queue and
+  // the real scan entirely — the cached neighbors are recorded now (in
+  // serial event-loop order, so the digest never depends on thread
+  // interleaving) and delivery into the post-retrieval stage is
+  // scheduled after only the lookup cost. That is the
+  // retrieval/prefill overlap: hot queries reach prefix immediately
+  // instead of waiting out batch formation plus a scan.
+  auto enter_stage = [&](size_t s, int request) {
+    if (s == retrieval_stage_index && retrieval_cache.enabled()) {
+      const cache::CachedRetrieval* cached = retrieval_cache.Lookup(
+          fingerprints[static_cast<size_t>(request)]);
+      if (cached != nullptr) {
+        result.requests[static_cast<size_t>(request)]
+            .retrieval_cache_hit = true;
+        record_retrieval(request, cached->neighbors);
+        events.push(Event{now + options_.cache.lookup_seconds, 4,
+                          request});
+        return;
+      }
+    }
+    enqueue(s, request);
+  };
+
+  // Cached results are ready: advance past retrieval. Retrieval is
+  // never the last pre-decode stage (prefix always follows it), so
+  // the successor index is in range.
+  auto deliver_cache_hit = [&](int request) {
+    RAGO_CHECK(retrieval_stage_index + 1 < stages.size(),
+               "retrieval must precede another pre-decode stage");
+    enter_stage(retrieval_stage_index + 1, request);
   };
 
   auto admit_decode = [&]() {
@@ -381,7 +538,7 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
       }
       for (int id : in_flight[b].members) {
         if (s + 1 < stages.size()) {
-          enqueue(s + 1, id);
+          enter_stage(s + 1, id);
         } else {
           RequestOutcome& outcome =
               result.requests[static_cast<size_t>(id)];
@@ -434,7 +591,7 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
         } else {
           outcome.admitted = true;
           ++result.admitted;
-          enqueue(0, event.a);
+          enter_stage(0, event.a);
         }
         break;
       }
@@ -447,6 +604,10 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
       }
       case 3: {
         decode_step();
+        break;
+      }
+      case 4: {
+        deliver_cache_hit(event.a);
         break;
       }
       default:
@@ -468,6 +629,8 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
       complete_stage(static_cast<size_t>(event.a));
     } else if (event.kind == 3) {
       decode_step();
+    } else if (event.kind == 4) {
+      deliver_cache_hit(event.a);
     }
   }
   RAGO_CHECK(completed == result.admitted,
@@ -502,6 +665,22 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
   result.decode_utilization =
       decode_busy_time / std::max(result.makespan, 1e-12);
 
+  // Cache-tier telemetry (id order / counter state: both independent
+  // of event interleaving by construction — the caches only ever
+  // mutate inside the serial event loop).
+  result.retrieval_cache = retrieval_cache.counters();
+  result.doc_cache = doc_cache.counters();
+  double hit_fraction_total = 0.0;
+  for (const RequestOutcome& outcome : result.requests) {
+    if (outcome.admitted) {
+      hit_fraction_total += outcome.prefix_hit_fraction;
+    }
+  }
+  result.measured_prefix_hit_rate =
+      result.admitted > 0
+          ? hit_fraction_total / static_cast<double>(result.admitted)
+          : 0.0;
+
   for (const RequestOutcome& outcome : result.requests) {
     digest = FnvFoldU64(digest, outcome.admitted ? 1u : 0u);
     digest = FnvFoldDouble(digest, outcome.ttft);
@@ -509,7 +688,19 @@ ServingRuntime::Serve(const ArrivalTrace& workload,
     digest = FnvFoldDouble(digest, outcome.completion);
     digest = FnvFoldU64(digest,
                         static_cast<uint64_t>(outcome.first_neighbor));
+    digest = FnvFoldU64(digest, outcome.retrieval_cache_hit ? 1u : 0u);
+    digest = FnvFoldDouble(digest, outcome.prefix_hit_fraction);
   }
+  for (const cache::CacheCounters* counters :
+       {&result.retrieval_cache, &result.doc_cache}) {
+    digest = FnvFoldU64(digest, static_cast<uint64_t>(counters->hits));
+    digest = FnvFoldU64(digest, static_cast<uint64_t>(counters->misses));
+    digest = FnvFoldU64(digest,
+                        static_cast<uint64_t>(counters->evictions));
+    digest = FnvFoldU64(digest,
+                        static_cast<uint64_t>(counters->insertions));
+  }
+  digest = FnvFoldDouble(digest, result.measured_prefix_hit_rate);
   result.outcome_digest = digest;
   return result;
 }

@@ -41,6 +41,7 @@
 #include "core/schedule.h"
 #include "retrieval/perf/retrieval_model.h"
 #include "retrieval/serving/sharded_index.h"
+#include "serving/cache/rago_cache.h"
 #include "serving/runtime/workload.h"
 
 namespace rago::runtime {
@@ -83,6 +84,19 @@ struct RuntimeOptions {
   const retrieval::RetrievalModel* retrieval_model = nullptr;
   /// Per-stage queue-depth timeline samples kept (0 disables).
   int timeline_limit = 4096;
+  /**
+   * Multi-level cache tier (serving/cache/rago_cache.h). With
+   * retrieval_capacity > 0, requests whose query fingerprint is cached
+   * skip the real scan *and* the retrieval batch entirely: the cached
+   * results are delivered after cache.lookup_seconds and the next
+   * stage is enqueued immediately (retrieval/prefill overlap). With
+   * doc_capacity > 0, each request's retrieved doc ids are measured
+   * against a document KV cache and prefix batches are priced with the
+   * measured per-batch hit fraction instead of the schema's assumed
+   * prefix_cache_hit_rate. Zero capacities (the default) disable each
+   * level and reproduce cacheless serving bit-identically.
+   */
+  cache::CacheOptions cache;
 
   /// Throws ConfigError on invalid knobs.
   void Validate() const;
@@ -121,8 +135,15 @@ struct RequestOutcome {
   double completion = -1.0;  ///< Absolute completion time.
   double queue_wait = 0.0;   ///< Summed pre-decode queue waits.
   int64_t first_neighbor = -1;  ///< Top-1 global id of the request's
-                                ///< first query (a real scan result).
+                                ///< first query (a real scan result
+                                ///< or its cached equivalent).
   bool slo_ok = false;       ///< Completed within both SLO targets.
+  /// Served from the retrieval-result cache (no real scan ran).
+  bool retrieval_cache_hit = false;
+  /// Measured fraction of this request's retrieved documents resident
+  /// in the KV cache when its results landed (0 when that level is
+  /// disabled) — the measured prefix_cache_hit_rate.
+  double prefix_hit_fraction = 0.0;
 };
 
 /// Aggregate result of one Serve call.
@@ -148,6 +169,18 @@ struct RuntimeResult {
   std::vector<StageTelemetry> stages;  ///< Pre-decode stages, in order.
   double decode_utilization = 0.0;
   int max_decode_queue_depth = 0;
+
+  /**
+   * Cache-tier telemetry: hit/miss/eviction/insertion counters of the
+   * retrieval-result cache and the document KV cache, and the mean
+   * measured prefix hit fraction over admitted requests — the
+   * *measured* quantity that replaces the schema's assumed
+   * prefix_cache_hit_rate. All folded into the outcome digest, so the
+   * determinism sweep pins them for every thread count.
+   */
+  cache::CacheCounters retrieval_cache;
+  cache::CacheCounters doc_cache;
+  double measured_prefix_hit_rate = 0.0;
 
   /// Real-scan accounting (host wall clock; *not* covered by the
   /// determinism contract, unlike everything above).
@@ -191,10 +224,26 @@ class ServingRuntime {
   RuntimeResult Serve(const ArrivalTrace& workload,
                       const ann::Matrix& query_pool) const;
 
+  /**
+   * Serves with an explicit per-request query assignment (workload.h
+   * query streams — Zipfian, repeat-neighbor, ...): request i starts
+   * drawing pool rows at stream.rows[i] instead of a seed-derived
+   * row. stream.rows.size() must equal the arrival count; rows must
+   * be in [0, query_pool.rows()). This is the path that exercises
+   * realistic cache hit rates.
+   */
+  RuntimeResult Serve(const ArrivalTrace& workload,
+                      const ann::Matrix& query_pool,
+                      const QueryStream& stream) const;
+
   const core::Schedule& schedule() const { return schedule_; }
   const RuntimeOptions& options() const { return options_; }
 
  private:
+  RuntimeResult ServeImpl(const ArrivalTrace& workload,
+                          const ann::Matrix& query_pool,
+                          const std::vector<size_t>& row_start) const;
+
   const core::PipelineModel& model_;
   core::Schedule schedule_;
   const serving::ShardedIndex& index_;

@@ -175,6 +175,68 @@ LoadTrace(const std::string& path) {
   return trace;
 }
 
+QueryStream
+ZipfianQueryStream(int count, int64_t pool_rows, double skew,
+                   uint64_t seed) {
+  RAGO_REQUIRE(count > 0, "query stream needs positive count");
+  RAGO_REQUIRE(pool_rows > 0, "query stream needs a non-empty pool");
+  RAGO_REQUIRE(skew >= 0, "Zipf skew must be non-negative");
+  // Inverse-CDF sampling over the rank weights 1/(r+1)^skew. The CDF
+  // is precomputed once; each draw is a binary search, so streams over
+  // large pools stay cheap and fully deterministic.
+  std::vector<double> cdf(static_cast<size_t>(pool_rows));
+  double total = 0.0;
+  for (int64_t r = 0; r < pool_rows; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -skew);
+    cdf[static_cast<size_t>(r)] = total;
+  }
+  Rng rng(seed);
+  QueryStream stream;
+  stream.rows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    stream.rows.push_back(
+        std::min<int64_t>(it - cdf.begin(), pool_rows - 1));
+  }
+  return stream;
+}
+
+void
+RepeatNeighborOptions::Validate() const {
+  RAGO_REQUIRE(repeat_probability >= 0.0 && repeat_probability <= 1.0,
+               "repeat probability must be in [0, 1]");
+  RAGO_REQUIRE(window >= 1, "repeat window must be >= 1");
+}
+
+QueryStream
+RepeatNeighborQueryStream(int count, int64_t pool_rows,
+                          const RepeatNeighborOptions& options,
+                          uint64_t seed) {
+  RAGO_REQUIRE(count > 0, "query stream needs positive count");
+  RAGO_REQUIRE(pool_rows > 0, "query stream needs a non-empty pool");
+  options.Validate();
+  Rng rng(seed);
+  QueryStream stream;
+  stream.rows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const bool repeat =
+        !stream.rows.empty() &&
+        rng.NextDouble() < options.repeat_probability;
+    if (repeat) {
+      const auto span = std::min<size_t>(
+          stream.rows.size(), static_cast<size_t>(options.window));
+      const size_t back = static_cast<size_t>(rng.NextBounded(span));
+      stream.rows.push_back(
+          stream.rows[stream.rows.size() - 1 - back]);
+    } else {
+      stream.rows.push_back(static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(pool_rows))));
+    }
+  }
+  return stream;
+}
+
 double
 OfferedQps(const ArrivalTrace& trace) {
   RAGO_REQUIRE(!trace.arrivals.empty(), "empty arrival trace");

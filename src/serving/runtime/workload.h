@@ -97,6 +97,56 @@ ArrivalTrace LoadTrace(const std::string& path);
 /// single-instant burst).
 double OfferedQps(const ArrivalTrace& trace);
 
+// ---------------------------------------------------------------------------
+// Query streams: which query each request asks.
+// ---------------------------------------------------------------------------
+
+/**
+ * Per-request query assignment: rows[i] is the query-pool row request
+ * i starts drawing from (it draws queries_per_retrieval consecutive
+ * rows, wrapping). The arrival trace says *when* requests come; the
+ * query stream says *what* they ask — the dimension that decides
+ * whether a cache tier pays. All generators are seeded and
+ * deterministic: the same (options, seed) produce bit-identical
+ * streams.
+ */
+struct QueryStream {
+  std::vector<int64_t> rows;
+};
+
+/**
+ * Zipfian query popularity over `pool_rows` rows: row r is drawn with
+ * probability proportional to 1 / (r + 1)^skew. skew = 0 is uniform;
+ * skew around 1 is the classic heavy-tailed web-query regime where a
+ * small hot set dominates — the workload millions of users actually
+ * produce, and the one that turns an assumed cache hit rate into a
+ * measured quantity.
+ */
+QueryStream ZipfianQueryStream(int count, int64_t pool_rows, double skew,
+                               uint64_t seed);
+
+/// Knobs of the repeat-neighbor stream.
+struct RepeatNeighborOptions {
+  /// Probability a request repeats a recently issued query.
+  double repeat_probability = 0.8;
+  /// How far back the repeated query may come from.
+  int window = 64;
+
+  /// Throws ConfigError on probability outside [0, 1] or window < 1.
+  void Validate() const;
+};
+
+/**
+ * Repeat-neighbor stream: each request either re-asks one of the last
+ * `window` queries (with repeat_probability, uniformly over the
+ * window) or asks a fresh uniform row. Models conversational follow-up
+ * traffic; repeat_probability = 1.0 yields a repeat-only trace whose
+ * measured cache hit rate legitimately reaches 1.0.
+ */
+QueryStream RepeatNeighborQueryStream(int count, int64_t pool_rows,
+                                      const RepeatNeighborOptions& options,
+                                      uint64_t seed);
+
 }  // namespace rago::runtime
 
 #endif  // RAGO_SERVING_RUNTIME_WORKLOAD_H

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 
 #include "common/check.h"
@@ -187,6 +189,45 @@ TEST(PipelineModel, IterativeRetrievalRaisesTpot) {
   ASSERT_TRUE(pp.feasible && pi.feasible);
   EXPECT_GT(pi.tpot, pp.tpot);
   EXPECT_LE(pi.qps, pp.qps);
+}
+
+TEST(PipelineModel, EvalPrefixCachedMatchesChainStageAtSchemaKnob) {
+  // EvalChainStage(kPrefix) is defined as EvalPrefixCached at the
+  // schema's assumed hit rate — for any knob setting.
+  for (double rate : {0.0, 0.3, 1.0}) {
+    RAGSchema schema = MakeHyperscaleSchema(8, 1);
+    schema.workload.prefix_cache_hit_rate = rate;
+    const PipelineModel model(schema, DefaultCluster());
+    const StagePerf via_chain =
+        model.EvalChainStage(StageType::kPrefix, 8, 4);
+    const StagePerf via_cached = model.EvalPrefixCached(8, 4, rate);
+    EXPECT_EQ(via_chain.latency, via_cached.latency) << "rate " << rate;
+    EXPECT_EQ(via_chain.throughput, via_cached.throughput);
+    EXPECT_EQ(via_chain.feasible, via_cached.feasible);
+  }
+}
+
+TEST(PipelineModel, EvalPrefixCachedMonotoneAndFiniteAtFullHit) {
+  const PipelineModel model(MakeHyperscaleSchema(8, 1), DefaultCluster());
+  double previous = std::numeric_limits<double>::infinity();
+  for (double rate : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const StagePerf perf = model.EvalPrefixCached(8, 4, rate);
+    ASSERT_TRUE(perf.feasible) << "rate " << rate;
+    EXPECT_TRUE(std::isfinite(perf.latency));
+    EXPECT_GT(perf.latency, 0.0);
+    EXPECT_GT(perf.throughput, 0.0);
+    // More cached content can only shrink the priced prefix.
+    EXPECT_LE(perf.latency, previous);
+    previous = perf.latency;
+  }
+  // The full-hit limit must price strictly less work than cold prefix
+  // (question-only prompt vs question + retrieved content).
+  EXPECT_LT(model.EvalPrefixCached(8, 4, 1.0).latency,
+            model.EvalPrefixCached(8, 4, 0.0).latency);
+  // Out-of-range rates are rejected, as are degenerate shapes.
+  EXPECT_THROW(model.EvalPrefixCached(8, 4, -0.1), rago::ConfigError);
+  EXPECT_THROW(model.EvalPrefixCached(8, 4, 1.1), rago::ConfigError);
+  EXPECT_THROW(model.EvalPrefixCached(0, 4, 0.5), rago::ConfigError);
 }
 
 TEST(PipelineModel, RewriteDecodeLatencyScalesWithOutputTokens) {

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.h"
 #include "core/pipeline_model.h"
 #include "core/schema.h"
@@ -115,11 +117,22 @@ TEST(PrefixCache, ShiftsBreakdownTowardRetrieval) {
   EXPECT_GT(retrieval_share(0.9), retrieval_share(0.0) * 1.2);
 }
 
-TEST(PrefixCache, ValidationRejectsFullHitRate) {
+TEST(PrefixCache, ValidationAcceptsFullHitRateRejectsOutOfRange) {
+  // The hit rate lives on the *closed* interval: 1.0 is a legitimate
+  // value (a measured rate on a repeat-only trace reaches it), and the
+  // pricing clamps the prompt to at least one token there.
   core::RAGSchema schema = core::MakeHyperscaleSchema(8, 1);
   schema.workload.prefix_cache_hit_rate = 1.0;
-  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+  EXPECT_NO_THROW(schema.Validate());
+  const core::PipelineModel model(schema, DefaultCluster());
+  const core::StagePerf full =
+      model.EvalChainStage(core::StageType::kPrefix, 8, 4);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_TRUE(std::isfinite(full.latency));
+  EXPECT_GT(full.latency, 0.0);
   schema.workload.prefix_cache_hit_rate = -0.1;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+  schema.workload.prefix_cache_hit_rate = 1.1;
   EXPECT_THROW(schema.Validate(), rago::ConfigError);
 }
 

@@ -130,6 +130,90 @@ TEST(Workload, TraceFileRoundTripsBitExactly) {
   std::remove(path.c_str());
 }
 
+TEST(Workload, ZipfianStreamIsSeededAndSkewed) {
+  const QueryStream stream = ZipfianQueryStream(5000, 100, 1.1, 9);
+  ASSERT_EQ(stream.rows.size(), 5000u);
+  for (int64_t row : stream.rows) {
+    EXPECT_GE(row, 0);
+    EXPECT_LT(row, 100);
+  }
+  // Fixed seed reproduces the stream bit-exactly; another seed and
+  // another skew both perturb it.
+  EXPECT_EQ(stream.rows, ZipfianQueryStream(5000, 100, 1.1, 9).rows);
+  EXPECT_NE(stream.rows, ZipfianQueryStream(5000, 100, 1.1, 10).rows);
+  EXPECT_NE(stream.rows, ZipfianQueryStream(5000, 100, 0.5, 9).rows);
+
+  // Skewed popularity: the head row dominates far beyond its uniform
+  // share; at skew 0 it stays near 1/pool.
+  auto head_count = [](const QueryStream& s) {
+    int count = 0;
+    for (int64_t row : s.rows) {
+      count += row == 0 ? 1 : 0;
+    }
+    return count;
+  };
+  EXPECT_GT(head_count(stream), 500);  // Uniform share would be ~50.
+  const QueryStream uniform = ZipfianQueryStream(5000, 100, 0.0, 9);
+  EXPECT_LT(head_count(uniform), 150);
+}
+
+TEST(Workload, RepeatNeighborStreamIsSeededAndRepeats) {
+  RepeatNeighborOptions options;
+  options.repeat_probability = 0.8;
+  options.window = 16;
+  const QueryStream stream =
+      RepeatNeighborQueryStream(2000, 500, options, 21);
+  ASSERT_EQ(stream.rows.size(), 2000u);
+  for (int64_t row : stream.rows) {
+    EXPECT_GE(row, 0);
+    EXPECT_LT(row, 500);
+  }
+  EXPECT_EQ(stream.rows,
+            RepeatNeighborQueryStream(2000, 500, options, 21).rows);
+  EXPECT_NE(stream.rows,
+            RepeatNeighborQueryStream(2000, 500, options, 22).rows);
+  // Repeats must actually repeat: most requests re-ask a recent row.
+  int repeats = 0;
+  for (size_t i = 1; i < stream.rows.size(); ++i) {
+    const size_t window_start =
+        i >= static_cast<size_t>(options.window)
+            ? i - static_cast<size_t>(options.window)
+            : 0;
+    for (size_t j = window_start; j < i; ++j) {
+      if (stream.rows[j] == stream.rows[i]) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(repeats, 1400);  // ~80% of 2000, minus fresh collisions.
+
+  // The repeat-only limit collapses the stream onto its first row.
+  options.repeat_probability = 1.0;
+  const QueryStream collapsed =
+      RepeatNeighborQueryStream(200, 500, options, 23);
+  for (int64_t row : collapsed.rows) {
+    EXPECT_EQ(row, collapsed.rows.front());
+  }
+}
+
+TEST(Workload, QueryStreamsRejectInvalidOptions) {
+  EXPECT_THROW(ZipfianQueryStream(0, 100, 1.0, 0), ConfigError);
+  EXPECT_THROW(ZipfianQueryStream(10, 0, 1.0, 0), ConfigError);
+  EXPECT_THROW(ZipfianQueryStream(10, 100, -0.5, 0), ConfigError);
+  RepeatNeighborOptions options;
+  options.repeat_probability = 1.5;
+  EXPECT_THROW(RepeatNeighborQueryStream(10, 100, options, 0),
+               ConfigError);
+  options = RepeatNeighborOptions{};
+  options.window = 0;
+  EXPECT_THROW(RepeatNeighborQueryStream(10, 100, options, 0),
+               ConfigError);
+  EXPECT_THROW(RepeatNeighborQueryStream(0, 100, RepeatNeighborOptions{},
+                                         0),
+               ConfigError);
+}
+
 TEST(Workload, RejectsInvalidOptionsAndFiles) {
   EXPECT_THROW(UniformTrace(0, 10.0), ConfigError);
   EXPECT_THROW(PoissonTrace(10, -1.0, 0), ConfigError);

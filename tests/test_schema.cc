@@ -121,6 +121,24 @@ TEST(Schema, ValidationCatchesInconsistencies) {
   EXPECT_THROW(schema.Validate(), rago::ConfigError);
 }
 
+TEST(Schema, PrefixCacheHitRateAcceptsClosedIntervalBoundary) {
+  // The knob is a hit *rate*: both endpoints are legitimate values. A
+  // measured rate on a repeat-only trace reaches exactly 1.0, which an
+  // earlier `< 1.0` comparison wrongly rejected.
+  RAGSchema schema = MakeHyperscaleSchema(8, 1);
+  schema.workload.prefix_cache_hit_rate = 0.0;
+  EXPECT_NO_THROW(schema.Validate());
+  schema.workload.prefix_cache_hit_rate = 1.0;
+  EXPECT_NO_THROW(schema.Validate());
+  schema.workload.prefix_cache_hit_rate = 0.5;
+  EXPECT_NO_THROW(schema.Validate());
+  // Anything outside the closed interval stays rejected.
+  schema.workload.prefix_cache_hit_rate = -1e-9;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+  schema.workload.prefix_cache_hit_rate = 1.0 + 1e-9;
+  EXPECT_THROW(schema.Validate(), rago::ConfigError);
+}
+
 TEST(Schema, StageNamesAreStable) {
   EXPECT_STREQ(StageName(StageType::kDatabaseEncode), "encode");
   EXPECT_STREQ(StageName(StageType::kRetrieval), "retrieval");
