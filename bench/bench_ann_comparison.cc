@@ -45,9 +45,7 @@ int main(int argc, char** argv) {
   table.SetHeader({"index", "setting", "kernel", "recall@10", "work/query",
                    "index bytes/vector"});
 
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("bench").String("ann_comparison");
+  JsonWriter json = StartBenchJson("ann_comparison");
   json.Key("rows").Int(static_cast<int64_t>(n));
   json.Key("dim").Int(static_cast<int64_t>(dim));
   json.Key("kernel_variant").String(kernel_variant);
@@ -135,8 +133,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   json.EndArray();
-  json.EndObject();
-  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+  FinishBenchJson(json, JsonOutputPath(argc, argv));
   std::printf(
       "(paper 2: PQ stores ~8 B/vector vs ~%zu B/vector for the graph -\n"
       " a ~%zux memory gap that decides hyperscale feasibility, while the\n"

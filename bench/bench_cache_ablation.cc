@@ -95,9 +95,7 @@ int main(int argc, char** argv) {
                    "prefix rate", "p50 TTFT ms", "p95 TTFT ms",
                    "p50 hit ms", "p50 miss ms", "SLO att."});
 
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("bench").String("cache_ablation");
+  JsonWriter json = StartBenchJson("cache_ablation");
   json.Key("requests").Int(requests);
   json.Key("pool_rows").Int(pool_rows);
   json.Key("offered_qps").Number(offered_qps);
@@ -181,8 +179,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   json.EndArray();
-  json.EndObject();
-  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+  FinishBenchJson(json, JsonOutputPath(argc, argv));
 
   std::printf(
       "(uniform traffic defeats any capacity; Zipf skew >= 1 turns a\n"

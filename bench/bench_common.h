@@ -42,6 +42,28 @@ inline std::string JsonOutputPath(int argc, char** argv) {
   return "";
 }
 
+/**
+ * Version of the shared `--json` envelope every bench emits. Bump on
+ * any incompatible shape change so the perf-trajectory tooling and the
+ * regression comparator (bench_obs_trajectory --baseline) can refuse
+ * documents they do not understand instead of misreading them.
+ */
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/**
+ * Opens the shared envelope: {"schema_version": N, "bench": "<name>",
+ * ...bench-specific fields...}. Callers append their fields and close
+ * with FinishBenchJson. The round-trip tests pin this shape through
+ * common/json_reader.h.
+ */
+inline JsonWriter StartBenchJson(const std::string& bench_name) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Int(kBenchJsonSchemaVersion);
+  json.Key("bench").String(bench_name);
+  return json;
+}
+
 /// Writes a finished JSON document to `path` (no-op on empty path).
 inline void MaybeWriteJson(const std::string& path,
                            const JsonWriter& json) {
@@ -54,6 +76,13 @@ inline void MaybeWriteJson(const std::string& path,
   std::fputc('\n', file);
   std::fclose(file);
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// Closes the envelope opened by StartBenchJson and writes it to
+/// `path` when non-empty (the parsed `--json` flag).
+inline void FinishBenchJson(JsonWriter& json, const std::string& path) {
+  json.EndObject();
+  MaybeWriteJson(path, json);
 }
 
 /// Moderate search grids that keep every harness under a minute.

@@ -209,9 +209,7 @@ int main(int argc, char** argv) {
         "(speedup band deferred to AVX2 CI runners)\n");
   }
 
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("bench").String("distance_kernels");
+  JsonWriter json = StartBenchJson("distance_kernels");
   json.Key("rows").Int(static_cast<int64_t>(rows));
   json.Key("dim").Int(static_cast<int64_t>(dim));
   json.Key("tile_queries").Int(static_cast<int64_t>(tile_queries));
@@ -229,7 +227,6 @@ int main(int argc, char** argv) {
     json.EndObject();
   }
   json.EndArray();
-  json.EndObject();
-  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+  FinishBenchJson(json, JsonOutputPath(argc, argv));
   return 0;
 }

@@ -148,10 +148,8 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    JsonWriter json;
-    json.BeginObject()
-        .Key("figure").String("fig15")
-        .Key("cases").BeginArray();
+    JsonWriter json = StartBenchJson("fig15");
+    json.Key("cases").BeginArray();
     for (const CaseReport& report : reports) {
       json.BeginObject()
           .Key("name").String(report.name)
@@ -171,9 +169,8 @@ int main(int argc, char** argv) {
             .Key("frontier_points").Int(
                 static_cast<int64_t>(frontier_serial.size()))
             .Key("frontiers_identical").Bool(identical)
-        .EndObject()
         .EndObject();
-    MaybeWriteJson(json_path, json);
+    FinishBenchJson(json, json_path);
   }
   // Make the determinism witness enforceable for scripted runs.
   return identical ? 0 : 1;

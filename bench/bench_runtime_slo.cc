@@ -68,9 +68,7 @@ int main(int argc, char** argv) {
                    "p95 TTFT ms", "p99 TTFT ms", "p95 TPOT ms",
                    "p95 wait ms", "SLO att."});
 
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("bench").String("runtime_slo");
+  JsonWriter json = StartBenchJson("runtime_slo");
   json.Key("analytical_qps").Number(chosen.perf.qps);
   json.Key("slo_ttft_seconds").Number(options.slo.ttft_seconds);
   json.Key("slo_tpot_seconds").Number(options.slo.tpot_seconds);
@@ -132,8 +130,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   json.EndArray();
-  json.EndObject();
-  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+  FinishBenchJson(json, JsonOutputPath(argc, argv));
 
   std::printf(
       "(attainment holds near 1.0 below capacity and collapses past\n"

@@ -44,9 +44,7 @@ int main(int argc, char** argv) {
                    "merge ms"});
 
   ThreadPool pool(4);
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("bench").String("sharded_retrieval");
+  JsonWriter json = StartBenchJson("sharded_retrieval");
   json.Key("rows").Int(static_cast<int64_t>(n));
   json.Key("dim").Int(static_cast<int64_t>(dim));
   json.Key("queries").Int(static_cast<int64_t>(num_queries));
@@ -106,8 +104,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   json.EndArray();
-  json.EndObject();
-  MaybeWriteJson(JsonOutputPath(argc, argv), json);
+  FinishBenchJson(json, JsonOutputPath(argc, argv));
 
   std::printf(
       "(exact flat sharding keeps recall at 1.0 for every partitioner —\n"

@@ -1,0 +1,328 @@
+#include "common/json_reader.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rago {
+namespace {
+
+[[noreturn]] void ParseFail(const std::string& what, size_t where) {
+  throw ConfigError("JSON parse error at offset " + std::to_string(where) +
+                    ": " + what);
+}
+
+}  // namespace
+
+/// Recursive-descent parser over one in-memory document.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      ParseFail("trailing characters after document", pos_);
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      ParseFail("unexpected end of input", pos_);
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      ParseFail(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t i = 0;
+    while (literal[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != literal[i]) {
+        return false;
+      }
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kString;
+        value.string_ = ParseString();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kBool;
+        if (ConsumeLiteral("true")) {
+          value.bool_ = true;
+        } else if (ConsumeLiteral("false")) {
+          value.bool_ = false;
+        } else {
+          ParseFail("invalid literal", pos_);
+        }
+        return value;
+      }
+      case 'n': {
+        if (!ConsumeLiteral("null")) {
+          ParseFail("invalid literal", pos_);
+        }
+        return JsonValue{};
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kObject;
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      if (Peek() != '"') {
+        ParseFail("expected object key string", pos_);
+      }
+      std::string key = ParseString();
+      for (const auto& member : value.members_) {
+        if (member.first == key) {
+          ParseFail("duplicate object key '" + key + "'", pos_);
+        }
+      }
+      Expect(':');
+      value.members_.emplace_back(std::move(key), ParseValue());
+      const char next = Peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return value;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue value;
+    value.type_ = JsonValue::Type::kArray;
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.items_.push_back(ParseValue());
+      const char next = Peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return value;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        ParseFail("unterminated string", pos_);
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        ParseFail("unterminated escape", pos_);
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            ParseFail("truncated \\u escape", pos_);
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              ParseFail("invalid \\u escape digit", pos_);
+            }
+          }
+          // The writer only emits \u00XX control escapes; decode the
+          // Basic-Latin range and reject what we never produce.
+          if (code > 0x7f) {
+            ParseFail("unsupported non-ASCII \\u escape", pos_);
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          ParseFail("invalid escape character", pos_);
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    SkipWhitespace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ParseFail("expected a value", start);
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      ParseFail("malformed number '" + token + "'", start);
+    }
+    JsonValue value;
+    value.type_ = JsonValue::Type::kNumber;
+    value.number_ = number;
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).ParseDocument();
+}
+
+bool
+JsonValue::AsBool() const {
+  RAGO_REQUIRE(is_bool(), "JSON value is not a boolean");
+  return bool_;
+}
+
+double
+JsonValue::AsNumber() const {
+  RAGO_REQUIRE(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+int64_t
+JsonValue::AsInt() const {
+  return static_cast<int64_t>(AsNumber());
+}
+
+const std::string&
+JsonValue::AsString() const {
+  RAGO_REQUIRE(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::Items() const {
+  RAGO_REQUIRE(is_array(), "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>&
+JsonValue::Members() const {
+  RAGO_REQUIRE(is_object(), "JSON value is not an object");
+  return members_;
+}
+
+const JsonValue*
+JsonValue::Find(const std::string& key) const {
+  RAGO_REQUIRE(is_object(), "JSON value is not an object");
+  for (const auto& member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue&
+JsonValue::At(const std::string& key) const {
+  const JsonValue* value = Find(key);
+  RAGO_REQUIRE(value != nullptr, "missing JSON object key: " + key);
+  return *value;
+}
+
+size_t
+JsonValue::size() const {
+  if (is_array()) {
+    return items_.size();
+  }
+  if (is_object()) {
+    return members_.size();
+  }
+  RAGO_REQUIRE(false, "JSON value has no size");
+  return 0;
+}
+
+JsonValue
+ParseJsonFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  RAGO_REQUIRE(file != nullptr, "cannot open JSON file: " + path);
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  return JsonValue::Parse(text);
+}
+
+}  // namespace rago

@@ -1,0 +1,79 @@
+/**
+ * @file json_reader.h
+ * Minimal JSON parser for the perf-regression tooling.
+ *
+ * The bench harnesses emit machine-readable `--json` documents through
+ * json_writer.h; the perf-regression comparator (bench_obs_trajectory
+ * --baseline) and the schema round-trip tests need to read them back.
+ * This is the matching reader: a small recursive-descent parser into a
+ * DOM of JsonValue nodes. It covers the JSON the writer produces
+ * (objects, arrays, strings with the writer's escapes, finite numbers,
+ * booleans, null) and rejects malformed input with ConfigError. Not a
+ * general-purpose validator — no streaming, no surrogate pairs, input
+ * must be UTF-8.
+ */
+#ifndef RAGO_COMMON_JSON_READER_H
+#define RAGO_COMMON_JSON_READER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rago {
+
+/// One parsed JSON node.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete document (throws ConfigError on malformed input
+  /// or trailing garbage).
+  static JsonValue Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw ConfigError on type mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  int64_t AsInt() const;  ///< Number truncated toward zero.
+  const std::string& AsString() const;
+
+  /// Array elements, in document order.
+  const std::vector<JsonValue>& Items() const;
+  /// Object members, in document order (duplicate keys are rejected at
+  /// parse time).
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const;
+
+  /// Object lookup: null when absent (object type required).
+  const JsonValue* Find(const std::string& key) const;
+  /// Object lookup that throws ConfigError when the key is absent.
+  const JsonValue& At(const std::string& key) const;
+
+  /// Elements of an array / members of an object.
+  size_t size() const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Reads and parses a whole JSON file (throws ConfigError on IO or
+/// parse failure).
+JsonValue ParseJsonFile(const std::string& path);
+
+}  // namespace rago
+
+#endif  // RAGO_COMMON_JSON_READER_H

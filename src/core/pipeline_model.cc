@@ -294,6 +294,37 @@ PipelineModel::LiveProvider() const {
   return provider;
 }
 
+StagePerfProvider
+PipelineModel::ProviderWithRetrievalModel(
+    const retrieval::RetrievalModel& model) const {
+  RAGO_REQUIRE(schema_.retrieval_enabled,
+               "schema disables retrieval; nothing for the measured "
+               "retrieval model to price");
+  StagePerfProvider provider = LiveProvider();
+  const int qpr = schema_.retrieval.queries_per_retrieval;
+  provider.retrieval = [this, &model, qpr](int request_batch, int servers) {
+    RAGO_REQUIRE(request_batch > 0 && servers > 0,
+                 "batch and server count must be positive");
+    StagePerf perf;
+    // Capacity feasibility stays with the cluster model; pricing comes
+    // from the measured model (it describes the deployment it was
+    // calibrated on, whatever the nominal server count).
+    if (!schema_.retrieval.brute_force &&
+        (servers < MinRetrievalServers() ||
+         servers > cluster_.num_servers)) {
+      perf.feasible = false;
+      return perf;
+    }
+    const int64_t queries = static_cast<int64_t>(request_batch) * qpr;
+    const retrieval::RetrievalCost cost = model.Search(queries);
+    perf.latency = cost.latency;
+    perf.throughput = cost.throughput / qpr;
+    perf.feasible = true;
+    return perf;
+  };
+  return provider;
+}
+
 EndToEndPerf
 PipelineModel::Evaluate(const Schedule& schedule) const {
   return EvaluateWith(schedule, LiveProvider());

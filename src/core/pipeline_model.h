@@ -117,6 +117,21 @@ class PipelineModel {
   StagePerfProvider LiveProvider() const;
 
   /**
+   * LiveProvider with the retrieval lookup replaced by `model` — e.g.
+   * a MeasuredRetrievalModel calibrated from real sharded scans on the
+   * serving index, or costs derived from the roofline profiler
+   * (retrieval/perf/roofline.h). A batch of `request_batch` requests
+   * issues queries_per_retrieval queries each, matching EvalRetrieval;
+   * the server count still gates database-capacity feasibility, but
+   * pricing comes entirely from `model` (measured costs describe the
+   * deployment they were calibrated on). Borrowed: `model` must
+   * outlive the provider and be thread-compatible (Optimizer::Search
+   * profiles concurrently).
+   */
+  StagePerfProvider ProviderWithRetrievalModel(
+      const retrieval::RetrievalModel& model) const;
+
+  /**
    * Average TTFT when a burst of `burst` requests arrives at once and
    * pre-decode stages process it in micro-batches per the schedule's
    * batching policy (paper Fig. 14/19). Requests stream through

@@ -241,6 +241,14 @@ Optimizer::PlacementLabel(const std::vector<int>& chain_group) const {
 
 OptimizerResult
 Optimizer::Search() const {
+  return Search(model_.LiveProvider());
+}
+
+OptimizerResult
+Optimizer::Search(const StagePerfProvider& provider) const {
+  RAGO_REQUIRE(provider.chain && provider.decode && provider.retrieval &&
+                   provider.ingest,
+               "stage-perf provider must supply all four lookups");
   const auto& chain = model_.chain();
   const bool iterative = model_.schema().IterativeRetrieval();
   const bool has_retrieval = model_.schema().retrieval_enabled;
@@ -284,24 +292,24 @@ Optimizer::Search() const {
       const size_t rem = i % (kChips * kBatches);
       const size_t c = rem / kBatches;
       const size_t b = rem % kBatches;
-      profiles[i] = model_.EvalChainStage(chain[s], chip_grid[c],
-                                          options_.batch_sizes[b]);
+      profiles[i] = provider.chain(chain[s], chip_grid[c],
+                                   options_.batch_sizes[b]);
     } else if (i < n_chain + n_decode) {
       const size_t rem = i - n_chain;
       const size_t c = rem / kDecodeBatches;
       const size_t db = rem % kDecodeBatches;
       profiles[i] =
-          model_.EvalDecode(chip_grid[c], options_.decode_batch_sizes[db]);
+          provider.decode(chip_grid[c], options_.decode_batch_sizes[db]);
     } else if (i < n_chain + n_decode + n_retr) {
       const size_t b = i - n_chain - n_decode;
-      profiles[i] = model_.EvalRetrieval(
+      profiles[i] = provider.retrieval(
           static_cast<int>(options_.batch_sizes[b]), servers);
     } else {
       const size_t rem = i - n_chain - n_decode - n_retr;
       const size_t c = rem / kBatches;
       const size_t b = rem % kBatches;
       profiles[i] =
-          model_.EvalIngestPrefix(chip_grid[c], options_.batch_sizes[b]);
+          provider.ingest(chip_grid[c], options_.batch_sizes[b]);
     }
   });
   auto chain_perf = [&](size_t s, size_t c, size_t b) -> const StagePerf& {
@@ -697,12 +705,14 @@ Optimizer::Search() const {
   }
 
   // --- Final Pareto frontier, re-evaluated through the canonical
-  // pipeline model so the reported metrics come from one code path. ---
+  // assembly with the same provider so the reported metrics come from
+  // one cost source (measured costs change the report, not just the
+  // ranking). ---
   auto finalize = [&](std::vector<ParetoPoint<Schedule>> raw) {
     std::vector<ParetoPoint<ScheduledPoint>> rescored;
     rescored.reserve(raw.size());
     for (auto& point : raw) {
-      const EndToEndPerf perf = model_.Evaluate(point.payload);
+      const EndToEndPerf perf = model_.EvaluateWith(point.payload, provider);
       RAGO_CHECK(perf.feasible, "frontier schedule must be feasible");
       ParetoPoint<ScheduledPoint> out;
       out.latency = perf.ttft;

@@ -93,8 +93,20 @@ class Optimizer {
  public:
   Optimizer(const core::PipelineModel& model, SearchOptions options = {});
 
-  /// Full Algorithm 1 search.
+  /// Full Algorithm 1 search (live model-priced stage costs).
   OptimizerResult Search() const;
+
+  /**
+   * Algorithm 1 with externally supplied stage costs: every Step-1
+   * profile and the final frontier re-scoring go through `provider`
+   * instead of the model's live evaluators, so measured costs — e.g.
+   * PipelineModel::ProviderWithRetrievalModel wrapping a
+   * MeasuredRetrievalModel calibrated on the serving index — steer
+   * which schedules win, not just how they are reported. Lookups must
+   * be thread-compatible: Step 1 invokes them concurrently from the
+   * profiling fan-out. Search() is this with model.LiveProvider().
+   */
+  OptimizerResult Search(const core::StagePerfProvider& provider) const;
 
   /**
    * Baseline from the paper's evaluation (§7.1): all auxiliary stages

@@ -1,0 +1,178 @@
+#include "serving/obs/trace.h"
+
+namespace rago::obs {
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+}  // namespace
+
+void
+TraceRecorder::SetProcessName(int pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void
+TraceRecorder::SetThreadName(int pid, int tid, std::string name) {
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+TraceEvent&
+TraceRecorder::AddComplete(std::string name, std::string category, int pid,
+                           int tid, double start, double duration,
+                           int64_t request_id) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.pid = pid;
+  event.tid = tid;
+  event.start = start;
+  event.duration = duration;
+  event.request_id = request_id;
+  events_.push_back(std::move(event));
+  return events_.back();
+}
+
+TraceEvent&
+TraceRecorder::AddInstant(std::string name, std::string category, int pid,
+                          int tid, double time, int64_t request_id) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.pid = pid;
+  event.tid = tid;
+  event.start = time;
+  event.request_id = request_id;
+  events_.push_back(std::move(event));
+  return events_.back();
+}
+
+std::vector<const TraceEvent*>
+TraceRecorder::EventsForRequest(int64_t request_id) const {
+  std::vector<const TraceEvent*> matches;
+  for (const TraceEvent& event : events_) {
+    if (event.request_id == request_id) {
+      matches.push_back(&event);
+    }
+  }
+  return matches;
+}
+
+void
+TraceRecorder::Clear() {
+  events_.clear();
+  process_names_.clear();
+  thread_names_.clear();
+}
+
+void
+TraceRecorder::WriteChromeTrace(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("displayTimeUnit").String("ms");
+  json.Key("traceEvents").BeginArray();
+  // Metadata first (the format does not require it, but the viewers
+  // name tracks more reliably when names precede events). Map order
+  // keeps emission deterministic.
+  for (const auto& [pid, name] : process_names_) {
+    json.BeginObject();
+    json.Key("ph").String("M");
+    json.Key("name").String("process_name");
+    json.Key("pid").Int(pid);
+    json.Key("tid").Int(0);
+    json.Key("args").BeginObject();
+    json.Key("name").String(name);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const auto& [key, name] : thread_names_) {
+    json.BeginObject();
+    json.Key("ph").String("M");
+    json.Key("name").String("thread_name");
+    json.Key("pid").Int(key.first);
+    json.Key("tid").Int(key.second);
+    json.Key("args").BeginObject();
+    json.Key("name").String(name);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const TraceEvent& event : events_) {
+    json.BeginObject();
+    const bool complete = event.phase == TraceEvent::Phase::kComplete;
+    json.Key("ph").String(complete ? "X" : "i");
+    json.Key("name").String(event.name);
+    json.Key("cat").String(event.category);
+    json.Key("pid").Int(event.pid);
+    json.Key("tid").Int(event.tid);
+    json.Key("ts").Number(event.start * kMicrosPerSecond);
+    if (complete) {
+      json.Key("dur").Number(event.duration * kMicrosPerSecond);
+    } else {
+      json.Key("s").String("t");  // Instant scoped to its thread row.
+    }
+    if (event.request_id >= 0 || !event.args.empty()) {
+      json.Key("args").BeginObject();
+      if (event.request_id >= 0) {
+        json.Key("request").Int(event.request_id);
+      }
+      for (const auto& [key, value] : event.args) {
+        json.Key(key).Number(value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string
+TraceRecorder::ChromeTraceJson() const {
+  JsonWriter json;
+  WriteChromeTrace(json);
+  return json.str();
+}
+
+void
+TraceRecorder::WriteRequestSummary(JsonWriter& json) const {
+  // Group by request id; within a request, recorded order is causal
+  // order (the serial event loop appends as things happen).
+  std::map<int64_t, std::vector<const TraceEvent*>> by_request;
+  for (const TraceEvent& event : events_) {
+    if (event.request_id >= 0) {
+      by_request[event.request_id].push_back(&event);
+    }
+  }
+  json.BeginObject();
+  json.Key("requests").BeginArray();
+  for (const auto& [request_id, spans] : by_request) {
+    json.BeginObject();
+    json.Key("request").Int(request_id);
+    json.Key("events").BeginArray();
+    for (const TraceEvent* event : spans) {
+      json.BeginObject();
+      json.Key("name").String(event->name);
+      json.Key("phase").String(
+          event->phase == TraceEvent::Phase::kComplete ? "span" : "instant");
+      json.Key("start").Number(event->start);
+      if (event->phase == TraceEvent::Phase::kComplete) {
+        json.Key("duration").Number(event->duration);
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string
+TraceRecorder::RequestSummaryJson() const {
+  JsonWriter json;
+  WriteRequestSummary(json);
+  return json.str();
+}
+
+}  // namespace rago::obs

@@ -1,0 +1,113 @@
+/**
+ * @file trace.h
+ * Span-based per-request trace recorder for the serving engines.
+ *
+ * Aggregate telemetry (RuntimeResult / ServingSimResult) answers "what
+ * were the percentiles"; it cannot answer "why was request 411 slow".
+ * This recorder captures the causal structure of one serving run as
+ * spans on the virtual clock — admission, queue waits, batch
+ * membership, stage execution, cache hits, decode residency — and
+ * exports two views:
+ *
+ *  - **Chrome trace-event JSON** (chrome://tracing, Perfetto): rows
+ *    are servers (pid 0, one track per physical server plus the decode
+ *    pool) and requests (pid 1, one track per request id), so batch
+ *    occupancy and a request's journey line up on one timeline.
+ *  - **Compact per-request summary JSON**: each request id with its
+ *    recorded spans in order, for programmatic assertions.
+ *
+ * Recording is opt-in (a null recorder disables everything) and
+ * observation-only by contract: recorders accept appends from the
+ * serial event loops and never feed anything back, so the outcome
+ * digest of a traced run is bit-identical to an untraced one — the
+ * invariance tests pin exactly this. Timestamps are virtual seconds;
+ * the exporter scales to the microseconds chrome://tracing expects.
+ * Not thread-safe (all appends happen on the serial scheduler loop).
+ */
+#ifndef RAGO_SERVING_OBS_TRACE_H
+#define RAGO_SERVING_OBS_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace rago::obs {
+
+/// One recorded trace event (virtual-clock seconds).
+struct TraceEvent {
+  enum class Phase {
+    kComplete,  ///< Duration span ("X" in the trace-event format).
+    kInstant,   ///< Point event ("i").
+  };
+
+  Phase phase = Phase::kComplete;
+  std::string name;
+  std::string category;  ///< Trace-event "cat": filterable grouping.
+  int pid = 0;           ///< Track group (0 = servers, 1 = requests).
+  int tid = 0;           ///< Track within the group.
+  double start = 0.0;    ///< Virtual seconds.
+  double duration = 0.0; ///< Virtual seconds; unused for instants.
+  int64_t request_id = -1;  ///< Owning request, -1 when none.
+  /// Extra numeric payload, emitted under "args" in recorded order.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/**
+ * Append-only event log with named tracks. The runtime and the DES
+ * write through the pointer in their options struct; tests and tools
+ * read back either export. Reusable across runs via Clear().
+ */
+class TraceRecorder {
+ public:
+  /// Names a pid group ("servers", "requests").
+  void SetProcessName(int pid, std::string name);
+  /// Names one track within a pid group ("server 0 (xpu)", "req 7").
+  void SetThreadName(int pid, int tid, std::string name);
+
+  /// Appends a duration span; the returned reference stays valid until
+  /// the next append and accepts arg attachment.
+  TraceEvent& AddComplete(std::string name, std::string category, int pid,
+                          int tid, double start, double duration,
+                          int64_t request_id = -1);
+  /// Appends a point event.
+  TraceEvent& AddInstant(std::string name, std::string category, int pid,
+                         int tid, double time, int64_t request_id = -1);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events recorded for one request id, in recorded order.
+  std::vector<const TraceEvent*> EventsForRequest(int64_t request_id) const;
+
+  void Clear();
+
+  /**
+   * Emits the full Chrome trace-event document:
+   * {"displayTimeUnit": "ms", "traceEvents": [metadata..., events...]}.
+   * Loadable directly in chrome://tracing or ui.perfetto.dev.
+   */
+  void WriteChromeTrace(JsonWriter& json) const;
+  std::string ChromeTraceJson() const;
+
+  /**
+   * Emits the compact summary: {"requests": [{"request": id,
+   * "events": [{"name", "phase", "start", "duration"}...]}...]},
+   * ordered by request id (events without a request id are omitted).
+   */
+  void WriteRequestSummary(JsonWriter& json) const;
+  std::string RequestSummaryJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+};
+
+}  // namespace rago::obs
+
+#endif  // RAGO_SERVING_OBS_TRACE_H

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/stage.h"
 
 namespace rago::runtime {
 namespace {
@@ -107,6 +108,8 @@ RuntimeOptions::Validate() const {
   RAGO_REQUIRE(slo.ttft_seconds > 0 && slo.tpot_seconds > 0,
                "SLO targets must be positive");
   RAGO_REQUIRE(timeline_limit >= 0, "timeline_limit must be >= 0");
+  RAGO_REQUIRE(histogram_sample_cap > 0,
+               "histogram_sample_cap must be positive");
   cache.Validate();
 }
 
@@ -244,10 +247,28 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
   for (size_t i = 0; i < workload.arrivals.size(); ++i) {
     result.requests[i].arrival = workload.arrivals[i];
   }
+  result.ttft = Histogram(options_.histogram_sample_cap);
+  result.tpot = Histogram(options_.histogram_sample_cap);
+  result.queue_wait = Histogram(options_.histogram_sample_cap);
   result.stages.resize(stages.size());
   for (size_t s = 0; s < stages.size(); ++s) {
     result.stages[s].type = stages[s].type;
     result.stages[s].server = stages[s].server;
+    result.stages[s].queue_wait = Histogram(options_.histogram_sample_cap);
+  }
+
+  // --- Span tracing (opt-in, observation-only: appends never feed
+  // back into scheduling, so the digest is invariant to `trace`). ---
+  obs::TraceRecorder* trace = options_.trace;
+  const int decode_row = num_servers;
+  if (trace != nullptr) {
+    trace->SetProcessName(0, "servers");
+    trace->SetProcessName(1, "requests");
+    for (int g = 0; g < schedule_.NumGroups(); ++g) {
+      trace->SetThreadName(0, g, "xpu group " + std::to_string(g));
+    }
+    trace->SetThreadName(0, retrieval_server, "retrieval servers");
+    trace->SetThreadName(0, decode_row, "decode pool");
   }
 
   const int qpr = model_.schema().retrieval.queries_per_retrieval;
@@ -429,6 +450,11 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
               result.requests[static_cast<size_t>(entry.id)];
           outcome.queue_wait += wait;
           hit_fraction_sum += outcome.prefix_hit_fraction;
+          if (trace != nullptr) {
+            trace->AddComplete(
+                std::string("queue:") + core::StageName(stage.type),
+                "queue", 1, entry.id, entry.enqueued, wait, entry.id);
+          }
         }
         stage.queue.erase(stage.queue.begin(),
                           stage.queue.begin() + static_cast<long>(take));
@@ -451,8 +477,29 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
         telemetry.full_batches +=
             static_cast<int64_t>(take) == stage.batch ? 1 : 0;
         telemetry.requests += static_cast<int64_t>(take);
+        const double scan_seconds_before = result.real_scan_seconds;
         if (s == retrieval_stage_index) {
           run_retrieval_scan(batch.members);
+        }
+        if (trace != nullptr) {
+          // Server row: occupancy (interval); request rows: the
+          // batch's completion latency each member experiences.
+          obs::TraceEvent& span = trace->AddComplete(
+              std::string(core::StageName(stage.type)) + " x" +
+                  std::to_string(take),
+              "stage", 0, stage.server, now, interval);
+          span.args.emplace_back("batch", static_cast<double>(take));
+          span.args.emplace_back("latency", latency);
+          if (s == retrieval_stage_index) {
+            span.args.emplace_back(
+                "real_scan_wall_s",
+                result.real_scan_seconds - scan_seconds_before);
+          }
+          for (int id : batch.members) {
+            trace->AddComplete(
+                std::string("exec:") + core::StageName(stage.type),
+                "stage", 1, id, now, latency, id);
+          }
         }
         record_timeline(s);
         in_flight.push_back(std::move(batch));
@@ -496,6 +543,10 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
         result.requests[static_cast<size_t>(request)]
             .retrieval_cache_hit = true;
         record_retrieval(request, cached->neighbors);
+        if (trace != nullptr) {
+          trace->AddComplete("retrieval-cache-hit", "cache", 1, request,
+                             now, options_.cache.lookup_seconds, request);
+        }
         events.push(Event{now + options_.cache.lookup_seconds, 4,
                           request});
         return;
@@ -544,6 +595,9 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
               result.requests[static_cast<size_t>(id)];
           outcome.ttft = now - outcome.arrival;
           decode_waiting.push_back(id);
+          if (trace != nullptr) {
+            trace->AddInstant("first-token", "stage", 1, id, now, id);
+          }
           result.max_decode_queue_depth =
               std::max(result.max_decode_queue_depth,
                        static_cast<int>(decode_waiting.size()));
@@ -557,6 +611,14 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
 
   auto decode_step = [&]() {
     step_scheduled = false;
+    if (trace != nullptr) {
+      // The step that just finished occupied [now - step, now].
+      obs::TraceEvent& span = trace->AddComplete(
+          "decode-step", "stage", 0, decode_row, now - step_latency,
+          step_latency);
+      span.args.emplace_back("active",
+                             static_cast<double>(decode_active.size()));
+    }
     std::vector<ActiveSeq> still;
     still.reserve(decode_active.size());
     for (ActiveSeq& seq : decode_active) {
@@ -566,6 +628,14 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
         outcome.completion = now;
         outcome.tpot = (now - outcome.decode_start) / decode_tokens;
         ++completed;
+        if (trace != nullptr) {
+          trace->AddComplete("decode", "stage", 1, seq.id,
+                             outcome.decode_start,
+                             now - outcome.decode_start, seq.id);
+          trace->AddComplete("request", "request", 1, seq.id,
+                             outcome.arrival, now - outcome.arrival,
+                             seq.id);
+        }
       } else {
         still.push_back(seq);
       }
@@ -588,9 +658,21 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
             options_.admission_queue_limit) {
           outcome.admitted = false;
           ++result.rejected;
+          if (trace != nullptr) {
+            trace->SetThreadName(1, event.a,
+                                 "req " + std::to_string(event.a));
+            trace->AddInstant("rejected", "admission", 1, event.a, now,
+                              event.a);
+          }
         } else {
           outcome.admitted = true;
           ++result.admitted;
+          if (trace != nullptr) {
+            trace->SetThreadName(1, event.a,
+                                 "req " + std::to_string(event.a));
+            trace->AddInstant("arrival", "admission", 1, event.a, now,
+                              event.a);
+          }
           enter_stage(0, event.a);
         }
         break;
@@ -702,6 +784,62 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
   }
   digest = FnvFoldDouble(digest, result.measured_prefix_hit_rate);
   result.outcome_digest = digest;
+
+  // Surface (never hide) recorders that hit the sample cap and fell
+  // back to bounded streaming percentiles.
+  result.streaming_histograms =
+      (result.ttft.streaming_active() ? 1 : 0) +
+      (result.tpot.streaming_active() ? 1 : 0) +
+      (result.queue_wait.streaming_active() ? 1 : 0);
+  for (const StageTelemetry& telemetry : result.stages) {
+    result.streaming_histograms +=
+        telemetry.queue_wait.streaming_active() ? 1 : 0;
+  }
+
+  // --- Metrics export (opt-in; reads the finished result only, so it
+  // can never perturb it). ---
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& metrics = *options_.metrics;
+    metrics.GetCounter("runtime.requests_submitted").Inc(result.submitted);
+    metrics.GetCounter("runtime.requests_admitted").Inc(result.admitted);
+    metrics.GetCounter("runtime.requests_rejected").Inc(result.rejected);
+    metrics.GetCounter("runtime.requests_completed").Inc(result.completed);
+    int64_t batches = 0;
+    int64_t full_batches = 0;
+    for (const StageTelemetry& telemetry : result.stages) {
+      batches += telemetry.batches;
+      full_batches += telemetry.full_batches;
+    }
+    metrics.GetCounter("runtime.batches_flushed").Inc(batches);
+    metrics.GetCounter("runtime.full_batches").Inc(full_batches);
+    metrics.GetCounter("runtime.retrieval_cache_hits")
+        .Inc(result.retrieval_cache.hits);
+    metrics.GetCounter("runtime.retrieval_cache_misses")
+        .Inc(result.retrieval_cache.misses);
+    metrics.GetCounter("runtime.streaming_histograms")
+        .Inc(result.streaming_histograms);
+    metrics.GetGauge("runtime.throughput_rps").Set(result.throughput);
+    metrics.GetGauge("runtime.makespan_seconds").Set(result.makespan);
+    metrics.GetGauge("runtime.slo_attainment").Set(result.slo_attainment);
+    metrics.GetGauge("runtime.decode_utilization")
+        .Set(result.decode_utilization);
+    metrics.GetGauge("runtime.measured_prefix_hit_rate")
+        .Set(result.measured_prefix_hit_rate);
+    StreamingHistogram& ttft_hist =
+        metrics.GetHistogram("runtime.ttft_seconds");
+    StreamingHistogram& tpot_hist =
+        metrics.GetHistogram("runtime.tpot_seconds");
+    StreamingHistogram& wait_hist =
+        metrics.GetHistogram("runtime.queue_wait_seconds");
+    for (const RequestOutcome& outcome : result.requests) {
+      if (!outcome.admitted) {
+        continue;
+      }
+      ttft_hist.Add(outcome.ttft);
+      tpot_hist.Add(outcome.tpot);
+      wait_hist.Add(outcome.queue_wait);
+    }
+  }
   return result;
 }
 

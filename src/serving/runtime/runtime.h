@@ -36,12 +36,14 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/pipeline_model.h"
 #include "core/schedule.h"
 #include "retrieval/perf/retrieval_model.h"
 #include "retrieval/serving/sharded_index.h"
 #include "serving/cache/rago_cache.h"
+#include "serving/obs/trace.h"
 #include "serving/runtime/workload.h"
 
 namespace rago::runtime {
@@ -97,6 +99,33 @@ struct RuntimeOptions {
    * level and reproduce cacheless serving bit-identically.
    */
   cache::CacheOptions cache;
+
+  /**
+   * Optional span-trace recorder (serving/obs/trace.h). When set,
+   * Serve appends admission/queue/batch/stage/cache/decode spans on
+   * the virtual clock as it schedules; null (the default) records
+   * nothing. Observation-only by contract: every RuntimeResult field,
+   * including the outcome digest, is bit-identical with tracing on or
+   * off — the invariance tests pin this. Not owned; must outlive
+   * Serve. Appends happen on the serial scheduler loop only.
+   */
+  obs::TraceRecorder* trace = nullptr;
+  /**
+   * Optional metrics registry (common/metrics.h). When set, Serve
+   * records its counters/gauges and streams TTFT/TPOT/queue-wait into
+   * bounded histograms under "runtime.*" names. Same observation-only
+   * contract as `trace`. Not owned; must outlive Serve.
+   */
+  MetricsRegistry* metrics = nullptr;
+  /**
+   * Exact samples each latency recorder (TTFT/TPOT/queue-wait, per
+   * stage and aggregate) keeps before folding into the bounded
+   * streaming representation (common/histogram.h). The switchover is
+   * a pure function of the sample count — deterministic across thread
+   * counts — and is surfaced via RuntimeResult::streaming_histograms.
+   * Must be positive.
+   */
+  int64_t histogram_sample_cap = Histogram::kDefaultSampleCap;
 
   /// Throws ConfigError on invalid knobs.
   void Validate() const;
@@ -181,6 +210,13 @@ struct RuntimeResult {
   cache::CacheCounters retrieval_cache;
   cache::CacheCounters doc_cache;
   double measured_prefix_hit_rate = 0.0;
+
+  /**
+   * Latency recorders that hit RuntimeOptions::histogram_sample_cap
+   * and degraded to bounded streaming percentiles (0 in typical runs:
+   * the switchover is surfaced, never silent).
+   */
+  int streaming_histograms = 0;
 
   /// Real-scan accounting (host wall clock; *not* covered by the
   /// determinism contract, unlike everything above).

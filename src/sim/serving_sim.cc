@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/histogram.h"
+#include "core/stage.h"
 
 namespace rago::sim {
 namespace {
@@ -26,6 +27,9 @@ struct SimStage {
   /// throughput) can be shorter than the completion latency.
   double interval = 0.0;
   std::deque<int> queue;
+  /// Parallel to `queue`; maintained only while tracing (queue-wait
+  /// spans need each member's enqueue time).
+  std::deque<double> enqueue_times;
   double oldest_enqueue = 0.0;
 };
 
@@ -128,6 +132,22 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
       static_cast<double>(schedule.decode_batch) /
       (decode_perf.throughput * decode_tokens);
 
+  // --- Span tracing (opt-in, observation-only: appends never feed
+  // back into scheduling, so results are invariant to `recorder`).
+  // Track layout matches the online runtime's so the two engines'
+  // traces line up side by side in chrome://tracing. ---
+  obs::TraceRecorder* recorder = options.trace;
+  const int decode_row = num_servers;
+  if (recorder != nullptr) {
+    recorder->SetProcessName(0, "servers");
+    recorder->SetProcessName(1, "requests");
+    for (int g = 0; g < schedule.NumGroups(); ++g) {
+      recorder->SetThreadName(0, g, "xpu group " + std::to_string(g));
+    }
+    recorder->SetThreadName(0, retrieval_server, "retrieval servers");
+    recorder->SetThreadName(0, decode_row, "decode pool");
+  }
+
   // --- Simulation state. ---
   std::vector<Request> requests(trace.arrivals.size());
   for (size_t i = 0; i < trace.arrivals.size(); ++i) {
@@ -191,6 +211,27 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
         stage.oldest_enqueue = now;
         server_busy_until[server] = now + stage.interval;
         server_busy_time[server] += stage.interval;
+        if (recorder != nullptr) {
+          obs::TraceEvent& span = recorder->AddComplete(
+              std::string(core::StageName(stage.type)) + " x" +
+                  std::to_string(take),
+              "stage", 0, stage.server, now, stage.interval);
+          span.args.emplace_back("batch", static_cast<double>(take));
+          span.args.emplace_back("latency", stage.latency);
+          for (size_t i = 0; i < take; ++i) {
+            const int id = batch.members[i];
+            const double enqueued = stage.enqueue_times[i];
+            recorder->AddComplete(
+                std::string("queue:") + core::StageName(stage.type),
+                "queue", 1, id, enqueued, now - enqueued, id);
+            recorder->AddComplete(
+                std::string("exec:") + core::StageName(stage.type),
+                "stage", 1, id, now, stage.latency, id);
+          }
+          stage.enqueue_times.erase(
+              stage.enqueue_times.begin(),
+              stage.enqueue_times.begin() + static_cast<long>(take));
+        }
         in_flight.push_back(std::move(batch));
         events.push(Event{now + stage.latency, 1, static_cast<int>(s)});
       }
@@ -211,6 +252,9 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
                         static_cast<int>(s)});
     }
     stage.queue.push_back(request);
+    if (recorder != nullptr) {
+      stage.enqueue_times.push_back(now);
+    }
   };
 
   auto admit_decode = [&]() {
@@ -229,6 +273,39 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
     }
   };
 
+  auto decode_step = [&]() {
+    step_scheduled = false;
+    if (recorder != nullptr) {
+      // The step that just finished occupied [now - step, now].
+      obs::TraceEvent& span = recorder->AddComplete(
+          "decode-step", "stage", 0, decode_row, now - step_latency,
+          step_latency);
+      span.args.emplace_back("active",
+                             static_cast<double>(decode_active.size()));
+    }
+    std::vector<ActiveSeq> still;
+    still.reserve(decode_active.size());
+    for (ActiveSeq& seq : decode_active) {
+      if (++seq.tokens >= decode_tokens) {
+        Request& request = requests[static_cast<size_t>(seq.id)];
+        request.completion = now;
+        ++completed;
+        if (recorder != nullptr) {
+          recorder->AddComplete("decode", "stage", 1, seq.id,
+                                request.decode_start,
+                                now - request.decode_start, seq.id);
+          recorder->AddComplete("request", "request", 1, seq.id,
+                                request.arrival, now - request.arrival,
+                                seq.id);
+        }
+      } else {
+        still.push_back(seq);
+      }
+    }
+    decode_active = std::move(still);
+    admit_decode();
+  };
+
   while (!events.empty()) {
     const Event event = events.top();
     events.pop();
@@ -236,6 +313,12 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
 
     switch (event.kind) {
       case 0: {  // Arrival.
+        if (recorder != nullptr) {
+          recorder->SetThreadName(1, event.a,
+                                  "req " + std::to_string(event.a));
+          recorder->AddInstant("arrival", "admission", 1, event.a, now,
+                               event.a);
+        }
         enqueue(0, event.a);
         break;
       }
@@ -253,6 +336,10 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
               requests[static_cast<size_t>(id)].ttft =
                   now - requests[static_cast<size_t>(id)].arrival;
               decode_waiting.push_back(id);
+              if (recorder != nullptr) {
+                recorder->AddInstant("first-token", "stage", 1, id, now,
+                                     id);
+              }
             }
           }
           in_flight.erase(in_flight.begin() + static_cast<long>(b));
@@ -265,20 +352,7 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
         break;     // start_batches below handles it.
       }
       case 3: {  // Decode step.
-        step_scheduled = false;
-        std::vector<ActiveSeq> still;
-        still.reserve(decode_active.size());
-        for (ActiveSeq& seq : decode_active) {
-          if (++seq.tokens >= decode_tokens) {
-            Request& request = requests[static_cast<size_t>(seq.id)];
-            request.completion = now;
-            ++completed;
-          } else {
-            still.push_back(seq);
-          }
-        }
-        decode_active = std::move(still);
-        admit_decode();
+        decode_step();
         break;
       }
       default:
@@ -309,6 +383,10 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
             requests[static_cast<size_t>(id)].ttft =
                 now - requests[static_cast<size_t>(id)].arrival;
             decode_waiting.push_back(id);
+            if (recorder != nullptr) {
+              recorder->AddInstant("first-token", "stage", 1, id, now,
+                                   id);
+            }
           }
         }
         in_flight.erase(in_flight.begin() + static_cast<long>(b));
@@ -316,18 +394,7 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
       }
       admit_decode();
     } else if (event.kind == 3) {
-      step_scheduled = false;
-      std::vector<ActiveSeq> still;
-      for (ActiveSeq& seq : decode_active) {
-        if (++seq.tokens >= decode_tokens) {
-          requests[static_cast<size_t>(seq.id)].completion = now;
-          ++completed;
-        } else {
-          still.push_back(seq);
-        }
-      }
-      decode_active = std::move(still);
-      admit_decode();
+      decode_step();
     }
   }
 

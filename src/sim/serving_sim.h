@@ -24,6 +24,7 @@
 #include "core/pipeline_model.h"
 #include "core/schedule.h"
 #include "retrieval/perf/retrieval_model.h"
+#include "serving/obs/trace.h"
 #include "serving/runtime/workload.h"
 
 namespace rago::sim {
@@ -62,6 +63,15 @@ struct ServingSimOptions {
    * analytical EvalRetrieval. Not owned; must outlive the call.
    */
   const retrieval::RetrievalModel* retrieval_model = nullptr;
+  /**
+   * Optional span-trace recorder (serving/obs/trace.h): when set, the
+   * simulation appends arrival/queue/batch/stage/decode spans on the
+   * virtual clock — the same track layout the online runtime emits, so
+   * DES and runtime traces are directly comparable in chrome://tracing.
+   * Observation-only: every ServingSimResult field is identical with
+   * tracing on or off. Not owned; must outlive the call.
+   */
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Aggregate results of one simulation run. Percentiles use the

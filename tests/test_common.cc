@@ -13,9 +13,12 @@
 #include <limits>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/check.h"
 #include "common/histogram.h"
+#include "common/json_reader.h"
 #include "common/json_writer.h"
+#include "common/metrics.h"
 #include "common/math_util.h"
 #include "common/pareto.h"
 #include "common/rng.h"
@@ -491,6 +494,269 @@ TEST(Table, CsvOutput) {
 TEST(Table, NumFormatsSignificantDigits) {
   EXPECT_EQ(TextTable::Num(3.14159, 3), "3.14");
   EXPECT_EQ(TextTable::Num(1234.5, 5), "1234.5");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming histograms (common/metrics.h)
+// ---------------------------------------------------------------------------
+
+TEST(StreamingHistogram, OptionsValidateRejectsBadPolicies) {
+  StreamingHistogramOptions bad;
+  bad.min_value = 0.0;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+  bad = {};
+  bad.max_value = bad.min_value;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+  bad = {};
+  bad.bins_per_decade = 0;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+  EXPECT_NO_THROW(StreamingHistogramOptions{}.Validate());
+}
+
+TEST(StreamingHistogram, QuantilesAgreeWithExactWithinOneBinRatio) {
+  // The bin midpoint convention bounds the quantile error by one bin
+  // ratio, 10^(1/bins_per_decade); p=0/p=1 are exact (clamped to the
+  // tracked extremes).
+  Rng rng(29);
+  Histogram exact;
+  StreamingHistogram streaming;
+  const double bin_ratio =
+      std::pow(10.0, 1.0 / streaming.options().bins_per_decade);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~5 decades inside the regular bin range.
+    const double value = std::pow(10.0, rng.NextUniform(-4.0, 1.0));
+    exact.Add(value);
+    streaming.Add(value);
+  }
+  EXPECT_EQ(streaming.count(), 20000);
+  EXPECT_EQ(streaming.underflow(), 0);
+  EXPECT_EQ(streaming.overflow(), 0);
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double approx = streaming.Quantile(p);
+    const double truth = exact.Percentile(p);
+    EXPECT_LE(approx, truth * bin_ratio) << "p=" << p;
+    EXPECT_GE(approx, truth / bin_ratio) << "p=" << p;
+  }
+  // Mean and extremes are tracked exactly, not from bins.
+  EXPECT_DOUBLE_EQ(streaming.Mean(), exact.Mean());
+}
+
+TEST(StreamingHistogram, MergeIsAssociativeAndCommutative) {
+  Rng rng(31);
+  std::vector<std::vector<double>> parts(3);
+  for (size_t part = 0; part < parts.size(); ++part) {
+    for (int i = 0; i < 500; ++i) {
+      parts[part].push_back(std::pow(10.0, rng.NextUniform(-5.0, 3.0)));
+    }
+  }
+  auto fill = [&parts](std::initializer_list<int> order) {
+    StreamingHistogram merged;
+    for (int part : order) {
+      StreamingHistogram h;
+      for (double v : parts[static_cast<size_t>(part)]) {
+        h.Add(v);
+      }
+      merged.Merge(h);
+    }
+    return merged;
+  };
+  const StreamingHistogram abc = fill({0, 1, 2});
+  const StreamingHistogram cba = fill({2, 1, 0});
+  const StreamingHistogram bca = fill({1, 2, 0});
+  ASSERT_EQ(abc.count(), 1500);
+  for (const StreamingHistogram* other : {&cba, &bca}) {
+    EXPECT_EQ(abc.count(), other->count());
+    EXPECT_DOUBLE_EQ(abc.Min(), other->Min());
+    EXPECT_DOUBLE_EQ(abc.Max(), other->Max());
+    ASSERT_EQ(abc.num_bins(), other->num_bins());
+    for (size_t bin = 0; bin < abc.num_bins(); ++bin) {
+      EXPECT_EQ(abc.bin_count(bin), other->bin_count(bin)) << bin;
+    }
+    for (double p : {0.25, 0.5, 0.99}) {
+      EXPECT_DOUBLE_EQ(abc.Quantile(p), other->Quantile(p));
+    }
+  }
+}
+
+TEST(StreamingHistogram, MergeRejectsMismatchedPolicies) {
+  StreamingHistogramOptions coarse;
+  coarse.bins_per_decade = 8;
+  StreamingHistogram a;
+  StreamingHistogram b(coarse);
+  EXPECT_THROW(a.Merge(b), ConfigError);
+}
+
+TEST(StreamingHistogram, UnderflowOverflowAndNonFiniteLandInEdgeBins) {
+  StreamingHistogram hist;
+  const double min = hist.options().min_value;
+  const double max = hist.options().max_value;
+  hist.Add(0.0);                // Below min_value.
+  hist.Add(-3.0);               // Negative.
+  hist.Add(std::nan(""));       // NaN: fails every range check.
+  hist.Add(max);                // At the upper edge: overflow.
+  hist.Add(max * 10.0);
+  hist.Add(min);                // First regular bin.
+  EXPECT_EQ(hist.count(), 6);
+  EXPECT_EQ(hist.underflow(), 3);
+  EXPECT_EQ(hist.overflow(), 2);
+  // Quantiles stay inside the exactly-tracked extremes even when edge
+  // bins hold samples.
+  EXPECT_GE(hist.Quantile(0.5), hist.Min());
+  EXPECT_LE(hist.Quantile(0.5), hist.Max());
+}
+
+TEST(StreamingHistogram, ZeroSampleEdgeCases) {
+  const StreamingHistogram empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_EQ(empty.Mean(), 0.0);
+  EXPECT_EQ(empty.Min(), 0.0);
+  EXPECT_EQ(empty.Max(), 0.0);
+  EXPECT_EQ(empty.underflow(), 0);
+  EXPECT_EQ(empty.overflow(), 0);
+}
+
+TEST(Histogram, SampleCapFoldsIntoStreamingExactlyOnce) {
+  Histogram hist(64);
+  Histogram unbounded;
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = std::pow(10.0, rng.NextUniform(-3.0, 1.0));
+    hist.Add(value);
+    unbounded.Add(value);
+    EXPECT_EQ(hist.streaming_active(), i + 1 >= 64);
+  }
+  EXPECT_EQ(hist.count(), 1000);
+  EXPECT_FALSE(unbounded.streaming_active());
+  // Mean stays exact across the fold; percentiles degrade by at most
+  // one bin ratio.
+  EXPECT_NEAR(hist.Mean(), unbounded.Mean(),
+              1e-12 * std::fabs(unbounded.Mean()));
+  const double bin_ratio = std::pow(10.0, 1.0 / 32.0);
+  for (double p : {0.5, 0.95}) {
+    EXPECT_LE(hist.Percentile(p), unbounded.Percentile(p) * bin_ratio);
+    EXPECT_GE(hist.Percentile(p), unbounded.Percentile(p) / bin_ratio);
+  }
+}
+
+TEST(Histogram, RejectsNonPositiveSampleCap) {
+  EXPECT_THROW(Histogram(0), ConfigError);
+  EXPECT_THROW(Histogram(-5), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateIsStableAndFindIsConst) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests").Inc(3);
+  registry.GetCounter("requests").Inc(2);
+  registry.GetGauge("qps").Set(41.5);
+  registry.GetHistogram("ttft").Add(0.25);
+  EXPECT_EQ(registry.size(), 3u);
+  ASSERT_NE(registry.FindCounter("requests"), nullptr);
+  EXPECT_EQ(registry.FindCounter("requests")->value(), 5);
+  EXPECT_EQ(registry.FindGauge("qps")->value(), 41.5);
+  EXPECT_EQ(registry.FindHistogram("ttft")->count(), 1);
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+  EXPECT_EQ(registry.FindGauge("absent"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("absent"), nullptr);
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(MetricsRegistry, CounterRejectsNegativeIncrements) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.GetCounter("c").Inc(-1), ConfigError);
+}
+
+TEST(MetricsRegistry, JsonEmissionIsNameSortedAndParseable) {
+  // Two registries filled in opposite orders must emit byte-identical
+  // documents — the determinism contract for telemetry export.
+  MetricsRegistry forward;
+  forward.GetCounter("a").Inc(1);
+  forward.GetCounter("b").Inc(2);
+  forward.GetGauge("g").Set(3.0);
+  forward.GetHistogram("h").Add(0.5);
+  MetricsRegistry backward;
+  backward.GetHistogram("h").Add(0.5);
+  backward.GetGauge("g").Set(3.0);
+  backward.GetCounter("b").Inc(2);
+  backward.GetCounter("a").Inc(1);
+
+  auto emit = [](const MetricsRegistry& registry) {
+    JsonWriter json;
+    registry.WriteJson(json);
+    return json.str();
+  };
+  const std::string doc = emit(forward);
+  EXPECT_EQ(doc, emit(backward));
+
+  const JsonValue parsed = JsonValue::Parse(doc);
+  EXPECT_EQ(parsed.At("counters").At("a").AsInt(), 1);
+  EXPECT_EQ(parsed.At("counters").At("b").AsInt(), 2);
+  EXPECT_EQ(parsed.At("gauges").At("g").AsNumber(), 3.0);
+  const JsonValue& hist = parsed.At("histograms").At("h");
+  EXPECT_EQ(hist.At("count").AsInt(), 1);
+  EXPECT_EQ(hist.At("min").AsNumber(), 0.5);
+  EXPECT_EQ(hist.At("max").AsNumber(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader + the shared bench envelope
+// ---------------------------------------------------------------------------
+
+TEST(JsonReader, BenchEnvelopeRoundTripsThroughParser) {
+  JsonWriter json = bench::StartBenchJson("round_trip");
+  json.Key("rows").Int(42);
+  json.Key("ratio").Number(2.5);
+  json.Key("ok").Bool(true);
+  json.Key("results").BeginArray();
+  json.BeginObject().Key("x").Number(1.5).EndObject();
+  json.BeginObject().Key("x").Number(-3.25).EndObject();
+  json.EndArray();
+  bench::FinishBenchJson(json, "");  // Empty path: no file written.
+
+  const JsonValue doc = JsonValue::Parse(json.str());
+  EXPECT_EQ(doc.At("schema_version").AsInt(), bench::kBenchJsonSchemaVersion);
+  EXPECT_EQ(doc.At("bench").AsString(), "round_trip");
+  EXPECT_EQ(doc.At("rows").AsInt(), 42);
+  EXPECT_EQ(doc.At("ratio").AsNumber(), 2.5);
+  EXPECT_TRUE(doc.At("ok").AsBool());
+  const JsonValue& results = doc.At("results");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.Items()[0].At("x").AsNumber(), 1.5);
+  EXPECT_EQ(results.Items()[1].At("x").AsNumber(), -3.25);
+  // Members preserve document order: the envelope keys lead.
+  EXPECT_EQ(doc.Members()[0].first, "schema_version");
+  EXPECT_EQ(doc.Members()[1].first, "bench");
+  EXPECT_EQ(doc.Find("absent"), nullptr);
+  EXPECT_THROW(doc.At("absent"), ConfigError);
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::Parse(""), ConfigError);
+  EXPECT_THROW(JsonValue::Parse("{"), ConfigError);
+  EXPECT_THROW(JsonValue::Parse("{} trailing"), ConfigError);
+  EXPECT_THROW(JsonValue::Parse("{\"a\":1,\"a\":2}"), ConfigError);
+  EXPECT_THROW(JsonValue::Parse("[1,]"), ConfigError);
+  EXPECT_THROW(JsonValue::Parse("{\"a\" 1}"), ConfigError);
+  EXPECT_THROW(JsonValue::Parse("nul"), ConfigError);
+}
+
+TEST(JsonReader, NonFiniteWriterOutputParsesAsNull) {
+  // json_writer emits non-finite doubles as null (pinned elsewhere);
+  // the reader must accept that round-trip.
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("inf").Number(std::numeric_limits<double>::infinity());
+  json.Key("nan").Number(std::nan(""));
+  json.EndObject();
+  const JsonValue doc = JsonValue::Parse(json.str());
+  EXPECT_TRUE(doc.At("inf").is_null());
+  EXPECT_TRUE(doc.At("nan").is_null());
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file test_obs.cc
+ * Tests for the span-trace recorder (serving/obs/trace.h): recorded
+ * event fields, per-request filtering, and the exact shape of the
+ * Chrome trace-event export — pinned by parsing the emitted JSON with
+ * the in-tree reader rather than string matching. Also covers the DES
+ * integration path (ServingSimOptions::trace).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json_reader.h"
+#include "core/pipeline_model.h"
+#include "core/schema.h"
+#include "hardware/cluster.h"
+#include "serving/obs/trace.h"
+#include "sim/serving_sim.h"
+#include "tests/testing/test_support.h"
+
+namespace rago::obs {
+namespace {
+
+TEST(TraceRecorder, RecordsCompleteAndInstantEvents) {
+  TraceRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_EQ(recorder.size(), 0u);
+
+  TraceEvent& span =
+      recorder.AddComplete("exec", "stage", /*pid=*/0, /*tid=*/3,
+                           /*start=*/1.5, /*duration=*/0.25,
+                           /*request_id=*/7);
+  span.args.emplace_back("batch", 4.0);
+
+  recorder.AddInstant("first-token", "request", /*pid=*/1, /*tid=*/7,
+                      /*time=*/1.75, /*request_id=*/7);
+
+  ASSERT_EQ(recorder.size(), 2u);
+  const TraceEvent& e0 = recorder.events()[0];
+  EXPECT_EQ(e0.phase, TraceEvent::Phase::kComplete);
+  EXPECT_EQ(e0.name, "exec");
+  EXPECT_EQ(e0.category, "stage");
+  EXPECT_EQ(e0.pid, 0);
+  EXPECT_EQ(e0.tid, 3);
+  EXPECT_DOUBLE_EQ(e0.start, 1.5);
+  EXPECT_DOUBLE_EQ(e0.duration, 0.25);
+  EXPECT_EQ(e0.request_id, 7);
+  ASSERT_EQ(e0.args.size(), 1u);
+  EXPECT_EQ(e0.args[0].first, "batch");
+  EXPECT_DOUBLE_EQ(e0.args[0].second, 4.0);
+
+  const TraceEvent& e1 = recorder.events()[1];
+  EXPECT_EQ(e1.phase, TraceEvent::Phase::kInstant);
+  EXPECT_DOUBLE_EQ(e1.start, 1.75);
+  EXPECT_DOUBLE_EQ(e1.duration, 0.0);
+
+  recorder.Clear();
+  EXPECT_TRUE(recorder.empty());
+}
+
+TEST(TraceRecorder, EventsForRequestFiltersInRecordedOrder) {
+  TraceRecorder recorder;
+  recorder.AddComplete("a", "c", 0, 0, 0.0, 1.0, /*request_id=*/1);
+  recorder.AddComplete("b", "c", 0, 0, 1.0, 1.0, /*request_id=*/2);
+  recorder.AddInstant("c", "c", 1, 1, 2.0, /*request_id=*/1);
+  recorder.AddComplete("d", "c", 0, 0, 3.0, 1.0);  // no request
+
+  const std::vector<const TraceEvent*> events =
+      recorder.EventsForRequest(1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->name, "a");
+  EXPECT_EQ(events[1]->name, "c");
+  EXPECT_TRUE(recorder.EventsForRequest(99).empty());
+}
+
+TEST(TraceRecorder, ChromeExportShapeIsPinned) {
+  TraceRecorder recorder;
+  recorder.SetProcessName(0, "servers");
+  recorder.SetThreadName(0, 2, "server 2 (xpu)");
+  TraceEvent& span = recorder.AddComplete("exec", "stage", 0, 2,
+                                          /*start=*/0.5,
+                                          /*duration=*/0.125,
+                                          /*request_id=*/11);
+  span.args.emplace_back("batch", 8.0);
+  recorder.AddInstant("first-token", "request", 1, 11, /*time=*/0.625,
+                      /*request_id=*/11);
+
+  const JsonValue doc = JsonValue::Parse(recorder.ChromeTraceJson());
+  EXPECT_EQ(doc.At("displayTimeUnit").AsString(), "ms");
+  const JsonValue& events = doc.At("traceEvents");
+  // Metadata first (process_name, thread_name), then the two events.
+  ASSERT_EQ(events.size(), 4u);
+
+  const JsonValue& process_meta = events.Items()[0];
+  EXPECT_EQ(process_meta.At("ph").AsString(), "M");
+  EXPECT_EQ(process_meta.At("name").AsString(), "process_name");
+  EXPECT_EQ(process_meta.At("pid").AsInt(), 0);
+  EXPECT_EQ(process_meta.At("args").At("name").AsString(), "servers");
+
+  const JsonValue& thread_meta = events.Items()[1];
+  EXPECT_EQ(thread_meta.At("ph").AsString(), "M");
+  EXPECT_EQ(thread_meta.At("name").AsString(), "thread_name");
+  EXPECT_EQ(thread_meta.At("tid").AsInt(), 2);
+  EXPECT_EQ(thread_meta.At("args").At("name").AsString(),
+            "server 2 (xpu)");
+
+  // Virtual seconds scale to the microseconds chrome://tracing
+  // expects; args carry the request id plus attached payload.
+  const JsonValue& complete = events.Items()[2];
+  EXPECT_EQ(complete.At("ph").AsString(), "X");
+  EXPECT_EQ(complete.At("name").AsString(), "exec");
+  EXPECT_EQ(complete.At("cat").AsString(), "stage");
+  EXPECT_DOUBLE_EQ(complete.At("ts").AsNumber(), 0.5 * 1e6);
+  EXPECT_DOUBLE_EQ(complete.At("dur").AsNumber(), 0.125 * 1e6);
+  EXPECT_EQ(complete.At("args").At("request").AsInt(), 11);
+  EXPECT_DOUBLE_EQ(complete.At("args").At("batch").AsNumber(), 8.0);
+
+  const JsonValue& instant = events.Items()[3];
+  EXPECT_EQ(instant.At("ph").AsString(), "i");
+  EXPECT_EQ(instant.At("s").AsString(), "t");
+  EXPECT_DOUBLE_EQ(instant.At("ts").AsNumber(), 0.625 * 1e6);
+}
+
+TEST(TraceRecorder, RequestSummaryGroupsByRequestId) {
+  TraceRecorder recorder;
+  recorder.AddComplete("exec", "stage", 0, 0, 0.0, 1.0, /*request_id=*/5);
+  recorder.AddInstant("first-token", "request", 1, 2, 1.0,
+                      /*request_id=*/2);
+  recorder.AddComplete("decode", "request", 1, 5, 1.0, 2.0,
+                       /*request_id=*/5);
+  recorder.AddComplete("idle", "server", 0, 0, 2.0, 1.0);  // no request
+
+  const JsonValue doc = JsonValue::Parse(recorder.RequestSummaryJson());
+  const JsonValue& requests = doc.At("requests");
+  ASSERT_EQ(requests.size(), 2u);  // ids 2 and 5; anonymous omitted
+
+  const JsonValue& req2 = requests.Items()[0];
+  EXPECT_EQ(req2.At("request").AsInt(), 2);
+  ASSERT_EQ(req2.At("events").size(), 1u);
+  EXPECT_EQ(req2.At("events").Items()[0].At("name").AsString(),
+            "first-token");
+
+  const JsonValue& req5 = requests.Items()[1];
+  EXPECT_EQ(req5.At("request").AsInt(), 5);
+  ASSERT_EQ(req5.At("events").size(), 2u);
+  EXPECT_EQ(req5.At("events").Items()[0].At("name").AsString(), "exec");
+  EXPECT_EQ(req5.At("events").Items()[1].At("name").AsString(),
+            "decode");
+  EXPECT_DOUBLE_EQ(
+      req5.At("events").Items()[1].At("duration").AsNumber(), 2.0);
+}
+
+// --- DES integration -------------------------------------------------
+
+core::Schedule SimpleSchedule(const core::PipelineModel& model,
+                              int group_chips, int decode_chips,
+                              int64_t batch, int64_t decode_batch) {
+  core::Schedule schedule;
+  schedule.chain_group.assign(model.chain().size(), 0);
+  schedule.group_chips = {group_chips};
+  schedule.chain_batch.assign(model.chain().size(), batch);
+  schedule.decode_chips = decode_chips;
+  schedule.decode_batch = decode_batch;
+  schedule.retrieval_servers = model.MinRetrievalServers();
+  schedule.retrieval_batch = batch;
+  return schedule;
+}
+
+TEST(TraceRecorder, DesSimulationEmitsLoadableTrace) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const sim::ArrivalTrace trace = sim::PoissonTrace(50, 100.0, 3);
+
+  const sim::ServingSimResult plain =
+      sim::SimulateServing(model, schedule, trace);
+
+  TraceRecorder recorder;
+  sim::ServingSimOptions options;
+  options.trace = &recorder;
+  const sim::ServingSimResult traced =
+      sim::SimulateServing(model, schedule, trace, options);
+
+  // Observation-only: identical outcomes with the recorder attached.
+  EXPECT_EQ(traced.completed, plain.completed);
+  EXPECT_DOUBLE_EQ(traced.makespan, plain.makespan);
+  EXPECT_DOUBLE_EQ(traced.p99_ttft, plain.p99_ttft);
+  EXPECT_DOUBLE_EQ(traced.p99_tpot, plain.p99_tpot);
+
+  EXPECT_GT(recorder.size(), 0u);
+  bool saw_stage_span = false;
+  bool saw_queue_span = false;
+  bool saw_request_event = false;
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.phase == TraceEvent::Phase::kComplete &&
+        event.pid == 0) {
+      saw_stage_span = true;
+    }
+    if (event.name.rfind("queue:", 0) == 0) saw_queue_span = true;
+    if (event.request_id >= 0) saw_request_event = true;
+  }
+  EXPECT_TRUE(saw_stage_span);
+  EXPECT_TRUE(saw_queue_span);
+  EXPECT_TRUE(saw_request_event);
+
+  // Every request that completed has recorded events, and the full
+  // export parses as a Chrome trace-event document.
+  EXPECT_FALSE(recorder.EventsForRequest(0).empty());
+  const JsonValue doc = JsonValue::Parse(recorder.ChromeTraceJson());
+  EXPECT_GE(doc.At("traceEvents").size(), recorder.size());
+}
+
+}  // namespace
+}  // namespace rago::obs

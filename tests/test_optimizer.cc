@@ -13,6 +13,7 @@
 #include "core/pipeline_model.h"
 #include "core/schema.h"
 #include "rago/optimizer.h"
+#include "retrieval/perf/retrieval_model.h"
 #include "tests/testing/test_support.h"
 
 namespace rago::opt {
@@ -254,6 +255,70 @@ TEST(Optimizer, ParallelSearchRespectsBudgetAndFrontierInvariants) {
     EXPECT_GT(result.pareto[i].perf.ttft, result.pareto[i - 1].perf.ttft);
     EXPECT_GT(result.pareto[i].perf.qps_per_chip,
               result.pareto[i - 1].perf.qps_per_chip);
+  }
+}
+
+TEST(Optimizer, SearchWithLiveProviderMatchesSearch) {
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model, SmallGrid());
+  const OptimizerResult live = optimizer.Search();
+  const OptimizerResult provided =
+      optimizer.Search(model.LiveProvider());
+  ASSERT_EQ(provided.pareto.size(), live.pareto.size());
+  for (size_t i = 0; i < live.pareto.size(); ++i) {
+    EXPECT_TRUE(provided.pareto[i].schedule == live.pareto[i].schedule);
+    EXPECT_DOUBLE_EQ(provided.pareto[i].perf.ttft,
+                     live.pareto[i].perf.ttft);
+    EXPECT_DOUBLE_EQ(provided.pareto[i].perf.qps_per_chip,
+                     live.pareto[i].perf.qps_per_chip);
+  }
+}
+
+/// Deterministic stand-in for a calibrated MeasuredRetrievalModel:
+/// fixed per-batch overhead plus a poor per-query rate, so retrieval
+/// is far more expensive than the analytic ScaNN pricing and batches
+/// amortize badly. Synthetic (no wall clock) so the changed choice
+/// below is machine-invariant.
+class SlowRetrievalModel final : public retrieval::RetrievalModel {
+ public:
+  retrieval::RetrievalCost Search(int64_t batch_queries) const override {
+    retrieval::RetrievalCost cost;
+    cost.latency = 0.040 + 0.004 * static_cast<double>(batch_queries);
+    cost.throughput = static_cast<double>(batch_queries) / cost.latency;
+    return cost;
+  }
+  double BytesScannedPerQuery() const override { return 1e6; }
+};
+
+TEST(Optimizer, MeasuredRetrievalCostsChangeTheChosenSchedule) {
+  // The acceptance scenario for the measured-cost bridge: the same
+  // search grid, priced once analytically and once with measured
+  // retrieval costs, must select a different schedule — otherwise the
+  // provider plumbing is dead weight.
+  const core::PipelineModel model(core::MakeHyperscaleSchema(8, 1),
+                                  rago::DefaultCluster());
+  const Optimizer optimizer(model, SmallGrid());
+  const OptimizerResult analytic = optimizer.Search();
+
+  const SlowRetrievalModel slow;
+  const OptimizerResult measured =
+      optimizer.Search(model.ProviderWithRetrievalModel(slow));
+
+  ASSERT_FALSE(analytic.pareto.empty());
+  ASSERT_FALSE(measured.pareto.empty());
+  // Measured retrieval is strictly slower, so the best TTFT degrades...
+  EXPECT_GT(measured.MinTtft().perf.ttft, analytic.MinTtft().perf.ttft);
+  // ...and the optimizer adapts the schedule rather than re-picking
+  // the analytic winner.
+  EXPECT_FALSE(measured.MinTtft().schedule ==
+               analytic.MinTtft().schedule);
+  // The measured frontier is still a valid Pareto set.
+  for (size_t i = 1; i < measured.pareto.size(); ++i) {
+    EXPECT_GT(measured.pareto[i].perf.ttft,
+              measured.pareto[i - 1].perf.ttft);
+    EXPECT_GT(measured.pareto[i].perf.qps_per_chip,
+              measured.pareto[i - 1].perf.qps_per_chip);
   }
 }
 

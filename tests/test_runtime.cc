@@ -418,6 +418,138 @@ TEST(ServingRuntimeTest, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(ServingRuntimeTest, ObservabilityIsDigestNeutralAcrossThreadCounts) {
+  // Attaching the trace recorder and the metrics registry must not
+  // change a single RuntimeResult field: observation is append-only
+  // from the serial event loop. Pinned against the untraced run for
+  // every worker-pool size.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier(serving::ShardBackend::kIvf);
+  const ArrivalTrace trace = PoissonTrace(150, 120.0, 17);
+
+  RuntimeOptions plain_options;
+  plain_options.top_k = 5;
+  const RuntimeResult plain =
+      ServingRuntime(model, schedule, tier.index, plain_options)
+          .Serve(trace, tier.queries);
+
+  for (int threads : {1, 2, 8}) {
+    obs::TraceRecorder recorder;
+    MetricsRegistry metrics;
+    RuntimeOptions options;
+    options.num_threads = threads;
+    options.top_k = 5;
+    options.trace = &recorder;
+    options.metrics = &metrics;
+    const ServingRuntime runtime(model, schedule, tier.index, options);
+    const RuntimeResult traced = runtime.Serve(trace, tier.queries);
+
+    // Observation actually happened...
+    EXPECT_GT(recorder.size(), 0u) << "threads " << threads;
+    EXPECT_GT(metrics.size(), 0u);
+    ASSERT_NE(metrics.FindCounter("runtime.requests_completed"), nullptr);
+    EXPECT_EQ(metrics.FindCounter("runtime.requests_completed")->value(),
+              plain.completed);
+
+    // ...and changed nothing.
+    EXPECT_EQ(traced.outcome_digest, plain.outcome_digest)
+        << "threads " << threads;
+    EXPECT_EQ(traced.submitted, plain.submitted);
+    EXPECT_EQ(traced.admitted, plain.admitted);
+    EXPECT_EQ(traced.rejected, plain.rejected);
+    EXPECT_EQ(traced.completed, plain.completed);
+    EXPECT_EQ(traced.makespan, plain.makespan);
+    EXPECT_EQ(traced.throughput, plain.throughput);
+    EXPECT_EQ(traced.slo_attainment, plain.slo_attainment);
+    EXPECT_EQ(traced.decode_utilization, plain.decode_utilization);
+    EXPECT_EQ(traced.max_decode_queue_depth, plain.max_decode_queue_depth);
+    EXPECT_EQ(traced.measured_prefix_hit_rate,
+              plain.measured_prefix_hit_rate);
+    EXPECT_EQ(traced.streaming_histograms, plain.streaming_histograms);
+    for (double p : {0.5, 0.95, 0.99}) {
+      EXPECT_EQ(traced.ttft.Percentile(p), plain.ttft.Percentile(p));
+      EXPECT_EQ(traced.tpot.Percentile(p), plain.tpot.Percentile(p));
+      EXPECT_EQ(traced.queue_wait.Percentile(p),
+                plain.queue_wait.Percentile(p));
+    }
+    ASSERT_EQ(traced.requests.size(), plain.requests.size());
+    for (size_t r = 0; r < plain.requests.size(); ++r) {
+      EXPECT_EQ(traced.requests[r].first_neighbor,
+                plain.requests[r].first_neighbor);
+      EXPECT_EQ(traced.requests[r].ttft, plain.requests[r].ttft);
+      EXPECT_EQ(traced.requests[r].completion,
+                plain.requests[r].completion);
+    }
+    ASSERT_EQ(traced.stages.size(), plain.stages.size());
+    for (size_t s = 0; s < plain.stages.size(); ++s) {
+      EXPECT_EQ(traced.stages[s].batches, plain.stages[s].batches);
+      EXPECT_EQ(traced.stages[s].busy_seconds,
+                plain.stages[s].busy_seconds);
+      EXPECT_EQ(traced.stages[s].max_queue_depth,
+                plain.stages[s].max_queue_depth);
+    }
+
+    // The trace itself is also thread-count invariant on the virtual
+    // clock: same spans, same timestamps, for every pool size. The
+    // request summary is the deterministic view — the Chrome export
+    // additionally carries the measured real_scan_wall_s arg, which
+    // is wall-clock and legitimately varies run to run.
+    obs::TraceRecorder base_recorder;
+    RuntimeOptions base_options = options;
+    base_options.num_threads = 1;
+    base_options.trace = &base_recorder;
+    base_options.metrics = nullptr;
+    ServingRuntime(model, schedule, tier.index, base_options)
+        .Serve(trace, tier.queries);
+    EXPECT_EQ(recorder.RequestSummaryJson(),
+              base_recorder.RequestSummaryJson());
+    EXPECT_EQ(recorder.size(), base_recorder.size());
+  }
+}
+
+TEST(ServingRuntimeTest, HistogramSampleCapSwitchoverIsSurfacedNotSilent) {
+  // Direction-5 soak blocker: the exact-sample recorders grow without
+  // bound on long traces. Past the configured cap they must fold into
+  // the bounded streaming form, report it via streaming_histograms,
+  // and leave every digest-covered field untouched.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier();
+  const ArrivalTrace trace = PoissonTrace(150, 120.0, 17);
+
+  RuntimeOptions exact_options;
+  exact_options.top_k = 5;
+  const RuntimeResult exact =
+      ServingRuntime(model, schedule, tier.index, exact_options)
+          .Serve(trace, tier.queries);
+  EXPECT_EQ(exact.streaming_histograms, 0);
+  EXPECT_FALSE(exact.ttft.streaming_active());
+
+  RuntimeOptions capped_options;
+  capped_options.top_k = 5;
+  capped_options.histogram_sample_cap = 32;  // 150 samples exceed it.
+  const RuntimeResult capped =
+      ServingRuntime(model, schedule, tier.index, capped_options)
+          .Serve(trace, tier.queries);
+  EXPECT_GT(capped.streaming_histograms, 0);
+  EXPECT_TRUE(capped.ttft.streaming_active());
+  EXPECT_EQ(capped.ttft.count(), exact.ttft.count());
+
+  // Outcomes are histogram-independent: the digest cannot move.
+  EXPECT_EQ(capped.outcome_digest, exact.outcome_digest);
+  EXPECT_EQ(capped.makespan, exact.makespan);
+  // Streaming percentiles track the exact ones within one bin ratio
+  // (bins_per_decade = 32 -> ratio 10^(1/32) ~ 1.075).
+  const double bin_ratio = std::pow(10.0, 1.0 / 32.0);
+  for (double p : {0.5, 0.95}) {
+    const double approx = capped.ttft.Percentile(p);
+    const double truth = exact.ttft.Percentile(p);
+    EXPECT_LE(approx, truth * bin_ratio);
+    EXPECT_GE(approx, truth / bin_ratio);
+  }
+}
+
 TEST(ServingRuntimeTest, TracksServingDesAcrossOptimizerPoints) {
   // Runtime-vs-DES cross-check, mirroring the PR-4 DES-vs-analytical
   // harness: both engines run the same schedule batching semantics on
