@@ -8,6 +8,10 @@
  *    RAGO_REQUIRE so applications can catch and report them;
  *  - internal invariant violations (a library bug): RAGO_CHECK throws
  *    InternalError with file/line context.
+ *
+ * This split is enforced mechanically: rago_lint's `assert` and
+ * `raw-throw` rules (tools/lint/) reject C assert() and
+ * `throw std::...` in favor of these primitives.
  */
 #ifndef RAGO_COMMON_CHECK_H
 #define RAGO_COMMON_CHECK_H

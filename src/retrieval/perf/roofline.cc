@@ -15,6 +15,9 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
+  // Machine-peak probes time real executions by definition; the result
+  // feeds the roofline model, never simulated behavior or control flow.
+  // rago-lint: allow(wallclock)
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -66,6 +69,7 @@ CalibrateMachinePeaks(const ProbeOptions& options) {
     const float scalar = 3.0f;
     double best_seconds = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < options.repetitions; ++rep) {
+      // Probe timing — measurement only. rago-lint: allow(wallclock)
       const Clock::time_point start = Clock::now();
       for (size_t i = 0; i < n; ++i) {
         a[i] = b[i] + scalar * c[i];
@@ -93,6 +97,7 @@ CalibrateMachinePeaks(const ProbeOptions& options) {
     const size_t iters = options.flop_iterations / kChains;
     double best_seconds = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < options.repetitions; ++rep) {
+      // Probe timing — measurement only. rago-lint: allow(wallclock)
       const Clock::time_point start = Clock::now();
       for (size_t i = 0; i < iters; ++i) {
         for (size_t chain = 0; chain < kChains; ++chain) {
@@ -188,6 +193,7 @@ KernelRooflinePoint MakePoint(const std::string& kernel,
   point.work = work;
   double best_seconds = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < repetitions; ++rep) {
+    // Kernel timing — measurement only. rago-lint: allow(wallclock)
     const Clock::time_point start = Clock::now();
     invoke();
     best_seconds = std::min(best_seconds, SecondsSince(start));

@@ -16,6 +16,8 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
+  // Measurement only: feeds ShardSearchStats wall_s for calibration,
+  // never control flow or results. rago-lint: allow(wallclock)
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -389,6 +391,7 @@ ShardedIndex::SearchBatch(const ann::Matrix& queries, size_t k,
     }
     BlockResult& slot = blocks[t];
     const ann::Matrix& chunk = num_blocks == 1 ? queries : chunks[b];
+    // Measurement only (per-shard scan wall_s). rago-lint: allow(wallclock)
     const Clock::time_point start = Clock::now();
     std::vector<std::vector<ann::Neighbor>> results =
         shard.engine->SearchBatch(chunk, k, &slot.scan_bytes);
@@ -415,6 +418,7 @@ ShardedIndex::SearchBatch(const ann::Matrix& queries, size_t k,
   }
 
   // --- Gather: merge per-shard heaps with the deterministic order. ---
+  // Measurement only (merge wall_s). rago-lint: allow(wallclock)
   const Clock::time_point merge_start = Clock::now();
   std::vector<std::vector<ann::Neighbor>> merged(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {

@@ -21,6 +21,8 @@ using core::StageType;
 using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
+  // Measurement only: real-scan wall-clock telemetry, never virtual
+  // time or control flow. rago-lint: allow(wallclock)
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
@@ -395,6 +397,7 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
             row++);
       }
     }
+    // Measurement only (real_scan_wall_s). rago-lint: allow(wallclock)
     const Clock::time_point scan_start = Clock::now();
     serving::ShardSearchStats stats;
     const auto neighbors = index_.SearchBatch(

@@ -1,0 +1,495 @@
+/**
+ * @file test_lint.cc
+ * Fixture tests for the determinism/concurrency linter (tools/lint/).
+ *
+ * Every rule gets a minimal firing example, a same-line
+ * `rago-lint: allow(<rule>)` suppression check, and its documented
+ * non-matches (e.g. `static_assert` for `assert`, `std::thread::id`
+ * for `raw-thread`, `snprintf` for `bare-io`). The committed tree
+ * itself linting clean is pinned by the `lint_tree` CTest entry, which
+ * runs the real CLI over src/, tests/, bench/, examples/, tools/ with
+ * the repo policy config. Fixture snippets live inside string
+ * literals, which the linter strips — so this file stays clean under
+ * its own scan.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "tools/lint/lint.h"
+
+namespace rago::lint {
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<Violation>& violations) {
+  std::vector<std::string> rules;
+  for (const Violation& v : violations) {
+    rules.push_back(v.rule);
+  }
+  return rules;
+}
+
+std::vector<Violation> Lint(const std::string& path, const std::string& src,
+                            const LintConfig& config = LintConfig()) {
+  return LintSource(path, src, config);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(LintStrip, RemovesCommentsAndLiteralContents) {
+  const StrippedSource out = StripSource(
+      "int x = 0; // assert(x)\n"
+      "const char* s = \"assert(y)\";\n"
+      "/* rand() */ int y = 1;\n");
+  EXPECT_EQ(out.code.find("assert"), std::string::npos);
+  EXPECT_EQ(out.code.find("rand"), std::string::npos);
+  // Delimiters and line structure survive.
+  EXPECT_NE(out.code.find('"'), std::string::npos);
+  EXPECT_EQ(std::count(out.code.begin(), out.code.end(), '\n'), 3);
+}
+
+TEST(LintStrip, RawStringContentsAreStripped) {
+  const StrippedSource out = StripSource(
+      "const char* s = R\"(std::thread t; rand();)\";\nint z = 2;\n");
+  EXPECT_EQ(out.code.find("rand"), std::string::npos);
+  EXPECT_EQ(out.code.find("thread"), std::string::npos);
+  EXPECT_NE(out.code.find("int z = 2;"), std::string::npos);
+}
+
+TEST(LintStrip, MultiLineRawStringKeepsLineNumbers) {
+  const StrippedSource out =
+      StripSource("auto s = R\"(a\nb\nc)\";\nint tail = 0;\n");
+  EXPECT_EQ(std::count(out.code.begin(), out.code.end(), '\n'), 4);
+}
+
+TEST(LintStrip, DigitSeparatorIsNotACharLiteral) {
+  // If 1'000 opened a char literal, the assert( after it would be
+  // swallowed as literal contents and the canary token would vanish.
+  const StrippedSource out = StripSource("int n = 1'000'000; assert(n);\n");
+  EXPECT_NE(out.code.find("assert"), std::string::npos);
+}
+
+TEST(LintStrip, EscapedQuoteInsideString) {
+  const StrippedSource out =
+      StripSource("const char* s = \"a\\\"b\"; rand();\n");
+  EXPECT_NE(out.code.find("rand"), std::string::npos);
+}
+
+TEST(LintStrip, SuppressionCommentParsing) {
+  const StrippedSource out = StripSource(
+      "int a;\n"
+      "int b; // rago-lint: allow(wallclock, raw-rng)\n"
+      "int c; /* rago-lint: allow(assert) */\n");
+  ASSERT_EQ(out.suppressions.count(2), 1u);
+  EXPECT_EQ(out.suppressions.at(2).count("wallclock"), 1u);
+  EXPECT_EQ(out.suppressions.at(2).count("raw-rng"), 1u);
+  ASSERT_EQ(out.suppressions.count(3), 1u);
+  EXPECT_EQ(out.suppressions.at(3).count("assert"), 1u);
+  EXPECT_EQ(out.suppressions.count(1), 0u);
+}
+
+TEST(LintStrip, SuppressionInsideStringLiteralIgnored) {
+  const StrippedSource out =
+      StripSource("const char* s = \"// rago-lint: allow(assert)\";\n");
+  EXPECT_TRUE(out.suppressions.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+TEST(LintConfigTest, ParsesAllowAndExportPath) {
+  const LintConfig config = ParseConfig(
+      "# policy\n"
+      "allow wallclock bench/\n"
+      "allow bare-io tests/  # trailing comment\n"
+      "\n"
+      "export-path src/serving/\n");
+  ASSERT_EQ(config.allow.count("wallclock"), 1u);
+  EXPECT_EQ(config.allow.at("wallclock").front(), "bench/");
+  ASSERT_EQ(config.export_paths.size(), 1u);
+  EXPECT_EQ(config.export_paths.front(), "src/serving/");
+}
+
+TEST(LintConfigTest, RejectsUnknownRuleAndDirective) {
+  EXPECT_THROW(ParseConfig("allow no-such-rule src/\n"), ConfigError);
+  EXPECT_THROW(ParseConfig("frobnicate src/\n"), ConfigError);
+  EXPECT_THROW(ParseConfig("allow wallclock\n"), ConfigError);
+  EXPECT_THROW(ParseConfig("allow wallclock a b\n"), ConfigError);
+}
+
+TEST(LintConfigTest, RuleNamesAreKnown) {
+  for (const std::string& rule : RuleNames()) {
+    EXPECT_TRUE(IsKnownRule(rule));
+  }
+  EXPECT_FALSE(IsKnownRule("made-up"));
+}
+
+// ---------------------------------------------------------------------------
+// wallclock
+// ---------------------------------------------------------------------------
+
+TEST(LintWallclock, FiresOnClockNow) {
+  const auto v = Lint("src/a.cc",
+                      "double T() { return Clock::now().time_since_epoch()"
+                      ".count(); }\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "wallclock");
+  EXPECT_EQ(v[0].line, 1);
+}
+
+TEST(LintWallclock, FiresOnSteadyClockAndCTime) {
+  EXPECT_EQ(RulesOf(Lint("src/a.cc",
+                         "auto t = std::chrono::steady_clock::now();\n")),
+            std::vector<std::string>{"wallclock"});
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "time_t t = time(nullptr);\n")),
+            std::vector<std::string>{"wallclock"});
+  EXPECT_EQ(RulesOf(Lint("src/a.cc",
+                         "timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);"
+                         "\n")),
+            std::vector<std::string>{"wallclock"});
+}
+
+TEST(LintWallclock, IgnoresMemberNamedTimeAndIdentifiersContainingTime) {
+  EXPECT_TRUE(Lint("src/a.cc", "double x = stats.time();\n").empty());
+  EXPECT_TRUE(Lint("src/a.cc", "double x = runtime(3);\n").empty());
+  EXPECT_TRUE(Lint("src/a.cc", "double wall_time = 0.0;\n").empty());
+}
+
+TEST(LintWallclock, InlineSuppressionAndConfigAllow) {
+  const std::string src =
+      "auto t = Clock::now();  // rago-lint: allow(wallclock)\n";
+  EXPECT_TRUE(Lint("src/a.cc", src).empty());
+  // Wrong rule name in the suppression does not help.
+  EXPECT_EQ(Lint("src/a.cc",
+                 "auto t = Clock::now();  // rago-lint: allow(assert)\n")
+                .size(),
+            1u);
+  // Config path allowlist.
+  const LintConfig config = ParseConfig("allow wallclock bench/\n");
+  EXPECT_TRUE(
+      Lint("bench/bench_x.cc", "auto t = Clock::now();\n", config).empty());
+  EXPECT_EQ(
+      Lint("src/a.cc", "auto t = Clock::now();\n", config).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// raw-rng
+// ---------------------------------------------------------------------------
+
+TEST(LintRawRng, FiresOnRandAndEngines) {
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "int r = rand() % 10;\n")),
+            std::vector<std::string>{"raw-rng"});
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "std::mt19937 gen(42);\n")),
+            std::vector<std::string>{"raw-rng"});
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "std::random_device rd;\n")),
+            std::vector<std::string>{"raw-rng"});
+}
+
+TEST(LintRawRng, IgnoresRngAndSimilarNames) {
+  EXPECT_TRUE(Lint("src/a.cc", "Rng rng(seed); rng.NextU64();\n").empty());
+  EXPECT_TRUE(Lint("src/a.cc", "int operand = 1; strand();\n").empty());
+}
+
+TEST(LintRawRng, InlineSuppression) {
+  EXPECT_TRUE(
+      Lint("src/a.cc",
+           "std::mt19937 gen(42);  // rago-lint: allow(raw-rng)\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, FiresOnlyInExportPaths) {
+  const std::string src =
+      "std::unordered_map<uint64_t, int> counts_;\n"
+      "void Dump() { for (const auto& [k, v] : counts_) { Emit(k, v); } }\n";
+  LintConfig config;
+  config.export_paths = {"src/serving/"};
+  const auto v = Lint("src/serving/telemetry.cc", src, config);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "unordered-iter");
+  EXPECT_EQ(v[0].line, 2);
+  // Outside the export scope the same code is fine (merges into keyed
+  // structures are order-independent).
+  EXPECT_TRUE(Lint("src/rago/optimizer.cc", src, config).empty());
+}
+
+TEST(LintUnorderedIter, IgnoresOrderedContainersAndIterators) {
+  LintConfig config;
+  config.export_paths = {"src/"};
+  EXPECT_TRUE(Lint("src/a.cc",
+                   "std::map<int, int> m_;\n"
+                   "void Dump() { for (const auto& [k, v] : m_) {} }\n",
+                   config)
+                  .empty());
+  EXPECT_TRUE(Lint("src/a.cc",
+                   "std::unordered_map<int, int>::iterator it;\n"
+                   "std::vector<int> v_;\n"
+                   "void Dump() { for (int x : v_) {} }\n",
+                   config)
+                  .empty());
+}
+
+TEST(LintUnorderedIter, FindLookupsAreFine) {
+  LintConfig config;
+  config.export_paths = {"src/"};
+  EXPECT_TRUE(Lint("src/a.cc",
+                   "std::unordered_map<uint64_t, int> cache_;\n"
+                   "int Get(uint64_t k) { auto it = cache_.find(k);\n"
+                   "  return it == cache_.end() ? 0 : it->second; }\n",
+                   config)
+                  .empty());
+}
+
+TEST(LintUnorderedIter, InlineSuppression) {
+  LintConfig config;
+  config.export_paths = {"src/"};
+  EXPECT_TRUE(
+      Lint("src/a.cc",
+           "std::unordered_set<int> s_;\n"
+           "void F() {\n"
+           "  for (int x : s_) {  // rago-lint: allow(unordered-iter)\n"
+           "  }\n"
+           "}\n",
+           config)
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-thread
+// ---------------------------------------------------------------------------
+
+TEST(LintRawThread, FiresOnThreadAsyncDetach) {
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "std::thread t(Work); t.join();\n")),
+            std::vector<std::string>{"raw-thread"});
+  EXPECT_EQ(
+      RulesOf(Lint("src/a.cc", "auto f = std::async(Work);\n")),
+      std::vector<std::string>{"raw-thread"});
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "worker.detach();\n")),
+            std::vector<std::string>{"raw-thread"});
+}
+
+TEST(LintRawThread, IgnoresObserversAndPoolTypes) {
+  EXPECT_TRUE(
+      Lint("src/a.cc", "std::thread::id id = std::this_thread::get_id();\n")
+          .empty());
+  EXPECT_TRUE(Lint("src/a.cc",
+                   "unsigned n = std::thread::hardware_concurrency();\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/a.cc", "ThreadPool pool(4); pool.Wait();\n").empty());
+  EXPECT_TRUE(Lint("src/a.cc", "detach(node);\n").empty());
+}
+
+TEST(LintRawThread, ConfigAllowForPoolImplementation) {
+  const LintConfig config =
+      ParseConfig("allow raw-thread src/common/thread_pool.cc\n");
+  EXPECT_TRUE(Lint("src/common/thread_pool.cc",
+                   "workers_.emplace_back(std::thread(run));\n", config)
+                  .empty());
+  EXPECT_EQ(Lint("src/serving/runtime/runtime.cc",
+                 "std::thread t(Work);\n", config)
+                .size(),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// assert
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// raw-throw
+// ---------------------------------------------------------------------------
+
+TEST(LintRawThrow, FiresOnStdExceptionTypes) {
+  const auto v = Lint(
+      "src/a.cc", "void F() { throw std::runtime_error(\"boom\"); }\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "raw-throw");
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "throw std :: logic_error(\"x\");\n")),
+            std::vector<std::string>{"raw-throw"});
+}
+
+TEST(LintRawThrow, RagoErrorTypesAndRethrowPass) {
+  EXPECT_TRUE(
+      Lint("src/a.cc", "throw ConfigError(\"bad top_k\");\n").empty());
+  EXPECT_TRUE(
+      Lint("src/a.cc", "throw rago::InternalError(\"invariant\");\n")
+          .empty());
+  EXPECT_TRUE(Lint("src/a.cc", "catch (...) { throw; }\n").empty());
+  // `stdx` is a different identifier, not the std namespace.
+  EXPECT_TRUE(Lint("src/a.cc", "throw stdx::error(\"x\");\n").empty());
+}
+
+TEST(LintRawThrow, InlineSuppression) {
+  EXPECT_TRUE(
+      Lint("src/a.cc",
+           "throw std::bad_alloc();  // rago-lint: allow(raw-throw)\n")
+          .empty());
+}
+
+TEST(LintAssert, FiresOnCAssertOnly) {
+  const auto v = Lint("src/a.cc", "void F(int x) { assert(x > 0); }\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "assert");
+  EXPECT_TRUE(
+      Lint("src/a.cc", "static_assert(sizeof(int) == 4, \"abi\");\n")
+          .empty());
+  EXPECT_TRUE(Lint("src/a.cc", "RAGO_CHECK(x > 0, \"positive\");\n").empty());
+  EXPECT_TRUE(Lint("tests/t.cc", "ASSERT_EQ(a, b);\n").empty());
+}
+
+TEST(LintAssert, InlineSuppression) {
+  EXPECT_TRUE(
+      Lint("src/a.cc", "assert(x);  // rago-lint: allow(assert)\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// bare-io
+// ---------------------------------------------------------------------------
+
+TEST(LintBareIo, FiresOnCoutAndPrintf) {
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "std::cout << \"hi\";\n")),
+            std::vector<std::string>{"bare-io"});
+  EXPECT_EQ(RulesOf(Lint("src/a.cc", "printf(\"%d\", x);\n")),
+            std::vector<std::string>{"bare-io"});
+}
+
+TEST(LintBareIo, IgnoresFormattingAndFileIo) {
+  EXPECT_TRUE(
+      Lint("src/a.cc", "std::snprintf(buf, sizeof(buf), \"%g\", v);\n")
+          .empty());
+  EXPECT_TRUE(
+      Lint("src/a.cc", "std::fprintf(file, \"%zu\", n);\n").empty());
+  EXPECT_TRUE(Lint("src/a.cc", "stream.printf_like();\n").empty());
+}
+
+TEST(LintBareIo, ConfigAllowsBinariesAndTests) {
+  const LintConfig config =
+      ParseConfig("allow bare-io bench/\nallow bare-io tests/\n");
+  EXPECT_TRUE(
+      Lint("bench/bench_x.cc", "printf(\"ok\");\n", config).empty());
+  EXPECT_TRUE(
+      Lint("tests/test_x.cc", "std::cout << 1;\n", config).empty());
+  EXPECT_EQ(Lint("src/a.cc", "std::cout << 1;\n", config).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+TEST(LintIncludeGuard, PathDerivedGuardPasses) {
+  EXPECT_TRUE(Lint("src/common/rng.h",
+                   "#ifndef RAGO_COMMON_RNG_H\n"
+                   "#define RAGO_COMMON_RNG_H\n"
+                   "#endif\n")
+                  .empty());
+  // Outside src/ the full path stays in the guard name.
+  EXPECT_TRUE(Lint("tools/lint/lint.h",
+                   "#ifndef RAGO_TOOLS_LINT_LINT_H\n"
+                   "#define RAGO_TOOLS_LINT_LINT_H\n"
+                   "#endif\n")
+                  .empty());
+}
+
+TEST(LintIncludeGuard, MisnamedOrMissingGuardFires) {
+  const auto misnamed = Lint("src/common/rng.h",
+                             "#ifndef RNG_H\n"
+                             "#define RNG_H\n"
+                             "#endif\n");
+  ASSERT_EQ(misnamed.size(), 1u);
+  EXPECT_EQ(misnamed[0].rule, "include-guard");
+  EXPECT_NE(misnamed[0].message.find("RAGO_COMMON_RNG_H"),
+            std::string::npos);
+  EXPECT_EQ(Lint("src/a.h", "int x = 0;\n").size(), 1u);
+}
+
+TEST(LintIncludeGuard, PragmaOnceFires) {
+  const auto v = Lint("src/a.h", "#pragma once\nint x = 0;\n");
+  // One hit for the pragma, one for the missing named guard.
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].rule, "include-guard");
+  EXPECT_EQ(v[1].rule, "include-guard");
+}
+
+TEST(LintIncludeGuard, OnlyAppliesToHeaders) {
+  EXPECT_TRUE(Lint("src/a.cc", "int x = 0;\n").empty());
+  EXPECT_TRUE(Lint("bench/bench_x.cc", "int main() { return 0; }\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting behavior
+// ---------------------------------------------------------------------------
+
+TEST(LintSourceTest, ViolationsSortedByLineAndIndependentRules) {
+  const auto v = Lint("src/a.cc",
+                      "void F() {\n"
+                      "  printf(\"x\");\n"
+                      "  assert(1);\n"
+                      "  auto t = Clock::now();\n"
+                      "}\n");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].rule, "bare-io");
+  EXPECT_EQ(v[0].line, 2);
+  EXPECT_EQ(v[1].rule, "assert");
+  EXPECT_EQ(v[1].line, 3);
+  EXPECT_EQ(v[2].rule, "wallclock");
+  EXPECT_EQ(v[2].line, 4);
+}
+
+TEST(LintSourceTest, OwnLineSuppressionCoversNextLine) {
+  // A comment that starts its own line covers the following line, so
+  // justification prose can precede the flagged statement.
+  EXPECT_TRUE(Lint("src/a.cc",
+                   "void F() {\n"
+                   "  // Measurement only. rago-lint: allow(wallclock)\n"
+                   "  auto t = Clock::now();\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintSourceTest, SuppressionTwoLinesAwayDoesNotApply) {
+  const auto v = Lint("src/a.cc",
+                      "// rago-lint: allow(assert)\n"
+                      "int x;\n"
+                      "void F() { assert(x); }\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 3);
+}
+
+TEST(LintSourceTest, TrailingSuppressionDoesNotLeakToNextLine) {
+  const auto v = Lint("src/a.cc",
+                      "int x = 0;  // rago-lint: allow(assert)\n"
+                      "void F() { assert(x); }\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 2);
+}
+
+TEST(LintSourceTest, PrefixMatchingIsComponentWise) {
+  // "src/serving" must not match "src/serving_extras".
+  const LintConfig config = ParseConfig("allow assert src/serving\n");
+  EXPECT_TRUE(
+      Lint("src/serving/a.cc", "void F() { assert(1); }\n", config).empty());
+  EXPECT_EQ(
+      Lint("src/serving_extras/a.cc", "void F() { assert(1); }\n", config)
+          .size(),
+      1u);
+}
+
+TEST(LintSourceTest, CommentedOutCodeDoesNotFire) {
+  EXPECT_TRUE(Lint("src/a.cc",
+                   "// auto t = Clock::now();\n"
+                   "/* std::thread t(Work); */\n")
+                  .empty());
+}
+
+}  // namespace
+}  // namespace rago::lint

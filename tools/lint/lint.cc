@@ -1,0 +1,597 @@
+/**
+ * @file lint.cc
+ * Implementation of the rago_lint rules (see lint.h).
+ *
+ * The analysis is deliberately token-level, not a full parse: each
+ * rule targets a construct whose mere presence is the violation
+ * (wall-clock call, raw engine type, C assert), so stripping comments
+ * and literals and then matching identifier tokens is both sufficient
+ * and robust. The one rule that needs context — `unordered-iter` —
+ * uses a per-file heuristic: collect names declared with an
+ * `unordered_map`/`unordered_set` type in the same file, then flag
+ * range-for statements whose range expression mentions one of them.
+ * Type aliases hide declarations from that heuristic; the export-path
+ * scoping plus review keeps the residual risk small.
+ *
+ * The tokenizer the checkers run over (StripSource) lives in strip.cc.
+ */
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+#include "tools/lint/strip.h"
+
+namespace rago {
+namespace lint {
+
+namespace {
+
+const char* const kRuleNames[] = {
+    "wallclock", "raw-rng", "unordered-iter", "raw-thread", "raw-throw",
+    "assert", "bare-io", "include-guard",
+};
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> names(std::begin(kRuleNames),
+                                              std::end(kRuleNames));
+  return names;
+}
+
+bool IsKnownRule(const std::string& rule) {
+  const std::vector<std::string>& names = RuleNames();
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+LintConfig ParseConfig(const std::string& text) {
+  LintConfig config;
+  std::istringstream stream(text);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    const size_t hash = raw_line.find('#');
+    std::string line =
+        hash == std::string::npos ? raw_line : raw_line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) {
+      continue;  // Blank or comment-only line.
+    }
+    if (directive == "allow") {
+      std::string rule;
+      std::string prefix;
+      RAGO_REQUIRE(static_cast<bool>(fields >> rule >> prefix),
+                   "lint config line " + std::to_string(line_no) +
+                       ": allow needs <rule> <path-prefix>");
+      RAGO_REQUIRE(IsKnownRule(rule), "lint config line " +
+                                          std::to_string(line_no) +
+                                          ": unknown rule '" + rule + "'");
+      config.allow[rule].push_back(prefix);
+    } else if (directive == "export-path") {
+      std::string prefix;
+      RAGO_REQUIRE(static_cast<bool>(fields >> prefix),
+                   "lint config line " + std::to_string(line_no) +
+                       ": export-path needs <path-prefix>");
+      config.export_paths.push_back(prefix);
+    } else {
+      RAGO_REQUIRE(false, "lint config line " + std::to_string(line_no) +
+                              ": unknown directive '" + directive + "'");
+    }
+    std::string extra;
+    RAGO_REQUIRE(!(fields >> extra),
+                 "lint config line " + std::to_string(line_no) +
+                     ": trailing token '" + extra + "'");
+  }
+  return config;
+}
+
+namespace {
+
+/// A candidate violation before suppression filtering.
+struct Hit {
+  size_t pos = 0;
+  const char* rule = nullptr;
+  std::string message;
+};
+
+/// 1-based line of byte offset `pos` given sorted line-start offsets.
+int LineOf(const std::vector<size_t>& line_starts, size_t pos) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+/// True if code[pos, pos+len) is a full identifier token.
+bool IsFullIdent(const std::string& code, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(code[pos - 1])) {
+    return false;
+  }
+  const size_t end = pos + len;
+  return end >= code.size() || !IsIdentChar(code[end]);
+}
+
+size_t SkipSpace(const std::string& code, size_t pos) {
+  while (pos < code.size() && IsSpace(code[pos])) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Last non-whitespace char strictly before `pos` ('\0' if none).
+char PrevNonSpace(const std::string& code, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!IsSpace(code[pos])) {
+      return code[pos];
+    }
+  }
+  return '\0';
+}
+
+/// All occurrences of identifier `name` as a full token.
+std::vector<size_t> FindIdent(const std::string& code,
+                              const std::string& name) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    if (IsFullIdent(code, pos, name.size())) {
+      hits.push_back(pos);
+    }
+    pos += name.size();
+  }
+  return hits;
+}
+
+/// True if the full identifier at `pos` is followed by '(' (after ws).
+bool CalledAt(const std::string& code, size_t pos, size_t len) {
+  const size_t after = SkipSpace(code, pos + len);
+  return after < code.size() && code[after] == '(';
+}
+
+/// True if the identifier at `pos` is qualified as `std::<ident>`.
+bool StdQualified(const std::string& code, size_t pos) {
+  size_t p = pos;
+  while (p > 0 && IsSpace(code[p - 1])) --p;
+  if (p < 2 || code[p - 1] != ':' || code[p - 2] != ':') {
+    return false;
+  }
+  p -= 2;
+  while (p > 0 && IsSpace(code[p - 1])) --p;
+  return p >= 3 && code.compare(p - 3, 3, "std") == 0 &&
+         IsFullIdent(code, p - 3, 3);
+}
+
+void CheckWallclock(const std::string& code, std::vector<Hit>* hits) {
+  // `<anything>::now(` — covers steady_clock/system_clock/
+  // high_resolution_clock and `using Clock = ...` aliases.
+  for (size_t pos : FindIdent(code, "now")) {
+    if (pos < 2 || code[pos - 1] != ':' || code[pos - 2] != ':') {
+      continue;
+    }
+    if (CalledAt(code, pos, 3)) {
+      hits->push_back({pos, "wallclock",
+                       "wall-clock read `::now()` — serving/sim logic must "
+                       "use the virtual clock; measurement-only reads need "
+                       "an allow(wallclock) justification"});
+    }
+  }
+  // C wall-clock entry points.
+  for (const char* fn : {"gettimeofday", "clock_gettime", "timespec_get"}) {
+    for (size_t pos : FindIdent(code, fn)) {
+      if (CalledAt(code, pos, std::string(fn).size())) {
+        hits->push_back({pos, "wallclock",
+                         std::string("wall-clock read `") + fn + "()`"});
+      }
+    }
+  }
+  // `time(...)` / `std::time(...)` but not member calls like `x.time()`.
+  for (size_t pos : FindIdent(code, "time")) {
+    if (!CalledAt(code, pos, 4)) {
+      continue;
+    }
+    const char prev = PrevNonSpace(code, pos);
+    if (prev == '.' || prev == '>') {
+      continue;  // Member access (including `->`).
+    }
+    hits->push_back({pos, "wallclock", "wall-clock read `time()`"});
+  }
+}
+
+void CheckRawRng(const std::string& code, std::vector<Hit>* hits) {
+  // Callable entry points (require a call).
+  for (const char* fn : {"rand", "srand", "rand_r", "drand48", "srand48",
+                         "random_shuffle"}) {
+    for (size_t pos : FindIdent(code, fn)) {
+      if (CalledAt(code, pos, std::string(fn).size())) {
+        hits->push_back({pos, "raw-rng",
+                         std::string("raw randomness `") + fn +
+                             "()` — use rago::Rng (common/rng.h) so the "
+                             "stream is seed-reproducible"});
+      }
+    }
+  }
+  // Engine / device type names (any mention is a violation).
+  for (const char* type :
+       {"random_device", "mt19937", "mt19937_64", "minstd_rand",
+        "minstd_rand0", "default_random_engine", "ranlux24", "ranlux48",
+        "knuth_b"}) {
+    for (size_t pos : FindIdent(code, type)) {
+      hits->push_back({pos, "raw-rng",
+                       std::string("raw random engine `") + type +
+                           "` — use rago::Rng (common/rng.h) and "
+                           "Rng::DeriveSeed for substreams"});
+    }
+  }
+}
+
+void CheckRawThread(const std::string& code, std::vector<Hit>* hits) {
+  for (size_t pos : FindIdent(code, "thread")) {
+    if (!StdQualified(code, pos)) {
+      continue;
+    }
+    // `std::thread::id`, `std::thread::hardware_concurrency` are
+    // observers, not thread creation.
+    const size_t after = SkipSpace(code, pos + 6);
+    if (after + 1 < code.size() && code[after] == ':' &&
+        code[after + 1] == ':') {
+      continue;
+    }
+    hits->push_back({pos, "raw-thread",
+                     "raw `std::thread` — use ThreadPool/ParallelFor "
+                     "(common/thread_pool.h) so work partitioning stays "
+                     "deterministic"});
+  }
+  for (const char* name : {"jthread", "async"}) {
+    for (size_t pos : FindIdent(code, name)) {
+      if (StdQualified(code, pos)) {
+        hits->push_back({pos, "raw-thread",
+                         std::string("raw `std::") + name +
+                             "` — use ThreadPool/ParallelFor "
+                             "(common/thread_pool.h)"});
+      }
+    }
+  }
+  for (size_t pos : FindIdent(code, "detach")) {
+    const char prev = PrevNonSpace(code, pos);
+    if ((prev == '.' || prev == '>') && CalledAt(code, pos, 6)) {
+      hits->push_back({pos, "raw-thread",
+                       "`.detach()` — detached threads outlive the "
+                       "pool's determinism barrier"});
+    }
+  }
+}
+
+void CheckAssert(const std::string& code, std::vector<Hit>* hits) {
+  for (size_t pos : FindIdent(code, "assert")) {
+    if (CalledAt(code, pos, 6)) {
+      hits->push_back({pos, "assert",
+                       "C `assert()` compiles out in release builds — "
+                       "use RAGO_CHECK (invariant) or RAGO_REQUIRE "
+                       "(config validation)"});
+    }
+  }
+}
+
+void CheckRawThrow(const std::string& code, std::vector<Hit>* hits) {
+  for (size_t pos : FindIdent(code, "throw")) {
+    const size_t after = SkipSpace(code, pos + 5);
+    if (code.compare(after, 3, "std") != 0 || !IsFullIdent(code, after, 3)) {
+      continue;
+    }
+    const size_t q = SkipSpace(code, after + 3);
+    if (q + 1 < code.size() && code[q] == ':' && code[q + 1] == ':') {
+      hits->push_back({pos, "raw-throw",
+                       "`throw std::...` — library errors go through "
+                       "RAGO_CHECK / RAGO_REQUIRE or the rago error types "
+                       "(ConfigError, InternalError) so callers can "
+                       "classify them"});
+    }
+  }
+}
+
+/// Path-derived guard macro: `src/` dropped, the rest uppercased with
+/// every non-alphanumeric byte mapped to '_' (src/common/rng.h =>
+/// RAGO_COMMON_RNG_H, tools/lint/lint.h => RAGO_TOOLS_LINT_LINT_H).
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = path;
+  if (rel.compare(0, 4, "src/") == 0) {
+    rel = rel.substr(4);
+  }
+  std::string guard = "RAGO_";
+  for (const char c : rel) {
+    guard.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) != 0
+            ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+            : '_');
+  }
+  return guard;
+}
+
+void CheckIncludeGuard(const std::string& path, const std::string& code,
+                       std::vector<Hit>* hits) {
+  // `#pragma once` is rejected outright: the named guard is what makes
+  // the double-include self-check meaningful, and deriving the name
+  // from the path makes guard collisions structurally impossible.
+  size_t pos = 0;
+  while ((pos = code.find("#pragma", pos)) != std::string::npos) {
+    const size_t after = SkipSpace(code, pos + 7);
+    if (code.compare(after, 4, "once") == 0 && IsFullIdent(code, after, 4)) {
+      hits->push_back({pos, "include-guard",
+                       "`#pragma once` — use the path-derived include "
+                       "guard `" + ExpectedGuard(path) + "` instead"});
+    }
+    pos += 7;
+  }
+  const std::string guard = ExpectedGuard(path);
+  const auto has_directive = [&](const std::string& directive) {
+    size_t p = 0;
+    while ((p = code.find(directive, p)) != std::string::npos) {
+      const size_t a = SkipSpace(code, p + directive.size());
+      if (code.compare(a, guard.size(), guard) == 0 &&
+          IsFullIdent(code, a, guard.size())) {
+        return true;
+      }
+      p += directive.size();
+    }
+    return false;
+  };
+  if (!has_directive("#ifndef") || !has_directive("#define")) {
+    hits->push_back({0, "include-guard",
+                     "missing or misnamed include guard — expected "
+                     "`#ifndef " + guard + "` / `#define " + guard + "`"});
+  }
+}
+
+void CheckBareIo(const std::string& code, std::vector<Hit>* hits) {
+  for (size_t pos : FindIdent(code, "cout")) {
+    if (StdQualified(code, pos)) {
+      hits->push_back({pos, "bare-io",
+                       "`std::cout` in library code — libraries return "
+                       "data; printing belongs in binaries"});
+    }
+  }
+  for (const char* fn : {"printf", "puts", "putchar"}) {
+    for (size_t pos : FindIdent(code, fn)) {
+      const char prev = PrevNonSpace(code, pos);
+      if (prev == '.' || prev == '>') {
+        continue;
+      }
+      if (CalledAt(code, pos, std::string(fn).size())) {
+        hits->push_back({pos, "bare-io",
+                         std::string("`") + fn +
+                             "()` in library code — libraries return "
+                             "data; printing belongs in binaries"});
+      }
+    }
+  }
+}
+
+/// Names declared in this file with an unordered associative type.
+std::set<std::string> UnorderedDecls(const std::string& code) {
+  std::set<std::string> names;
+  for (const char* type : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+    for (size_t pos : FindIdent(code, type)) {
+      size_t p = SkipSpace(code, pos + std::string(type).size());
+      if (p >= code.size() || code[p] != '<') {
+        continue;
+      }
+      // Balance the template argument list ('>' may close two depths
+      // via '>>'; treat each '>' individually, parens/brackets opaque).
+      int depth = 0;
+      while (p < code.size()) {
+        const char c = code[p];
+        if (c == '<') {
+          ++depth;
+        } else if (c == '>') {
+          --depth;
+          if (depth == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+      if (depth != 0) {
+        continue;
+      }
+      // Skip qualifiers/ref tokens, then read the declared name.
+      // `unordered_map<K,V>::iterator it` is not a container decl.
+      for (;;) {
+        p = SkipSpace(code, p);
+        if (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+          ++p;
+          continue;
+        }
+        if (code.compare(p, 5, "const") == 0 && IsFullIdent(code, p, 5)) {
+          p += 5;
+          continue;
+        }
+        break;
+      }
+      if (p + 1 < code.size() && code[p] == ':' && code[p + 1] == ':') {
+        continue;
+      }
+      size_t end = p;
+      while (end < code.size() && IsIdentChar(code[end])) {
+        ++end;
+      }
+      if (end > p) {
+        names.insert(code.substr(p, end - p));
+      }
+    }
+  }
+  return names;
+}
+
+void CheckUnorderedIter(const std::string& code, std::vector<Hit>* hits) {
+  const std::set<std::string> decls = UnorderedDecls(code);
+  if (decls.empty()) {
+    return;
+  }
+  for (size_t pos : FindIdent(code, "for")) {
+    size_t p = SkipSpace(code, pos + 3);
+    if (p >= code.size() || code[p] != '(') {
+      continue;
+    }
+    // Find the top-level ':' (range-for separator) inside the parens.
+    int depth = 0;
+    size_t colon = std::string::npos;
+    size_t close = std::string::npos;
+    for (size_t q = p; q < code.size(); ++q) {
+      const char c = code[q];
+      if (c == '(' || c == '[' || c == '{' || c == '<') {
+        ++depth;
+      } else if (c == '>' && q > 0 && code[q - 1] == '-') {
+        // `->` member access, not a closing angle bracket.
+      } else if (c == ')' || c == ']' || c == '}' || c == '>') {
+        --depth;
+        if (c == ')' && depth == 0) {
+          close = q;
+          break;
+        }
+      } else if (c == ':' && depth == 1) {
+        const bool double_colon =
+            (q + 1 < code.size() && code[q + 1] == ':') ||
+            (q > 0 && code[q - 1] == ':');
+        if (!double_colon && colon == std::string::npos) {
+          colon = q;
+        }
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) {
+      continue;
+    }
+    // Does the range expression mention a declared unordered name?
+    const std::string range = code.substr(colon + 1, close - colon - 1);
+    size_t q = 0;
+    while (q < range.size()) {
+      if (IsIdentChar(range[q])) {
+        size_t end = q;
+        while (end < range.size() && IsIdentChar(range[end])) {
+          ++end;
+        }
+        if (decls.count(range.substr(q, end - q)) > 0) {
+          hits->push_back(
+              {pos, "unordered-iter",
+               "range-for over `" + range.substr(q, end - q) +
+                   "` (unordered container) in an export path — "
+                   "iteration order is nondeterministic; sort keys or "
+                   "use std::map"});
+          break;
+        }
+        q = end;
+      } else {
+        ++q;
+      }
+    }
+  }
+}
+
+/// True if `path` equals the prefix or lives under it.
+bool PrefixMatches(const std::string& path, const std::string& prefix) {
+  if (prefix.empty()) {
+    return false;
+  }
+  std::string p = prefix;
+  if (p.back() == '/') {
+    p.pop_back();
+  }
+  if (path.size() < p.size() || path.compare(0, p.size(), p) != 0) {
+    return false;
+  }
+  return path.size() == p.size() || path[p.size()] == '/';
+}
+
+bool RuleAllowedFor(const LintConfig& config, const std::string& rule,
+                    const std::string& path) {
+  const auto it = config.allow.find(rule);
+  if (it == config.allow.end()) {
+    return false;
+  }
+  for (const std::string& prefix : it->second) {
+    if (PrefixMatches(path, prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Violation> LintSource(const std::string& path,
+                                  const std::string& content,
+                                  const LintConfig& config) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+
+  const StrippedSource stripped = StripSource(content);
+  const std::string& code = stripped.code;
+
+  std::vector<size_t> line_starts = {0};
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') {
+      line_starts.push_back(i + 1);
+    }
+  }
+
+  std::vector<Hit> hits;
+  if (!RuleAllowedFor(config, "wallclock", norm)) {
+    CheckWallclock(code, &hits);
+  }
+  if (!RuleAllowedFor(config, "raw-rng", norm)) {
+    CheckRawRng(code, &hits);
+  }
+  if (!RuleAllowedFor(config, "raw-thread", norm)) {
+    CheckRawThread(code, &hits);
+  }
+  if (!RuleAllowedFor(config, "raw-throw", norm)) {
+    CheckRawThrow(code, &hits);
+  }
+  if (!RuleAllowedFor(config, "assert", norm)) {
+    CheckAssert(code, &hits);
+  }
+  if (!RuleAllowedFor(config, "bare-io", norm)) {
+    CheckBareIo(code, &hits);
+  }
+  const bool is_header =
+      (norm.size() >= 2 && norm.compare(norm.size() - 2, 2, ".h") == 0) ||
+      (norm.size() >= 4 && norm.compare(norm.size() - 4, 4, ".hpp") == 0);
+  if (is_header && !RuleAllowedFor(config, "include-guard", norm)) {
+    CheckIncludeGuard(norm, code, &hits);
+  }
+  bool in_export_path = false;
+  for (const std::string& prefix : config.export_paths) {
+    if (PrefixMatches(norm, prefix)) {
+      in_export_path = true;
+      break;
+    }
+  }
+  if (in_export_path && !RuleAllowedFor(config, "unordered-iter", norm)) {
+    CheckUnorderedIter(code, &hits);
+  }
+
+  std::vector<Violation> violations;
+  for (const Hit& hit : hits) {
+    const int line = LineOf(line_starts, hit.pos);
+    const auto it = stripped.suppressions.find(line);
+    if (it != stripped.suppressions.end() &&
+        it->second.count(hit.rule) > 0) {
+      continue;
+    }
+    violations.push_back(Violation{norm, line, hit.rule, hit.message});
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return violations;
+}
+
+}  // namespace lint
+}  // namespace rago

@@ -1,0 +1,131 @@
+/**
+ * @file rago_lint_main.cc
+ * CLI driver for the determinism/concurrency linter (see lint.h).
+ *
+ * Usage:
+ *   rago_lint [--root DIR] [--config FILE] [--list-rules] [path...]
+ *
+ * Paths are directories or files relative to --root (default: the
+ * current directory); with no paths, `src tests bench examples tools`
+ * are scanned. Directories are walked recursively for .h/.cc files.
+ * Prints one `file:line: [rule] message` per violation and exits
+ * non-zero if any survive config allowlists and inline suppressions.
+ * Registered in CTest as `lint_tree`, so tier-1 verify gates on it.
+ */
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream stream(path, std::ios::binary);
+  RAGO_REQUIRE(stream.good(), "cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp";
+}
+
+/// `path` relative to `root`, '/'-separated, for config matching.
+std::string RelPath(const fs::path& root, const fs::path& path) {
+  const std::string rel = fs::relative(path, root).generic_string();
+  return rel;
+}
+
+int Run(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string config_path;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : rago::lint::RuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rago_lint [--root DIR] [--config FILE] "
+                   "[--list-rules] [path...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rago_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) {
+    targets = {"src", "tests", "bench", "examples", "tools"};
+  }
+
+  rago::lint::LintConfig config;
+  if (!config_path.empty()) {
+    fs::path cfg = config_path;
+    if (cfg.is_relative()) {
+      cfg = root / cfg;
+    }
+    config = rago::lint::ParseConfig(ReadFile(cfg));
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& target : targets) {
+    const fs::path path = root / target;
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(path)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "rago_lint: no such path " << path << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t violation_count = 0;
+  for (const fs::path& file : files) {
+    const std::vector<rago::lint::Violation> violations =
+        rago::lint::LintSource(RelPath(root, file), ReadFile(file), config);
+    for (const rago::lint::Violation& v : violations) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+      ++violation_count;
+    }
+  }
+  std::cout << "rago_lint: " << files.size() << " files, "
+            << violation_count << " violation"
+            << (violation_count == 1 ? "" : "s") << "\n";
+  return violation_count == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "rago_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

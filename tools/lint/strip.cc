@@ -1,0 +1,277 @@
+/**
+ * @file strip.cc
+ * The rago_lint tokenizer: comment and literal stripping with line
+ * structure preserved, plus `rago-lint: allow(...)` suppression
+ * harvesting. Kept in its own translation unit because it is the one
+ * piece of the linter with real state-machine subtlety (raw strings,
+ * digit separators, escaped quotes, next-line suppression semantics);
+ * the rule checkers in lint.cc only ever see its output.
+ */
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "tools/lint/lint.h"
+#include "tools/lint/strip.h"
+
+namespace rago {
+namespace lint {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+namespace {
+
+/// Extracts `rago-lint: allow(a,b)` rule lists from one comment body.
+std::set<std::string> ParseAllowComment(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string marker = "rago-lint:";
+  size_t pos = comment.find(marker);
+  if (pos == std::string::npos) {
+    return rules;
+  }
+  pos += marker.size();
+  while (pos < comment.size() && IsSpace(comment[pos])) {
+    ++pos;
+  }
+  const std::string verb = "allow(";
+  if (comment.compare(pos, verb.size(), verb) != 0) {
+    return rules;
+  }
+  pos += verb.size();
+  const size_t close = comment.find(')', pos);
+  if (close == std::string::npos) {
+    return rules;
+  }
+  std::string name;
+  for (size_t i = pos; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!name.empty()) {
+        rules.insert(name);
+      }
+      name.clear();
+    } else if (!IsSpace(c)) {
+      name.push_back(c);
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+StrippedSource StripSource(const std::string& content) {
+  StrippedSource out;
+  out.code.reserve(content.size());
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  int line = 1;
+  int comment_start_line = 1;
+  bool comment_own_line = false;  // No code before the comment opener.
+  bool line_has_code = false;
+  std::string comment_text;
+  std::string raw_delim;  // `)delim"` terminator for the raw string.
+  char last_code_char = '\0';
+
+  // A trailing comment suppresses on the line(s) it touches; a comment
+  // that starts its own line also covers the next line (the
+  // NOLINT/NOLINTNEXTLINE convention folded into one marker).
+  auto attach_suppressions = [&](int from_line, int to_line) {
+    const std::set<std::string> rules = ParseAllowComment(comment_text);
+    if (!rules.empty()) {
+      if (comment_own_line) {
+        ++to_line;
+      }
+      for (int l = from_line; l <= to_line; ++l) {
+        out.suppressions[l].insert(rules.begin(), rules.end());
+      }
+    }
+    comment_text.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_start_line = line;
+          comment_own_line = !line_has_code;
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_start_line = line;
+          comment_own_line = !line_has_code;
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          // Raw string: R"delim( ... )delim", with optional encoding
+          // prefix (u8R, uR, UR, LR) already emitted as code.
+          if (last_code_char == 'R') {
+            size_t d = i + 1;
+            std::string delim;
+            while (d < n && content[d] != '(' && content[d] != '"' &&
+                   !IsSpace(content[d]) && d - i - 1 <= 16) {
+              delim.push_back(content[d]);
+              ++d;
+            }
+            if (d < n && content[d] == '(') {
+              state = State::kRawString;
+              raw_delim = ")" + delim + "\"";
+              out.code += '"';
+              last_code_char = '"';
+              line_has_code = true;
+              i = d + 1;
+              continue;
+            }
+          }
+          state = State::kString;
+          out.code += '"';
+          last_code_char = '"';
+          line_has_code = true;
+          ++i;
+          continue;
+        }
+        if (c == '\'' && !IsIdentChar(last_code_char)) {
+          // Not a digit separator (1'000) — a real char literal.
+          state = State::kChar;
+          out.code += '\'';
+          last_code_char = '\'';
+          line_has_code = true;
+          ++i;
+          continue;
+        }
+        out.code += c;
+        if (c == '\n') {
+          ++line;
+          line_has_code = false;
+        } else if (!IsSpace(c)) {
+          last_code_char = c;
+          line_has_code = true;
+        }
+        ++i;
+        continue;
+      }
+      case State::kLineComment: {
+        if (c == '\n') {
+          attach_suppressions(comment_start_line, line);
+          state = State::kCode;
+          out.code += '\n';
+          ++line;
+          line_has_code = false;
+        } else {
+          comment_text.push_back(c);
+          out.code += ' ';
+        }
+        ++i;
+        continue;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && next == '/') {
+          attach_suppressions(comment_start_line, line);
+          state = State::kCode;
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        comment_text.push_back(c);
+        if (c == '\n') {
+          ++line;
+          line_has_code = false;
+          out.code += '\n';
+        } else {
+          out.code += ' ';
+        }
+        ++i;
+        continue;
+      }
+      case State::kString: {
+        if (c == '\\' && i + 1 < n) {
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          state = State::kCode;
+          out.code += '"';
+          last_code_char = '"';
+        } else if (c == '\n') {
+          // Unterminated (malformed) — resync at the newline.
+          state = State::kCode;
+          out.code += '\n';
+          ++line;
+          line_has_code = false;
+        } else {
+          out.code += ' ';
+        }
+        ++i;
+        continue;
+      }
+      case State::kChar: {
+        if (c == '\\' && i + 1 < n) {
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+          out.code += '\'';
+          last_code_char = '\'';
+        } else if (c == '\n') {
+          state = State::kCode;
+          out.code += '\n';
+          ++line;
+          line_has_code = false;
+        } else {
+          out.code += ' ';
+        }
+        ++i;
+        continue;
+      }
+      case State::kRawString: {
+        if (c == ')' &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          out.code += '"';
+          last_code_char = '"';
+          i += raw_delim.size();
+          continue;
+        }
+        if (c == '\n') {
+          ++line;
+          out.code += '\n';
+        } else {
+          out.code += ' ';
+        }
+        ++i;
+        continue;
+      }
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    attach_suppressions(comment_start_line, line);
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace rago

@@ -1,0 +1,24 @@
+/**
+ * @file strip.h
+ * Internal token-classification helpers shared by the tokenizer
+ * (strip.cc) and the rule checkers (lint.cc). The public entry point
+ * for stripping is StripSource in lint.h; this header only exists so
+ * the two translation units agree on what an identifier character is.
+ */
+#ifndef RAGO_TOOLS_LINT_STRIP_H
+#define RAGO_TOOLS_LINT_STRIP_H
+
+namespace rago {
+namespace lint {
+
+/// True for [A-Za-z0-9_] — the identifier alphabet used when deciding
+/// token boundaries (and digit-separator vs char-literal quotes).
+bool IsIdentChar(char c);
+
+/// Locale-independent isspace over the source byte.
+bool IsSpace(char c);
+
+}  // namespace lint
+}  // namespace rago
+
+#endif  // RAGO_TOOLS_LINT_STRIP_H
