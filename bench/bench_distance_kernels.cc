@@ -1,17 +1,20 @@
 /**
  * @file bench_distance_kernels.cc
  * Distance-kernel micro-benchmark: GB/s and distance evals/s per
- * kernel variant (scalar vs the runtime-dispatched SIMD table) for the
- * batched L2 / inner-product, multi-query micro-tile, and PQ ADC
- * kernels, plus the headline batched-AVX2 vs scalar-single-row speedup
- * the ISSUE acceptance band tracks. The working set is sized to stay
- * cache-resident so the numbers reflect kernel arithmetic, not DRAM.
+ * compiled kernel variant (scalar / avx2 / avx512) for the batched
+ * L2 / inner-product, multi-query micro-tile, and PQ ADC kernels in
+ * both the strided and packed (fast-scan) layouts, plus the headline
+ * speedups the ISSUE acceptance bands track: batched-AVX2 vs
+ * scalar-single-row, and packed ADC vs the scalar strided scan. The
+ * working set is sized to stay cache-resident so the numbers reflect
+ * kernel arithmetic, not DRAM.
  *
  * Accepts `--json out.json` like the other harnesses. The report is
  * printed on any host — including non-AVX or 1-core containers, where
  * the dispatched variant simply equals scalar; speedup-band
  * enforcement lives in multi-core CI, not here (see ROADMAP).
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -20,6 +23,7 @@
 #include "bench/bench_common.h"
 #include "common/rng.h"
 #include "retrieval/ann/kernels/distance_kernels.h"
+#include "retrieval/ann/packed_codes.h"
 
 namespace {
 
@@ -87,18 +91,18 @@ int main(int argc, char** argv) {
   for (uint8_t& c : codes) {
     c = static_cast<uint8_t>(rng.NextBounded(kernels::kAdcCentroids));
   }
+  const rago::ann::PackedCodes packed(codes.data(), rows, pq_m);
   std::vector<float> out(tile_queries * rows);
 
   Banner("Distance-kernel throughput (4096 x 128-d rows, cache-resident)");
-  std::printf("avx2 compiled: %s | avx2 supported: %s | dispatched: %s\n",
-              kernels::Avx2KernelsCompiled() ? "yes" : "no",
-              kernels::CpuSupportsAvx2() ? "yes" : "no",
-              kernels::ForceScalarActive()
-                  ? "scalar (forced)"
-                  : (kernels::CpuSupportsAvx2() &&
-                             kernels::Avx2KernelsCompiled()
-                         ? "avx2"
-                         : "scalar"));
+  std::printf(
+      "avx2 compiled: %s | avx2 supported: %s | avx512 compiled: %s | "
+      "avx512 supported: %s | dispatched: %s%s\n",
+      kernels::Avx2KernelsCompiled() ? "yes" : "no",
+      kernels::CpuSupportsAvx2() ? "yes" : "no",
+      kernels::Avx512KernelsCompiled() ? "yes" : "no",
+      kernels::CpuSupportsAvx512() ? "yes" : "no", kernels::Active().name,
+      kernels::ForceScalarActive() ? " (forced)" : "");
 
   const double row_bytes = static_cast<double>(rows * dim * sizeof(float));
   const double code_bytes = static_cast<double>(rows * pq_m);
@@ -127,15 +131,26 @@ int main(int argc, char** argv) {
     const char* name;
     const kernels::KernelTable* table;
   };
-  std::vector<Variant> variants = {
-      {"scalar", &kernels::ScalarKernels()}};
-  if (std::string(kernels::Active().name) != "scalar") {
-    variants.push_back({kernels::Active().name, &kernels::Active()});
+  // Every compiled-in, host-supported tier side by side.
+  std::vector<Variant> variants;
+  for (const char* name : {"scalar", "avx2", "avx512"}) {
+    if (const kernels::KernelTable* table = kernels::VariantByName(name)) {
+      variants.push_back({name, table});
+    }
   }
 
   double avx2_batch_evals_per_sec = 0.0;
+  double scalar_adc_strided_evals_per_sec = 0.0;
+  struct AdcSpeedups {
+    std::string variant;
+    double strided_evals_per_sec = 0.0;
+    double packed_evals_per_sec = 0.0;
+  };
+  std::vector<AdcSpeedups> adc;
   for (const Variant& variant : variants) {
     const kernels::KernelTable& table = *variant.table;
+    AdcSpeedups adc_row;
+    adc_row.variant = variant.name;
     {
       const Measurement m = MeasureFor([&] {
         table.l2sq_batch(queries.data(), data.data(), rows, dim, out.data());
@@ -179,10 +194,27 @@ int main(int argc, char** argv) {
         g_sink += out[rows / 2];
       });
       const double per_sec = static_cast<double>(m.reps) / m.seconds;
+      adc_row.strided_evals_per_sec = per_sec * static_cast<double>(rows);
+      if (std::string(variant.name) == "scalar") {
+        scalar_adc_strided_evals_per_sec = adc_row.strided_evals_per_sec;
+      }
       results.push_back({"adc_batch_m16", variant.name,
                          per_sec * code_bytes / 1e9,
                          per_sec * static_cast<double>(rows)});
     }
+    {
+      const Measurement m = MeasureFor([&] {
+        table.adc_packed(adc_table.data(), packed.data(), rows, pq_m,
+                         out.data());
+        g_sink += out[rows / 2];
+      });
+      const double per_sec = static_cast<double>(m.reps) / m.seconds;
+      adc_row.packed_evals_per_sec = per_sec * static_cast<double>(rows);
+      results.push_back({"adc_packed_m16", variant.name,
+                         per_sec * code_bytes / 1e9,
+                         per_sec * static_cast<double>(rows)});
+    }
+    adc.push_back(adc_row);
   }
 
   TextTable table_out;
@@ -208,6 +240,28 @@ int main(int argc, char** argv) {
         "\nAVX2 kernels unavailable on this host; scalar-only report "
         "(speedup band deferred to AVX2 CI runners)\n");
   }
+  double best_packed_vs_scalar_strided = 0.0;
+  for (const AdcSpeedups& row : adc) {
+    const double vs_strided =
+        row.strided_evals_per_sec > 0.0
+            ? row.packed_evals_per_sec / row.strided_evals_per_sec
+            : 0.0;
+    const double vs_scalar =
+        scalar_adc_strided_evals_per_sec > 0.0
+            ? row.packed_evals_per_sec / scalar_adc_strided_evals_per_sec
+            : 0.0;
+    if (row.variant != "scalar") {
+      best_packed_vs_scalar_strided =
+          std::max(best_packed_vs_scalar_strided, vs_scalar);
+    }
+    std::printf(
+        "ADC %s: packed vs strided %.2fx, packed vs scalar strided %.2fx\n",
+        row.variant.c_str(), vs_strided, vs_scalar);
+  }
+  std::printf(
+      "Packed-ADC band (info-only until CI runners stabilize): best SIMD "
+      "packed vs scalar strided >= 2.5x on AVX2 hosts; measured %.2fx\n",
+      best_packed_vs_scalar_strided);
 
   JsonWriter json = StartBenchJson("distance_kernels");
   json.Key("rows").Int(static_cast<int64_t>(rows));
@@ -216,7 +270,36 @@ int main(int argc, char** argv) {
   json.Key("pq_subspaces").Int(static_cast<int64_t>(pq_m));
   json.Key("avx2_compiled").Bool(kernels::Avx2KernelsCompiled());
   json.Key("avx2_supported").Bool(kernels::CpuSupportsAvx2());
+  json.Key("avx512_compiled").Bool(kernels::Avx512KernelsCompiled());
+  json.Key("avx512_supported").Bool(kernels::CpuSupportsAvx512());
   json.Key("avx2_batch_vs_scalar_single_speedup").Number(speedup);
+  // Per-variant ADC layout comparison (the tentpole's acceptance
+  // number is adc_packed_best_vs_scalar_strided_speedup).
+  json.Key("adc_speedups").BeginArray();
+  for (const AdcSpeedups& row : adc) {
+    json.BeginObject();
+    json.Key("variant").String(row.variant);
+    json.Key("strided_evals_per_sec").Number(row.strided_evals_per_sec);
+    json.Key("packed_evals_per_sec").Number(row.packed_evals_per_sec);
+    json.Key("packed_vs_strided_speedup")
+        .Number(row.strided_evals_per_sec > 0.0
+                    ? row.packed_evals_per_sec / row.strided_evals_per_sec
+                    : 0.0);
+    json.Key("packed_vs_scalar_strided_speedup")
+        .Number(scalar_adc_strided_evals_per_sec > 0.0
+                    ? row.packed_evals_per_sec /
+                          scalar_adc_strided_evals_per_sec
+                    : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("adc_packed_best_vs_scalar_strided_speedup")
+      .Number(best_packed_vs_scalar_strided);
+  // Info-only until CI runners stabilize, like the roofline bands.
+  json.Key("adc_packed_band").BeginObject();
+  json.Key("min_speedup_vs_scalar_strided").Number(2.5);
+  json.Key("enforced").Bool(false);
+  json.EndObject();
   json.Key("results").BeginArray();
   for (const KernelResult& r : results) {
     json.BeginObject();

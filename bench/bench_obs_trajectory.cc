@@ -345,7 +345,8 @@ int main(int argc, char** argv) {
   const retrieval::KernelProfiler profiler(peaks, kprof);
   const std::vector<retrieval::KernelRooflinePoint> points = {
       profiler.ProfileL2Batch(), profiler.ProfileIpBatch(),
-      profiler.ProfileL2Tile(), profiler.ProfileAdc()};
+      profiler.ProfileL2Tile(), profiler.ProfileAdc(),
+      profiler.ProfileAdcPacked()};
 
   // --- Measured-cost optimizer pass (informational: wall-clock
   // calibration makes the chosen schedule machine-dependent). ---

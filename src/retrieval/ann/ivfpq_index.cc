@@ -43,13 +43,13 @@ IvfPqIndex::IvfPqIndex(Matrix data, const IvfPqOptions& options, Rng& rng)
                                            options.kmeans_iterations);
 
   ids_.resize(static_cast<size_t>(nlist_));
-  codes_.resize(static_cast<size_t>(nlist_));
+  codes_.assign(static_cast<size_t>(nlist_), PackedCodes(pq_->CodeBytes()));
   std::vector<uint8_t> code(pq_->CodeBytes());
   for (size_t i = 0; i < data.rows(); ++i) {
     const auto cluster = static_cast<size_t>(coarse.assignments[i]);
     pq_->Encode(train.Row(i), code.data());
     ids_[cluster].push_back(static_cast<int64_t>(i));
-    codes_[cluster].insert(codes_[cluster].end(), code.begin(), code.end());
+    codes_[cluster].Append(code.data());
   }
 
   if (options.keep_raw_vectors) {
@@ -81,9 +81,10 @@ IvfPqIndex::SearchLists(const float* query, size_t k, int rerank,
     }
     const std::vector<float> table = pq_->BuildAdcTable(table_query);
     const std::vector<int64_t>& list_ids = ids_[c];
-    kernels::ScanCodesIntoTopK(table.data(), codes_[c].data(),
-                               list_ids.size(), pq_->CodeBytes(),
-                               list_ids.data(), /*base_id=*/0, candidates);
+    kernels::ScanCodesPackedIntoTopK(table.data(), codes_[c].data(),
+                                     list_ids.size(), pq_->CodeBytes(),
+                                     list_ids.data(), /*base_id=*/0,
+                                     candidates);
   }
 
   std::vector<Neighbor> approx = candidates.SortedTake();

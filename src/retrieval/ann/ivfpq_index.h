@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "retrieval/ann/ivf_index.h"
+#include "retrieval/ann/packed_codes.h"
 #include "retrieval/ann/pq.h"
 
 namespace rago::ann {
@@ -72,9 +73,9 @@ class IvfPqIndex {
   Matrix centroids_;
   Matrix raw_;  ///< Empty when keep_raw_vectors is false.
   std::unique_ptr<ProductQuantizer> pq_;
-  /// Per-list vector ids and concatenated codes.
+  /// Per-list vector ids and codes in the packed fast-scan layout.
   std::vector<std::vector<int64_t>> ids_;
-  std::vector<std::vector<uint8_t>> codes_;
+  std::vector<PackedCodes> codes_;
 };
 
 }  // namespace rago::ann

@@ -1,0 +1,24 @@
+/**
+ * @file avx512_kernels.h
+ * Internal declaration of the AVX-512F/BW kernel table.
+ *
+ * Defined in distance_kernels_avx512.cc, which is only added to the
+ * build (with -mavx512f -mavx512bw) when the toolchain targets x86 and
+ * accepts the flags; RAGO_KERNELS_HAVE_AVX512 guards every reference.
+ * Not part of the public kernel API — consumers go through Active().
+ */
+#ifndef RAGO_RETRIEVAL_ANN_KERNELS_AVX512_KERNELS_H
+#define RAGO_RETRIEVAL_ANN_KERNELS_AVX512_KERNELS_H
+
+#include "retrieval/ann/kernels/distance_kernels.h"
+
+namespace rago::ann::kernels {
+
+#if defined(RAGO_KERNELS_HAVE_AVX512)
+/// The AVX-512F/BW implementation set (host support checked by callers).
+const KernelTable& Avx512Kernels();
+#endif
+
+}  // namespace rago::ann::kernels
+
+#endif  // RAGO_RETRIEVAL_ANN_KERNELS_AVX512_KERNELS_H

@@ -3,9 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/check.h"
 #include "retrieval/ann/kernels/avx2_kernels.h"
+#include "retrieval/ann/kernels/avx512_kernels.h"
 
 namespace rago::ann::kernels {
 namespace {
@@ -49,6 +51,8 @@ void ScalarDotTile(const float* queries, size_t num_queries,
 
 void ScalarAdcBatch(const float* table, const uint8_t* codes,
                     size_t num_codes, size_t m, float* out) {
+  // num_codes == 0 writes nothing and m == 0 yields 0.0f per code by
+  // construction — the documented degenerate-shape contract.
   for (size_t i = 0; i < num_codes; ++i) {
     const uint8_t* code = codes + i * m;
     float dist = 0.0f;
@@ -59,9 +63,26 @@ void ScalarAdcBatch(const float* table, const uint8_t* codes,
   }
 }
 
+void ScalarAdcPacked(const float* table, const uint8_t* packed,
+                     size_t num_codes, size_t m, float* out) {
+  // Per code: walk its lane down the block's subspace-major rows in
+  // s order — the same accumulation sequence as ScalarAdcBatch, so
+  // packed and strided distances are bit-identical.
+  for (size_t i = 0; i < num_codes; ++i) {
+    const uint8_t* block =
+        packed + (i / kPackedBlock) * kPackedBlock * m;
+    const size_t lane = i % kPackedBlock;
+    float dist = 0.0f;
+    for (size_t s = 0; s < m; ++s) {
+      dist += table[s * kAdcCentroids + block[s * kPackedBlock + lane]];
+    }
+    out[i] = dist;
+  }
+}
+
 const KernelTable kScalarTable = {
-    "scalar",       ScalarL2Batch, ScalarDotBatch,
-    ScalarL2Tile,   ScalarDotTile, ScalarAdcBatch,
+    "scalar",       ScalarL2Batch, ScalarDotBatch,  ScalarL2Tile,
+    ScalarDotTile,  ScalarAdcBatch, ScalarAdcPacked,
 };
 
 // ---------------------------------------------------------------------------
@@ -76,6 +97,46 @@ bool EnvForcesScalar() {
   const char* value = std::getenv("RAGO_FORCE_SCALAR_KERNELS");
   return value != nullptr && value[0] != '\0' &&
          std::strcmp(value, "0") != 0;
+}
+
+/// Dispatch priority tiers: scalar < avx2 < avx512.
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The RAGO_KERNEL_VARIANT cap, or the top tier when unset/empty.
+Tier EnvTierCap() {
+  const char* value = std::getenv("RAGO_KERNEL_VARIANT");
+  if (value == nullptr || value[0] == '\0') {
+    return Tier::kAvx512;
+  }
+  if (std::strcmp(value, "scalar") == 0) {
+    return Tier::kScalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    return Tier::kAvx2;
+  }
+  if (std::strcmp(value, "avx512") == 0) {
+    return Tier::kAvx512;
+  }
+  RAGO_REQUIRE(false, std::string("RAGO_KERNEL_VARIANT must be scalar, "
+                                  "avx2, or avx512; got \"") +
+                          value + "\"");
+  return Tier::kScalar;  // Unreachable.
+}
+
+/// The best compiled-in, host-supported table at or below `cap`.
+const KernelTable& BestTableUpTo(Tier cap) {
+#if defined(RAGO_KERNELS_HAVE_AVX512)
+  if (cap >= Tier::kAvx512 && CpuSupportsAvx512()) {
+    return Avx512Kernels();
+  }
+#endif
+#if defined(RAGO_KERNELS_HAVE_AVX2)
+  if (cap >= Tier::kAvx2 && CpuSupportsAvx2()) {
+    return Avx2Kernels();
+  }
+#endif
+  (void)cap;
+  return kScalarTable;
 }
 
 /// Rows-per-tile for the TopK / argmin scan helpers: big enough to
@@ -124,6 +185,48 @@ CpuSupportsAvx2() {
 #endif
 }
 
+bool
+Avx512KernelsCompiled() {
+#if defined(RAGO_KERNELS_HAVE_AVX512)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool
+CpuSupportsAvx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool supported = __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512bw");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+const KernelTable*
+VariantByName(const char* name) {
+  if (name == nullptr) {
+    return nullptr;
+  }
+  if (std::strcmp(name, "scalar") == 0) {
+    return &kScalarTable;
+  }
+#if defined(RAGO_KERNELS_HAVE_AVX2)
+  if (std::strcmp(name, "avx2") == 0 && CpuSupportsAvx2()) {
+    return &Avx2Kernels();
+  }
+#endif
+#if defined(RAGO_KERNELS_HAVE_AVX512)
+  if (std::strcmp(name, "avx512") == 0 && CpuSupportsAvx512()) {
+    return &Avx512Kernels();
+  }
+#endif
+  return nullptr;
+}
+
 void
 SetForceScalar(bool force) {
   g_force_scalar.store(force ? 1 : 0, std::memory_order_relaxed);
@@ -144,13 +247,10 @@ Active() {
   if (ForceScalarActive()) {
     return kScalarTable;
   }
-#if defined(RAGO_KERNELS_HAVE_AVX2)
-  static const KernelTable& dispatched =
-      CpuSupportsAvx2() ? Avx2Kernels() : kScalarTable;
+  // The env cap is parsed once; the resolved table is immutable for
+  // the process lifetime (force-scalar remains the only runtime knob).
+  static const KernelTable& dispatched = BestTableUpTo(EnvTierCap());
   return dispatched;
-#else
-  return kScalarTable;
-#endif
 }
 
 void
@@ -248,6 +348,37 @@ ScanCodesIntoTopK(const float* table, const uint8_t* codes, size_t num_codes,
 }
 
 void
+ScanCodesPackedIntoTopK(const float* table, const uint8_t* packed,
+                        size_t num_codes, size_t m, const int64_t* ids,
+                        int64_t base_id, TopK& topk,
+                        std::vector<float>& scratch) {
+  if (num_codes == 0) {
+    return;
+  }
+  // kScanTile is a multiple of kPackedBlock, so every tile starts on a
+  // block boundary and the packed offset is simply start * m.
+  static_assert(kScanTile % kPackedBlock == 0,
+                "scan tile must cover whole packed blocks");
+  const size_t tile = num_codes < kScanTile ? num_codes : kScanTile;
+  if (scratch.size() < tile) {
+    scratch.resize(tile);
+  }
+  const KernelTable& kernels = Active();
+  for (size_t start = 0; start < num_codes; start += tile) {
+    const size_t count =
+        num_codes - start < tile ? num_codes - start : tile;
+    kernels.adc_packed(table, packed + start * m, count, m,
+                       scratch.data());
+    for (size_t i = 0; i < count; ++i) {
+      const size_t code = start + i;
+      topk.Push(scratch[i],
+                ids != nullptr ? ids[code]
+                               : base_id + static_cast<int64_t>(code));
+    }
+  }
+}
+
+void
 ScanTileIntoTopK(Metric metric, const float* queries, size_t num_queries,
                  const float* rows, size_t num_rows, size_t dim,
                  int64_t base_id, TopK* heaps) {
@@ -328,6 +459,14 @@ ScanCodesIntoTopK(const float* table, const uint8_t* codes, size_t num_codes,
                   TopK& topk) {
   ScanCodesIntoTopK(table, codes, num_codes, m, ids, base_id, topk,
                     TlsScratch());
+}
+
+void
+ScanCodesPackedIntoTopK(const float* table, const uint8_t* packed,
+                        size_t num_codes, size_t m, const int64_t* ids,
+                        int64_t base_id, TopK& topk) {
+  ScanCodesPackedIntoTopK(table, packed, num_codes, m, ids, base_id, topk,
+                          TlsScratch());
 }
 
 size_t

@@ -10,12 +10,22 @@
  *  - an ADC pass of N product-quantizer codes against a prebuilt
  *    lookup table.
  *
+ * The ADC pass comes in two layouts: the strided (code-major) layout
+ * PQ encoders emit naturally, and a blocked subspace-major "packed"
+ * layout (FAISS-style transposition) where each block of kPackedBlock
+ * codes stores all first-subspace bytes contiguously, then all second-
+ * subspace bytes, and so on — turning the SIMD variants' strided
+ * per-code byte loads into one contiguous load per subspace.
+ *
  * This header exposes those shapes as a function-pointer kernel table
- * with two implementations: a portable scalar reference and an
- * AVX2/FMA variant selected at runtime via CPUID. Consumers call the
+ * with three implementations: a portable scalar reference, an AVX2/FMA
+ * variant, and an AVX-512F/BW variant, selected at runtime via CPUID
+ * with priority scalar < avx2 < avx512. Consumers call the
  * metric-dispatching wrappers (DistanceBatch / DistanceTile /
  * ScanRowsIntoTopK / ...) and automatically run on the fastest
- * compiled-in kernels the host supports.
+ * compiled-in kernels the host supports. The RAGO_KERNEL_VARIANT
+ * environment variable ("scalar", "avx2", or "avx512") caps the
+ * dispatched tier for benchmarking a specific variant.
  *
  * Determinism contract:
  *  - Within one variant, the batch and tile kernels produce
@@ -23,8 +33,9 @@
  *    scalar variant is bit-identical to the legacy sequential loops in
  *    distance.h. Scan order (and therefore every TopK id tie-break)
  *    never depends on the variant.
- *  - Across variants, SIMD reassociates the per-dimension accumulation,
- *    so distances may differ in the last few ulps. Exact search paths
+ *  - Across variants, SIMD reassociates the per-dimension accumulation
+ *    of the *float* kernels (l2sq/dot batch and tile), so those
+ *    distances may differ in the last few ulps. Exact search paths
  *    therefore return the same top-k *ids* under every variant unless
  *    two distinct rows' true distances differ by less than that
  *    reassociation error (sub-ulp near-ties); identical rows always
@@ -34,9 +45,13 @@
  *    reproducibility, force the scalar kernels via
  *    SetForceScalar(true) or the RAGO_FORCE_SCALAR_KERNELS=1
  *    environment variable.
- *  - The ADC kernel accumulates table entries in subspace order in
- *    every variant, so ADC distances are bit-identical across variants
- *    given the same table.
+ *  - The ulp caveat never applies to ADC: both ADC kernels accumulate
+ *    table entries in subspace order s = 0..m-1 with lane-independent
+ *    adds in every variant and both layouts, so ADC distances are
+ *    bit-identical across variants — and across the strided and packed
+ *    layouts — given the same table.
+ *  - Degenerate ADC shapes are well-defined in every variant:
+ *    num_codes == 0 writes nothing, m == 0 writes 0.0f per code.
  */
 #ifndef RAGO_RETRIEVAL_ANN_KERNELS_DISTANCE_KERNELS_H
 #define RAGO_RETRIEVAL_ANN_KERNELS_DISTANCE_KERNELS_H
@@ -54,11 +69,20 @@ namespace rago::ann::kernels {
 inline constexpr size_t kAdcCentroids = 256;
 
 /**
+ * Codes per block of the packed (subspace-major) ADC layout. Within a
+ * block, byte `s * kPackedBlock + j` is subspace `s` of code `j`; the
+ * final block of a list is zero-padded to full width. 32 lanes feed
+ * the AVX2 variant four 8-lane groups and the AVX-512 variant two
+ * 16-lane groups per subspace.
+ */
+inline constexpr size_t kPackedBlock = 32;
+
+/**
  * One kernel implementation set. All row pointers are float32 and may
  * be unaligned; `rows` is row-major with stride `dim`.
  */
 struct KernelTable {
-  const char* name;  ///< "scalar" or "avx2".
+  const char* name;  ///< "scalar", "avx2", or "avx512".
 
   /// out[i] = squared L2 distance of `query` to row i, i in [0, num_rows).
   void (*l2sq_batch)(const float* query, const float* rows, size_t num_rows,
@@ -79,11 +103,26 @@ struct KernelTable {
                    float* out);
 
   /**
-   * ADC scan: out[i] = sum over s in [0, m) of
-   * table[s * kAdcCentroids + codes[i * m + s]].
+   * ADC scan, strided (code-major) layout: out[i] = sum over s in
+   * [0, m) of table[s * kAdcCentroids + codes[i * m + s]].
+   * num_codes == 0 writes nothing; m == 0 writes 0.0f per code.
    */
   void (*adc_batch)(const float* table, const uint8_t* codes,
                     size_t num_codes, size_t m, float* out);
+
+  /**
+   * ADC scan, packed (blocked subspace-major) layout: `packed` holds
+   * ceil(num_codes / kPackedBlock) zero-padded blocks of
+   * kPackedBlock * m bytes where byte
+   * `block * kPackedBlock * m + s * kPackedBlock + j` is subspace `s`
+   * of code `block * kPackedBlock + j`. Distances are bit-identical to
+   * adc_batch over the unpacked codes (same subspace-order, lane-
+   * independent accumulation). Exactly `num_codes` outputs are
+   * written. num_codes == 0 writes nothing; m == 0 writes 0.0f per
+   * code.
+   */
+  void (*adc_packed)(const float* table, const uint8_t* packed,
+                     size_t num_codes, size_t m, float* out);
 };
 
 /// The portable scalar reference kernels (always available).
@@ -94,6 +133,21 @@ bool Avx2KernelsCompiled();
 
 /// Runtime CPUID probe: does this host support AVX2 and FMA?
 bool CpuSupportsAvx2();
+
+/// True when this binary was compiled with the AVX-512F/BW kernel TU.
+bool Avx512KernelsCompiled();
+
+/// Runtime CPUID probe: does this host support AVX-512F and AVX-512BW?
+bool CpuSupportsAvx512();
+
+/**
+ * The compiled-in, host-supported table for a named variant ("scalar",
+ * "avx2", "avx512"), independent of the dispatch state — nullptr when
+ * that variant is not compiled in, not supported by this host, or the
+ * name is unknown. Lets benches and tests compare specific tiers
+ * side by side.
+ */
+const KernelTable* VariantByName(const char* name);
 
 /**
  * Forces the scalar kernels regardless of CPU support (bit-exact
@@ -107,9 +161,13 @@ void SetForceScalar(bool force);
 bool ForceScalarActive();
 
 /**
- * The active kernel table: AVX2 when compiled in, supported by the
- * host, and not forced off; scalar otherwise. Cheap enough to call
- * per scan.
+ * The active kernel table: the highest-priority variant (scalar <
+ * avx2 < avx512) that is compiled in and supported by the host, unless
+ * forced off. SetForceScalar / RAGO_FORCE_SCALAR_KERNELS pins scalar;
+ * otherwise the RAGO_KERNEL_VARIANT environment variable ("scalar",
+ * "avx2", "avx512"; read once on first dispatch, any other value
+ * throws ConfigError) caps the tier, falling back to the best
+ * available at or below the cap. Cheap enough to call per scan.
  */
 const KernelTable& Active();
 
@@ -154,6 +212,19 @@ void ScanCodesIntoTopK(const float* table, const uint8_t* codes,
                        std::vector<float>& scratch);
 
 /**
+ * ADC-scans `num_codes` codes stored in the packed (blocked
+ * subspace-major) layout — see KernelTable::adc_packed for the exact
+ * byte layout — and offers every distance to `topk` in code order.
+ * Bit-identical results (distances, ids, tie-breaks) to
+ * ScanCodesIntoTopK over the unpacked codes in every variant.
+ * Candidate ids are `ids[i]` when non-null, else `base_id + i`.
+ */
+void ScanCodesPackedIntoTopK(const float* table, const uint8_t* packed,
+                             size_t num_codes, size_t m, const int64_t* ids,
+                             int64_t base_id, TopK& topk,
+                             std::vector<float>& scratch);
+
+/**
  * Micro-tiled multi-query scan: streams `num_rows` contiguous rows
  * once per query tile through the tile kernel and offers every
  * (query, row) distance to `heaps[query]` in ascending row order
@@ -192,6 +263,10 @@ void ScanRowsIntoTopK(Metric metric, const float* query, const float* rows,
 void ScanCodesIntoTopK(const float* table, const uint8_t* codes,
                        size_t num_codes, size_t m, const int64_t* ids,
                        int64_t base_id, TopK& topk);
+
+void ScanCodesPackedIntoTopK(const float* table, const uint8_t* packed,
+                             size_t num_codes, size_t m, const int64_t* ids,
+                             int64_t base_id, TopK& topk);
 
 size_t ArgMinL2(const float* query, const float* rows, size_t num_rows,
                 size_t dim, float* min_dist = nullptr);

@@ -15,9 +15,11 @@
  *    the scalar kernel, so tiny dims are bit-identical to scalar (the
  *    TU builds with -ffp-contract=off so the compiler cannot fuse
  *    these scalar loops into FMA and break that identity).
- *  - The ADC kernel adds table entries in subspace order (one gather
- *    per subspace across 8 codes), matching scalar summation order
- *    bit-for-bit.
+ *  - The ADC kernels add table entries in subspace order, matching
+ *    scalar summation order bit-for-bit: the strided kernel gathers
+ *    per subspace across 8 codes, the packed kernel loads each
+ *    subspace's 32 contiguous code bytes (the transposed layout's
+ *    whole point) and gathers in four 8-lane groups.
  */
 #include "retrieval/ann/kernels/avx2_kernels.h"
 
@@ -289,9 +291,59 @@ void Avx2AdcBatch(const float* table, const uint8_t* codes, size_t num_codes,
   }
 }
 
+/// One packed block (32 codes): four 8-lane accumulators. Per
+/// subspace the 32 code bytes are one contiguous 32-byte load instead
+/// of the strided per-code byte reads Avx2AdcBatch pays before each
+/// gather; lane-wise adds in s order keep results bit-identical to
+/// scalar.
+inline void Avx2AdcPackedBlock(const float* table, const uint8_t* block,
+                               size_t m, float* out) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  for (size_t s = 0; s < m; ++s) {
+    const uint8_t* lanes = block + s * kPackedBlock;
+    const float* row = table + s * kAdcCentroids;
+    const __m256i i0 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(lanes + 0)));
+    const __m256i i1 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(lanes + 8)));
+    const __m256i i2 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(lanes + 16)));
+    const __m256i i3 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(lanes + 24)));
+    acc0 = _mm256_add_ps(acc0, _mm256_i32gather_ps(row, i0, 4));
+    acc1 = _mm256_add_ps(acc1, _mm256_i32gather_ps(row, i1, 4));
+    acc2 = _mm256_add_ps(acc2, _mm256_i32gather_ps(row, i2, 4));
+    acc3 = _mm256_add_ps(acc3, _mm256_i32gather_ps(row, i3, 4));
+  }
+  _mm256_storeu_ps(out + 0, acc0);
+  _mm256_storeu_ps(out + 8, acc1);
+  _mm256_storeu_ps(out + 16, acc2);
+  _mm256_storeu_ps(out + 24, acc3);
+}
+
+void Avx2AdcPacked(const float* table, const uint8_t* packed,
+                   size_t num_codes, size_t m, float* out) {
+  size_t i = 0;
+  for (; i + kPackedBlock <= num_codes; i += kPackedBlock) {
+    Avx2AdcPackedBlock(table, packed + i * m, m, out + i);
+  }
+  if (i < num_codes) {
+    // Tail block: the padding lanes are zero bytes (valid table index
+    // 0), so the full block computes safely; copy only the real lanes.
+    float lanes[kPackedBlock];
+    Avx2AdcPackedBlock(table, packed + i * m, m, lanes);
+    for (size_t j = 0; i + j < num_codes; ++j) {
+      out[i + j] = lanes[j];
+    }
+  }
+}
+
 const KernelTable kAvx2Table = {
-    "avx2",     Avx2L2Batch, Avx2DotBatch,
-    Avx2L2Tile, Avx2DotTile, Avx2AdcBatch,
+    "avx2",     Avx2L2Batch, Avx2DotBatch, Avx2L2Tile,
+    Avx2DotTile, Avx2AdcBatch, Avx2AdcPacked,
 };
 
 }  // namespace

@@ -1,0 +1,59 @@
+#include "retrieval/ann/packed_codes.h"
+
+#include "common/check.h"
+
+namespace rago::ann {
+
+using kernels::kPackedBlock;
+
+PackedCodes::PackedCodes(size_t m) : m_(m) {
+  RAGO_REQUIRE(m > 0, "PackedCodes requires at least one subspace");
+}
+
+PackedCodes::PackedCodes(const uint8_t* codes, size_t num_codes, size_t m)
+    : PackedCodes(m) {
+  packed_.reserve((num_codes + kPackedBlock - 1) / kPackedBlock *
+                  kPackedBlock * m);
+  for (size_t i = 0; i < num_codes; ++i) {
+    Append(codes + i * m);
+  }
+}
+
+void
+PackedCodes::Append(const uint8_t* code) {
+  RAGO_CHECK(m_ > 0, "Append on a width-less PackedCodes");
+  const size_t lane = num_codes_ % kPackedBlock;
+  if (lane == 0) {
+    // Open a fresh zero-padded block; padding bytes stay 0 (a valid
+    // table index) so kernels may compute the unused lanes safely.
+    packed_.resize(packed_.size() + kPackedBlock * m_, 0);
+  }
+  uint8_t* block =
+      packed_.data() + (num_codes_ / kPackedBlock) * kPackedBlock * m_;
+  for (size_t s = 0; s < m_; ++s) {
+    block[s * kPackedBlock + lane] = code[s];
+  }
+  ++num_codes_;
+}
+
+void
+PackedCodes::Unpack(size_t i, uint8_t* out) const {
+  RAGO_CHECK(i < num_codes_, "PackedCodes::Unpack index out of range");
+  const uint8_t* block =
+      packed_.data() + (i / kPackedBlock) * kPackedBlock * m_;
+  const size_t lane = i % kPackedBlock;
+  for (size_t s = 0; s < m_; ++s) {
+    out[s] = block[s * kPackedBlock + lane];
+  }
+}
+
+std::vector<uint8_t>
+PackedCodes::UnpackAll() const {
+  std::vector<uint8_t> out(num_codes_ * m_);
+  for (size_t i = 0; i < num_codes_; ++i) {
+    Unpack(i, out.data() + i * m_);
+  }
+  return out;
+}
+
+}  // namespace rago::ann

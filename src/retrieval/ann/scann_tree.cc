@@ -41,10 +41,11 @@ ScannTree::BuildNode(const Matrix& data, const std::vector<int64_t>& ids,
       ids.size() <= static_cast<size_t>(options_.fanout);
   if (level == options_.levels || (too_small && level > 0)) {
     node->ids = ids;
-    node->codes.resize(ids.size() * pq_->CodeBytes());
+    node->codes = PackedCodes(pq_->CodeBytes());
+    std::vector<uint8_t> code(pq_->CodeBytes());
     for (size_t i = 0; i < ids.size(); ++i) {
-      pq_->Encode(data.Row(static_cast<size_t>(ids[i])),
-                  node->codes.data() + i * pq_->CodeBytes());
+      pq_->Encode(data.Row(static_cast<size_t>(ids[i])), code.data());
+      node->codes.Append(code.data());
     }
     ++leaf_count_;
     return node;
@@ -117,9 +118,10 @@ ScannTree::Search(const float* query, size_t k, int beam, int rerank) const {
   const size_t pool = std::max(k, static_cast<size_t>(rerank));
   TopK candidates(pool);
   for (const Node* leaf : frontier) {
-    kernels::ScanCodesIntoTopK(table.data(), leaf->codes.data(),
-                               leaf->ids.size(), pq_->CodeBytes(),
-                               leaf->ids.data(), /*base_id=*/0, candidates);
+    kernels::ScanCodesPackedIntoTopK(table.data(), leaf->codes.data(),
+                                     leaf->ids.size(), pq_->CodeBytes(),
+                                     leaf->ids.data(), /*base_id=*/0,
+                                     candidates);
   }
 
   std::vector<Neighbor> approx = candidates.SortedTake();

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "retrieval/ann/matrix.h"
+#include "retrieval/ann/packed_codes.h"
 #include "retrieval/ann/pq.h"
 #include "retrieval/ann/topk.h"
 
@@ -62,8 +63,8 @@ class ScannTree {
   struct Node {
     Matrix centroids;  ///< One row per child (internal nodes only).
     std::vector<std::unique_ptr<Node>> children;
-    std::vector<int64_t> ids;    ///< Leaf payload.
-    std::vector<uint8_t> codes;  ///< Leaf payload (ids.size() * code bytes).
+    std::vector<int64_t> ids;  ///< Leaf payload.
+    PackedCodes codes;         ///< Leaf payload, packed fast-scan layout.
 
     bool IsLeaf() const { return children.empty(); }
   };

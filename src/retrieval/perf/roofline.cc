@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "retrieval/ann/kernels/distance_kernels.h"
+#include "retrieval/ann/packed_codes.h"
 
 namespace rago::retrieval {
 namespace {
@@ -163,6 +164,23 @@ AccountAdcScan(size_t num_codes, size_t m) {
   return work;
 }
 
+KernelWork
+AccountAdcPackedScan(size_t num_codes, size_t m) {
+  RAGO_REQUIRE(num_codes > 0 && m > 0, "ADC shape must be positive");
+  const size_t blocks = (num_codes + ann::kernels::kPackedBlock - 1) /
+                        ann::kernels::kPackedBlock;
+  KernelWork work;
+  // The packed stream is padded to whole blocks (the tail block's
+  // padding lanes are computed and discarded); table and outputs are
+  // the same as the strided scan.
+  work.bytes = static_cast<double>(blocks) * ann::kernels::kPackedBlock * m +
+               static_cast<double>(m) * ann::kernels::kAdcCentroids *
+                   sizeof(float) +
+               static_cast<double>(num_codes) * sizeof(float);
+  work.flops = static_cast<double>(num_codes) * m;
+  return work;
+}
+
 void
 KernelProfileOptions::Validate() const {
   RAGO_REQUIRE(num_rows > 0 && dim > 0, "scan shape must be positive");
@@ -291,6 +309,33 @@ KernelProfiler::ProfileAdc() const {
       [&]() {
         ann::kernels::Active().adc_batch(table.data(), code_data.data(),
                                          codes, m, out.data());
+        Consume(out[codes / 2]);
+      });
+  return point;
+}
+
+KernelRooflinePoint
+KernelProfiler::ProfileAdcPacked() const {
+  // Same shape, seed, and table as ProfileAdc so the two points
+  // isolate the layout: strided gathers vs contiguous per-subspace
+  // loads over identical code content.
+  const size_t codes = options_.num_rows;
+  const size_t m = options_.pq_m;
+  std::vector<uint8_t> code_data(codes * m);
+  Rng rng(Rng::DeriveSeed(options_.seed, 7));
+  for (uint8_t& code : code_data) {
+    code = static_cast<uint8_t>(rng.NextBounded(ann::kernels::kAdcCentroids));
+  }
+  const ann::PackedCodes packed(code_data.data(), codes, m);
+  const std::vector<float> table =
+      RandomFloats(m * ann::kernels::kAdcCentroids,
+                   Rng::DeriveSeed(options_.seed, 8));
+  std::vector<float> out(codes);
+  auto point = MakePoint(
+      "adc_packed", peaks_, AccountAdcPackedScan(codes, m),
+      options_.repetitions, [&]() {
+        ann::kernels::Active().adc_packed(table.data(), packed.data(),
+                                          codes, m, out.data());
         Consume(out[codes / 2]);
       });
   return point;

@@ -96,10 +96,14 @@ KernelWork AccountTileScan(ann::Metric metric, size_t num_queries,
 /// ADC pass: `num_codes` m-byte PQ codes against an m x 256 table.
 KernelWork AccountAdcScan(size_t num_codes, size_t m);
 
+/// Packed (blocked subspace-major) ADC pass: same FLOPs as the strided
+/// scan, but the code stream is padded to whole kPackedBlock blocks.
+KernelWork AccountAdcPackedScan(size_t num_codes, size_t m);
+
 /// One profiled kernel: measurement x accounting x roofs.
 struct KernelRooflinePoint {
   std::string kernel;        ///< e.g. "l2sq_batch".
-  std::string variant;       ///< Active kernel table ("scalar"/"avx2").
+  std::string variant;  ///< Active table ("scalar"/"avx2"/"avx512").
   KernelWork work;           ///< Per-invocation closed-form work.
   double seconds = 0.0;      ///< Best-repetition wall time.
   double achieved_bytes_per_sec = 0.0;
@@ -140,6 +144,8 @@ class KernelProfiler {
   KernelRooflinePoint ProfileIpBatch() const;
   KernelRooflinePoint ProfileL2Tile() const;
   KernelRooflinePoint ProfileAdc() const;
+  /// The packed fast-scan layout the ANN indexes actually scan.
+  KernelRooflinePoint ProfileAdcPacked() const;
 
   const MachinePeaks& peaks() const { return peaks_; }
   const KernelProfileOptions& options() const { return options_; }

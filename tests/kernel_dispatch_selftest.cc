@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "retrieval/ann/kernels/distance_kernels.h"
+#include "retrieval/ann/packed_codes.h"
 
 namespace {
 
@@ -88,7 +89,7 @@ void CheckVariantAgreement() {
 void CheckAdcAgreement() {
   Rng rng(102);
   const size_t m = 8;
-  const size_t codes = 21;
+  const size_t codes = 53;  // Partial packed tail block.
   const std::vector<float> table =
       RandomBlock(rng, m * kernels::kAdcCentroids);
   std::vector<uint8_t> code_block(codes * m);
@@ -105,6 +106,15 @@ void CheckAdcAgreement() {
     Check(scalar_out[i] == active_out[i],
           "adc_batch bit-identical across variants");
   }
+  // Packed layout: same distances, bit-for-bit, in the active variant.
+  const rago::ann::PackedCodes packed(code_block.data(), codes, m);
+  std::vector<float> packed_out(codes);
+  kernels::Active().adc_packed(table.data(), packed.data(), codes, m,
+                               packed_out.data());
+  for (size_t i = 0; i < codes; ++i) {
+    Check(scalar_out[i] == packed_out[i],
+          "adc_packed bit-identical to strided adc_batch");
+  }
 }
 
 void CheckForceScalarOverride() {
@@ -120,13 +130,17 @@ void CheckForceScalarOverride() {
 
 int main() {
   std::printf("kernel dispatch selftest\n");
-  std::printf("  avx2 compiled:  %s\n",
+  std::printf("  avx2 compiled:    %s\n",
               kernels::Avx2KernelsCompiled() ? "yes" : "no");
-  std::printf("  avx2 supported: %s\n",
+  std::printf("  avx2 supported:   %s\n",
               kernels::CpuSupportsAvx2() ? "yes" : "no");
-  std::printf("  force scalar:   %s\n",
+  std::printf("  avx512 compiled:  %s\n",
+              kernels::Avx512KernelsCompiled() ? "yes" : "no");
+  std::printf("  avx512 supported: %s\n",
+              kernels::CpuSupportsAvx512() ? "yes" : "no");
+  std::printf("  force scalar:     %s\n",
               kernels::ForceScalarActive() ? "yes" : "no");
-  std::printf("  active variant: %s\n", kernels::Active().name);
+  std::printf("  active variant:   %s\n", kernels::Active().name);
 
   CheckVariantAgreement();
   CheckAdcAgreement();

@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -19,7 +20,9 @@
 #include "retrieval/ann/ivf_index.h"
 #include "retrieval/ann/ivfpq_index.h"
 #include "retrieval/ann/kernels/distance_kernels.h"
+#include "retrieval/ann/packed_codes.h"
 #include "retrieval/ann/recall.h"
+#include "retrieval/ann/scann_tree.h"
 #include "tests/testing/test_support.h"
 
 namespace rago::ann::kernels {
@@ -57,11 +60,35 @@ TEST(DistanceKernels, DispatchReportsConsistentState) {
     EXPECT_STREQ(Active().name, "scalar");
   }
   ForceScalarGuard guard(false);
-  if (Avx2KernelsCompiled() && CpuSupportsAvx2()) {
+  // Priority scalar < avx2 < avx512: the best compiled-in, host-
+  // supported tier wins. (RAGO_KERNEL_VARIANT could cap this below the
+  // probe results, but the ctest environment never sets it.)
+  if (Avx512KernelsCompiled() && CpuSupportsAvx512()) {
+    EXPECT_STREQ(Active().name, "avx512");
+  } else if (Avx2KernelsCompiled() && CpuSupportsAvx2()) {
     EXPECT_STREQ(Active().name, "avx2");
   } else {
     EXPECT_STREQ(Active().name, "scalar");
   }
+  // VariantByName mirrors the probes and always knows scalar.
+  ASSERT_NE(VariantByName("scalar"), nullptr);
+  EXPECT_STREQ(VariantByName("scalar")->name, "scalar");
+  EXPECT_EQ(VariantByName("avx2") != nullptr,
+            Avx2KernelsCompiled() && CpuSupportsAvx2());
+  EXPECT_EQ(VariantByName("avx512") != nullptr,
+            Avx512KernelsCompiled() && CpuSupportsAvx512());
+  EXPECT_EQ(VariantByName("neon"), nullptr);
+}
+
+/// The compiled-in, host-supported kernel tables (scalar always).
+std::vector<const KernelTable*> CompiledVariants() {
+  std::vector<const KernelTable*> tables;
+  for (const char* name : {"scalar", "avx2", "avx512"}) {
+    if (const KernelTable* table = VariantByName(name)) {
+      tables.push_back(table);
+    }
+  }
+  return tables;
 }
 
 TEST(DistanceKernels, ScalarBatchBitIdenticalToLegacyLoops) {
@@ -195,6 +222,130 @@ TEST(DistanceKernels, AdcBitIdenticalAcrossVariants) {
     for (size_t i = 0; i < codes; ++i) {
       // Lane-sequential adds in subspace order: exact across variants.
       EXPECT_EQ(scalar_out[i], active_out[i]) << "m " << m;
+    }
+  }
+}
+
+TEST(DistanceKernels, PackedCodesRoundTripsAndPadsBlocks) {
+  Rng rng(45);
+  for (size_t m : {1u, 3u, 8u, 16u}) {
+    for (size_t codes : {1u, 31u, 32u, 33u, 64u, 97u}) {
+      std::vector<uint8_t> strided(codes * m);
+      for (uint8_t& c : strided) {
+        c = static_cast<uint8_t>(rng.NextBounded(kAdcCentroids));
+      }
+      const PackedCodes packed(strided.data(), codes, m);
+      EXPECT_EQ(packed.num_codes(), codes);
+      EXPECT_EQ(packed.m(), m);
+      const size_t blocks = (codes + kPackedBlock - 1) / kPackedBlock;
+      EXPECT_EQ(packed.PackedBytes(), blocks * kPackedBlock * m);
+      EXPECT_EQ(packed.UnpackAll(), strided) << "m " << m << " codes "
+                                             << codes;
+      std::vector<uint8_t> one(m);
+      packed.Unpack(codes - 1, one.data());
+      EXPECT_TRUE(std::memcmp(one.data(), strided.data() + (codes - 1) * m,
+                              m) == 0);
+      // Incremental Append builds the identical packed image.
+      PackedCodes appended(m);
+      for (size_t i = 0; i < codes; ++i) {
+        appended.Append(strided.data() + i * m);
+      }
+      EXPECT_TRUE(std::memcmp(appended.data(), packed.data(),
+                              packed.PackedBytes()) == 0);
+    }
+  }
+}
+
+TEST(DistanceKernels, AdcPackedBitIdenticalToStridedInEveryVariant) {
+  // The tentpole contract: packed and strided ADC agree bit-for-bit in
+  // every compiled variant, including tail blocks (codes % 32 != 0)
+  // and odd subspace counts.
+  Rng rng(46);
+  for (size_t m : {1u, 3u, 8u, 16u}) {
+    for (size_t codes : {1u, 31u, 32u, 33u, 64u, 97u}) {
+      const std::vector<float> table = RandomBlock(rng, m * kAdcCentroids);
+      std::vector<uint8_t> strided(codes * m);
+      for (uint8_t& c : strided) {
+        c = static_cast<uint8_t>(rng.NextBounded(kAdcCentroids));
+      }
+      const PackedCodes packed(strided.data(), codes, m);
+      std::vector<float> reference(codes);
+      ScalarKernels().adc_batch(table.data(), strided.data(), codes, m,
+                                reference.data());
+      for (const KernelTable* variant : CompiledVariants()) {
+        std::vector<float> strided_out(codes);
+        std::vector<float> packed_out(codes);
+        variant->adc_batch(table.data(), strided.data(), codes, m,
+                           strided_out.data());
+        variant->adc_packed(table.data(), packed.data(), codes, m,
+                            packed_out.data());
+        for (size_t i = 0; i < codes; ++i) {
+          EXPECT_EQ(reference[i], strided_out[i])
+              << variant->name << " m " << m << " codes " << codes;
+          EXPECT_EQ(reference[i], packed_out[i])
+              << variant->name << " m " << m << " codes " << codes;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, AdcKernelsWellDefinedOnDegenerateShapes) {
+  // num_codes == 0 writes nothing; m == 0 writes 0.0f per code — in
+  // every compiled variant, both layouts.
+  const std::vector<float> table(kAdcCentroids, 1.0f);
+  const std::vector<uint8_t> codes(4 * kPackedBlock, 7);
+  for (const KernelTable* variant : CompiledVariants()) {
+    std::vector<float> out(kPackedBlock + 1, -1.0f);
+    variant->adc_batch(table.data(), codes.data(), 0, 4, out.data());
+    variant->adc_packed(table.data(), codes.data(), 0, 4, out.data());
+    for (float x : out) {
+      EXPECT_EQ(x, -1.0f) << variant->name;  // Untouched.
+    }
+    variant->adc_batch(table.data(), codes.data(), out.size(), 0,
+                       out.data());
+    for (float x : out) {
+      EXPECT_EQ(x, 0.0f) << variant->name;
+    }
+    std::fill(out.begin(), out.end(), -1.0f);
+    variant->adc_packed(table.data(), codes.data(), out.size(), 0,
+                        out.data());
+    for (float x : out) {
+      EXPECT_EQ(x, 0.0f) << variant->name;
+    }
+  }
+}
+
+TEST(DistanceKernels, ScanCodesPackedIntoTopKMatchesStridedScan) {
+  // Same distances, same scan order, same tie-breaks: the packed TopK
+  // scan must reproduce the strided scan exactly — ids and distance
+  // bits — under every variant, including multi-tile lists.
+  Rng rng(47);
+  const size_t m = 8;
+  const size_t codes = 1111;  // > 2 scan tiles, partial tail block.
+  const std::vector<float> table = RandomBlock(rng, m * kAdcCentroids);
+  std::vector<uint8_t> strided(codes * m);
+  for (uint8_t& c : strided) {
+    c = static_cast<uint8_t>(rng.NextBounded(kAdcCentroids));
+  }
+  const PackedCodes packed(strided.data(), codes, m);
+  for (bool force_scalar : {true, false}) {
+    ForceScalarGuard guard(force_scalar);
+    TopK strided_top(17);
+    TopK packed_top(17);
+    std::vector<float> scratch;
+    ScanCodesIntoTopK(table.data(), strided.data(), codes, m,
+                      /*ids=*/nullptr, /*base_id=*/5, strided_top, scratch);
+    ScanCodesPackedIntoTopK(table.data(), packed.data(), codes, m,
+                            /*ids=*/nullptr, /*base_id=*/5, packed_top,
+                            scratch);
+    const std::vector<Neighbor> a = strided_top.SortedTake();
+    const std::vector<Neighbor> b = packed_top.SortedTake();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id)
+          << (force_scalar ? "scalar" : "dispatched") << " rank " << i;
+      EXPECT_EQ(a[i].dist, b[i].dist);
     }
   }
 }
@@ -388,6 +539,31 @@ TEST(DistanceKernels, IvfPqRecallParityScalarVsDispatched) {
     for (size_t q = 0; q < bed.queries.rows(); ++q) {
       results.push_back(
           index.Search(bed.queries.Row(q), 10, /*nprobe=*/8, /*rerank=*/50));
+    }
+    return MeanRecallAtK(results, bed.truth, 10);
+  };
+  const double scalar_recall = recall_under(true);
+  const double dispatched_recall = recall_under(false);
+  EXPECT_GT(scalar_recall, 0.8);
+  EXPECT_GT(dispatched_recall, 0.8);
+  EXPECT_NEAR(scalar_recall, dispatched_recall, 0.05);
+}
+
+TEST(DistanceKernels, ScannTreeRecallParityScalarVsDispatched) {
+  // The tree's leaf scan runs on the packed layout; recall must not
+  // depend on the kernel variant.
+  const rago::testing::AnnTestBed bed = rago::testing::MakeAnnTestBed();
+  auto recall_under = [&](bool force_scalar) {
+    ForceScalarGuard guard(force_scalar);
+    Rng rng(9);
+    ScannTreeOptions options;
+    options.levels = 2;
+    options.fanout = 8;
+    const ScannTree tree(rago::testing::CopyMatrix(bed.data), options, rng);
+    std::vector<std::vector<Neighbor>> results;
+    for (size_t q = 0; q < bed.queries.rows(); ++q) {
+      results.push_back(
+          tree.Search(bed.queries.Row(q), 10, /*beam=*/8, /*rerank=*/50));
     }
     return MeanRecallAtK(results, bed.truth, 10);
   };

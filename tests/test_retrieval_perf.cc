@@ -288,9 +288,21 @@ TEST(Roofline, AccountingClosedFormsMatchHandComputation) {
   EXPECT_DOUBLE_EQ(adc.bytes, 4096.0 * 16 + 16.0 * 256 * 4 + 4096.0 * 4);
   EXPECT_DOUBLE_EQ(adc.flops, 4096.0 * 16);
 
+  // Packed ADC: whole-block multiples of the code stream, same FLOPs.
+  // 4096 is block-aligned, so the streams match the strided scan.
+  const KernelWork packed = AccountAdcPackedScan(4096, 16);
+  EXPECT_DOUBLE_EQ(packed.bytes, adc.bytes);
+  EXPECT_DOUBLE_EQ(packed.flops, adc.flops);
+  // 4097 codes pad to 129 blocks of 32; outputs stay unpadded.
+  const KernelWork padded = AccountAdcPackedScan(4097, 16);
+  EXPECT_DOUBLE_EQ(padded.bytes,
+                   129.0 * 32 * 16 + 16.0 * 256 * 4 + 4097.0 * 4);
+  EXPECT_DOUBLE_EQ(padded.flops, 4097.0 * 16);
+
   EXPECT_THROW(AccountBatchScan(ann::Metric::kL2, 0, 64), ConfigError);
   EXPECT_THROW(AccountTileScan(ann::Metric::kL2, 8, 1000, 0), ConfigError);
   EXPECT_THROW(AccountAdcScan(4096, 0), ConfigError);
+  EXPECT_THROW(AccountAdcPackedScan(0, 16), ConfigError);
 }
 
 TEST(Roofline, TileIntensityGrowsWithTileHeight) {
@@ -325,6 +337,7 @@ TEST(Roofline, ClassificationFollowsTheRidge) {
     EXPECT_TRUE(profiler.ProfileIpBatch().memory_bound);
     EXPECT_TRUE(profiler.ProfileL2Tile().memory_bound);
     EXPECT_TRUE(profiler.ProfileAdc().memory_bound);
+    EXPECT_TRUE(profiler.ProfileAdcPacked().memory_bound);
   }
 
   // Ridge far below: the compute roof binds everywhere.
@@ -353,7 +366,8 @@ TEST(Roofline, ProfiledPointsAreInternallyConsistent) {
 
   for (const KernelRooflinePoint& point :
        {profiler.ProfileL2Batch(), profiler.ProfileIpBatch(),
-        profiler.ProfileL2Tile(), profiler.ProfileAdc()}) {
+        profiler.ProfileL2Tile(), profiler.ProfileAdc(),
+        profiler.ProfileAdcPacked()}) {
     EXPECT_FALSE(point.kernel.empty());
     EXPECT_EQ(point.variant, ann::kernels::Active().name);
     EXPECT_GT(point.seconds, 0.0);
