@@ -34,6 +34,7 @@
  * uploaded as a CI artifact next to the metrics document. With
  * `--baseline`, exits non-zero listing every band violation.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cmath>
@@ -54,6 +55,9 @@
 #include "retrieval/perf/roofline.h"
 #include "retrieval/serving/calibration.h"
 #include "retrieval/serving/sharded_index.h"
+#include "serving/obs/flight_recorder.h"
+#include "serving/obs/slo_alerts.h"
+#include "serving/obs/timeseries.h"
 #include "serving/obs/trace.h"
 #include "serving/runtime/runtime.h"
 #include "serving/runtime/workload.h"
@@ -299,6 +303,29 @@ int main(int argc, char** argv) {
   const opt::ScheduledPoint chosen = analytic.MaxQpsPerChip();
 
   obs::TraceRecorder trace;
+  // Deterministic sampling: a quarter of requests by id hash plus the
+  // eight worst survivors — the pinned trace counts below freeze the
+  // sampled shape, so a sampling regression fails the baseline check.
+  obs::TraceSamplingOptions sampling;
+  sampling.head_rate = 0.25;
+  sampling.tail_keep = 8;
+  sampling.seed = 17;
+  trace.SetSampling(sampling);
+
+  // Windowed telemetry + burn-rate alerting + flight recorder, all fed
+  // by the runtime on the virtual clock.
+  obs::TimeSeriesOptions ts_options;
+  ts_options.window_seconds = 0.05;
+  ts_options.windows_per_level = 16;
+  obs::TelemetryTimeSeries series(ts_options);
+  obs::SloAlertOptions alert_options;
+  alert_options.attainment_goal = 0.95;
+  alert_options.rules.push_back({});  // Default page rule.
+  alert_options.rules.back().short_window_seconds = 0.15;
+  alert_options.rules.back().long_window_seconds = 0.6;
+  obs::SloAlertEngine alert_engine(alert_options);
+  obs::FlightRecorder flight(96);
+
   MetricsRegistry metrics;
   RuntimeOptions options;
   options.admission_queue_limit = 512;
@@ -306,6 +333,9 @@ int main(int argc, char** argv) {
   options.slo.tpot_seconds = chosen.perf.tpot * 3.0;
   options.trace = &trace;
   options.metrics = &metrics;
+  options.timeseries = &series;
+  options.alerts = &alert_engine;
+  options.flight = &flight;
   const ServingRuntime server(model, chosen.schedule, tier, options);
 
   const int requests = quick ? 240 : 1'000;
@@ -325,9 +355,26 @@ int main(int argc, char** argv) {
 
   int64_t trace_spans = 0;
   int64_t trace_instants = 0;
+  int64_t trace_counters = 0;
   for (const obs::TraceEvent& event : trace.events()) {
-    (event.phase == obs::TraceEvent::Phase::kComplete ? trace_spans
-                                                      : trace_instants)++;
+    switch (event.phase) {
+      case obs::TraceEvent::Phase::kComplete: ++trace_spans; break;
+      case obs::TraceEvent::Phase::kInstant: ++trace_instants; break;
+      case obs::TraceEvent::Phase::kCounter: ++trace_counters; break;
+    }
+  }
+
+  // Worst windowed attainment across every retained ladder window that
+  // saw terminal events — the windowed view of the SLO story that the
+  // run-level attainment scalar averages away.
+  double min_window_attainment = 1.0;
+  for (int level = 0; level < ts_options.levels; ++level) {
+    for (const obs::WindowStats& window : series.Level(level)) {
+      if (window.completed + window.rejected > 0) {
+        min_window_attainment =
+            std::min(min_window_attainment, window.Attainment());
+      }
+    }
   }
 
   // --- Roofline: machine peaks + the four scan shapes. ---
@@ -360,11 +407,25 @@ int main(int argc, char** argv) {
   // --- Report. ---
   Banner("observability trajectory (scalar kernels, traced run)");
   std::printf("run: %d requests, digest %s, %zu trace events "
-              "(%lld spans, %lld instants), %d streaming histograms\n",
+              "(%lld spans, %lld instants, %lld counters), "
+              "%d streaming histograms\n",
               requests, DigestHex(result.outcome_digest).c_str(),
               trace.size(), static_cast<long long>(trace_spans),
               static_cast<long long>(trace_instants),
+              static_cast<long long>(trace_counters),
               result.streaming_histograms);
+  std::printf("telemetry: %lld windows closed (%lld folded, %lld "
+              "dropped, %zu held), min window attainment %.3f, "
+              "%lld/%lld requests trace-sampled, %zu alert transitions, "
+              "flight ring %zu/%lld\n",
+              static_cast<long long>(series.windows_closed()),
+              static_cast<long long>(series.windows_folded()),
+              static_cast<long long>(series.windows_dropped()),
+              series.WindowsHeld(), min_window_attainment,
+              static_cast<long long>(trace.sampled_requests()),
+              static_cast<long long>(trace.finalized_requests()),
+              alert_engine.transitions().size(), flight.size(),
+              static_cast<long long>(flight.appended()));
   std::printf("serving: %.1f QPS virtual, p50/p95 TTFT %.1f/%.1f ms, "
               "attainment %.3f; scheduler overhead %.0f req/s wall\n",
               result.throughput, result.ttft.Percentile(0.5) * 1e3,
@@ -409,6 +470,18 @@ int main(int argc, char** argv) {
   json.Key("streaming_histograms").Int(result.streaming_histograms);
   json.Key("trace_spans").Int(trace_spans);
   json.Key("trace_instants").Int(trace_instants);
+  json.Key("trace_counters").Int(trace_counters);
+  json.Key("trace_finalized").Int(trace.finalized_requests());
+  json.Key("trace_sampled").Int(trace.sampled_requests());
+  json.Key("trace_discarded").Int(trace.discarded_requests());
+  json.Key("windows_closed").Int(series.windows_closed());
+  json.Key("windows_folded").Int(series.windows_folded());
+  json.Key("windows_dropped").Int(series.windows_dropped());
+  json.Key("windows_held").Int(static_cast<int64_t>(series.WindowsHeld()));
+  json.Key("alert_transitions")
+      .Int(static_cast<int64_t>(alert_engine.transitions().size()));
+  json.Key("flight_appended").Int(flight.appended());
+  json.Key("flight_dropped").Int(flight.dropped());
   json.Key("batches_flushed")
       .Int(metrics.FindCounter("runtime.batches_flushed")->value());
   json.Key("full_batches")
@@ -424,6 +497,7 @@ int main(int argc, char** argv) {
   json.Key("p95_queue_wait_seconds")
       .Number(result.queue_wait.Percentile(0.95));
   json.Key("slo_attainment").Number(result.slo_attainment);
+  json.Key("min_window_attainment").Number(min_window_attainment);
   json.Key("decode_utilization").Number(result.decode_utilization);
   json.Key("kernels").BeginObject();
   for (const auto& point : points) {

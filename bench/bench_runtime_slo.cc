@@ -20,6 +20,8 @@
 #include "hardware/cluster.h"
 #include "retrieval/ann/dataset.h"
 #include "retrieval/serving/sharded_index.h"
+#include "serving/obs/slo_alerts.h"
+#include "serving/obs/timeseries.h"
 #include "serving/runtime/runtime.h"
 #include "serving/runtime/workload.h"
 
@@ -50,28 +52,40 @@ int main(int argc, char** argv) {
   const opt::ScheduledPoint chosen =
       opt::Optimizer(model, grid).Search().MaxQpsPerChip();
 
-  RuntimeOptions options;
-  options.admission_queue_limit = 512;
-  options.slo.ttft_seconds = chosen.perf.ttft * 3.0 + 0.1;
-  options.slo.tpot_seconds = chosen.perf.tpot * 3.0;
-  const ServingRuntime server(model, chosen.schedule, tier, options);
+  RuntimeOptions base_options;
+  base_options.admission_queue_limit = 512;
+  base_options.slo.ttft_seconds = chosen.perf.ttft * 3.0 + 0.1;
+  base_options.slo.tpot_seconds = chosen.perf.tpot * 3.0;
+
+  // Windowed attainment + burn-rate alerting per operating point: the
+  // scalar attainment says how much of the run met the SLO, the worst
+  // window and the alert count say how the misses clustered.
+  obs::TimeSeriesOptions ts_options;
+  ts_options.window_seconds = 0.1;
+  ts_options.windows_per_level = 32;
+  obs::SloAlertOptions alert_options;
+  alert_options.attainment_goal = 0.95;
+  alert_options.rules.push_back({});  // Default page rule.
+  alert_options.rules.back().short_window_seconds = 0.3;
+  alert_options.rules.back().long_window_seconds = 1.5;
 
   Banner("runtime SLO sweep (optimizer-chosen schedule, live scans)");
   std::printf("schedule: analytical %.1f QPS, TTFT %.1f ms; SLO "
               "(TTFT %.0f ms, TPOT %.1f ms)\n",
               chosen.perf.qps, ToMillis(chosen.perf.ttft),
-              options.slo.ttft_seconds * 1e3,
-              options.slo.tpot_seconds * 1e3);
+              base_options.slo.ttft_seconds * 1e3,
+              base_options.slo.tpot_seconds * 1e3);
 
   TextTable table;
   table.SetHeader({"workload", "load x", "QPS", "rejected", "p50 TTFT ms",
                    "p95 TTFT ms", "p99 TTFT ms", "p95 TPOT ms",
-                   "p95 wait ms", "SLO att."});
+                   "p95 wait ms", "SLO att.", "worst win", "alerts"});
 
   JsonWriter json = StartBenchJson("runtime_slo");
   json.Key("analytical_qps").Number(chosen.perf.qps);
-  json.Key("slo_ttft_seconds").Number(options.slo.ttft_seconds);
-  json.Key("slo_tpot_seconds").Number(options.slo.tpot_seconds);
+  json.Key("slo_ttft_seconds").Number(base_options.slo.ttft_seconds);
+  json.Key("slo_tpot_seconds").Number(base_options.slo.tpot_seconds);
+  json.Key("attainment_goal").Number(alert_options.attainment_goal);
   json.Key("results").BeginArray();
 
   const int requests = 500;
@@ -98,7 +112,28 @@ int main(int argc, char** argv) {
         diurnal.amplitude = 0.8;
         trace = DiurnalTrace(requests, diurnal, 71);
       }
+      obs::TelemetryTimeSeries series(ts_options);
+      obs::SloAlertEngine alert_engine(alert_options);
+      RuntimeOptions options = base_options;
+      options.timeseries = &series;
+      options.alerts = &alert_engine;
+      const ServingRuntime server(model, chosen.schedule, tier, options);
       const RuntimeResult result = server.Serve(trace, query_pool);
+
+      double min_window_attainment = 1.0;
+      for (int level = 0; level < ts_options.levels; ++level) {
+        for (const obs::WindowStats& window : series.Level(level)) {
+          if (window.completed + window.rejected > 0 &&
+              window.Attainment() < min_window_attainment) {
+            min_window_attainment = window.Attainment();
+          }
+        }
+      }
+      int64_t alerts_fired = 0;
+      for (const obs::AlertTransition& transition :
+           alert_engine.transitions()) {
+        alerts_fired += transition.firing ? 1 : 0;
+      }
 
       table.AddRow({scenario, TextTable::Num(load, 2),
                     TextTable::Num(result.throughput, 4),
@@ -109,7 +144,9 @@ int main(int argc, char** argv) {
                     TextTable::Num(result.tpot.Percentile(0.95) * 1e3, 4),
                     TextTable::Num(
                         result.queue_wait.Percentile(0.95) * 1e3, 4),
-                    TextTable::Num(result.slo_attainment, 4)});
+                    TextTable::Num(result.slo_attainment, 4),
+                    TextTable::Num(min_window_attainment, 4),
+                    std::to_string(alerts_fired)});
 
       json.BeginObject();
       json.Key("workload").String(scenario);
@@ -123,6 +160,11 @@ int main(int argc, char** argv) {
       json.Key("p95_tpot").Number(result.tpot.Percentile(0.95));
       json.Key("p95_queue_wait").Number(result.queue_wait.Percentile(0.95));
       json.Key("slo_attainment").Number(result.slo_attainment);
+      json.Key("min_window_attainment").Number(min_window_attainment);
+      json.Key("windows_closed").Int(series.windows_closed());
+      json.Key("alert_transitions")
+          .Int(static_cast<int64_t>(alert_engine.transitions().size()));
+      json.Key("alerts_fired").Int(alerts_fired);
       json.Key("real_scan_seconds").Number(result.real_scan_seconds);
       json.Key("real_scan_bytes").Number(result.real_scan_bytes);
       json.EndObject();

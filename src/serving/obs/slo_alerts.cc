@@ -1,0 +1,171 @@
+#include "serving/obs/slo_alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rago::obs {
+
+void
+BurnRateRule::Validate() const {
+  RAGO_REQUIRE(!name.empty(), "burn-rate rule needs a name");
+  RAGO_REQUIRE(short_window_seconds > 0.0 &&
+                   std::isfinite(short_window_seconds),
+               "short window must be positive and finite");
+  RAGO_REQUIRE(long_window_seconds > short_window_seconds &&
+                   std::isfinite(long_window_seconds),
+               "long window must exceed the short window");
+  RAGO_REQUIRE(burn_threshold > 0.0 && std::isfinite(burn_threshold),
+               "burn threshold must be positive and finite");
+  RAGO_REQUIRE(fire_after >= 1, "fire_after must be at least 1");
+  RAGO_REQUIRE(clear_after >= 1, "clear_after must be at least 1");
+}
+
+void
+SloAlertOptions::Validate() const {
+  RAGO_REQUIRE(attainment_goal > 0.0 && attainment_goal < 1.0,
+               "attainment goal must lie strictly inside (0, 1)");
+  for (const BurnRateRule& rule : rules) {
+    rule.Validate();
+  }
+}
+
+SloAlertEngine::SloAlertEngine(SloAlertOptions options)
+    : options_(std::move(options)) {
+  options_.Validate();
+  for (const BurnRateRule& rule : options_.rules) {
+    max_horizon_ = std::max(max_horizon_, rule.long_window_seconds);
+  }
+  states_.resize(options_.rules.size());
+}
+
+double
+SloAlertEngine::BurnRate(double window_seconds, double end) const {
+  // Fine windows whose end lies in (end - horizon, end] contribute
+  // whole; the horizon is quantized to the telemetry resolution.
+  const double cutoff = end - window_seconds;
+  int64_t bad = 0;
+  int64_t total = 0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    const double window_end = it->start + it->span;
+    if (window_end > end) {
+      continue;
+    }
+    if (window_end <= cutoff) {
+      break;
+    }
+    bad += (it->completed - it->slo_ok) + it->rejected;
+    total += it->completed + it->rejected;
+  }
+  if (total == 0) {
+    return 0.0;  // No terminal events: no budget consumed.
+  }
+  const double error_rate =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return error_rate / (1.0 - options_.attainment_goal);
+}
+
+std::vector<AlertTransition>
+SloAlertEngine::Observe(const WindowSummary& window) {
+  if (!history_.empty()) {
+    RAGO_REQUIRE(window.start >= history_.back().start,
+                 "windows must be observed oldest first");
+  }
+  history_.push_back(window);
+  const double end = window.start + window.span;
+  // Evict windows that no longer reach any rule's horizon.
+  while (!history_.empty() &&
+         history_.front().start + history_.front().span <=
+             end - max_horizon_) {
+    history_.pop_front();
+  }
+
+  std::vector<AlertTransition> fresh;
+  for (size_t r = 0; r < options_.rules.size(); ++r) {
+    const BurnRateRule& rule = options_.rules[r];
+    RuleState& state = states_[r];
+    const double short_burn = BurnRate(rule.short_window_seconds, end);
+    const double long_burn = BurnRate(rule.long_window_seconds, end);
+    const bool breach =
+        short_burn >= rule.burn_threshold && long_burn >= rule.burn_threshold;
+    if (!state.firing) {
+      state.breach_streak = breach ? state.breach_streak + 1 : 0;
+      if (state.breach_streak >= rule.fire_after) {
+        state.firing = true;
+        state.breach_streak = 0;
+        state.clean_streak = 0;
+        fresh.push_back({end, static_cast<int>(r), true, short_burn,
+                         long_burn});
+      }
+    } else {
+      // Clearing keys off the short window only: recovery should be
+      // visible immediately even while the long horizon still burns.
+      const bool clean = short_burn < rule.burn_threshold;
+      state.clean_streak = clean ? state.clean_streak + 1 : 0;
+      if (state.clean_streak >= rule.clear_after) {
+        state.firing = false;
+        state.breach_streak = 0;
+        state.clean_streak = 0;
+        fresh.push_back({end, static_cast<int>(r), false, short_burn,
+                         long_burn});
+      }
+    }
+  }
+  transitions_.insert(transitions_.end(), fresh.begin(), fresh.end());
+  return fresh;
+}
+
+bool
+SloAlertEngine::Firing(int rule) const {
+  RAGO_REQUIRE(rule >= 0 && static_cast<size_t>(rule) < states_.size(),
+               "rule index out of range");
+  return states_[static_cast<size_t>(rule)].firing;
+}
+
+void
+SloAlertEngine::Clear() {
+  history_.clear();
+  transitions_.clear();
+  states_.assign(options_.rules.size(), RuleState{});
+}
+
+void
+SloAlertEngine::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("attainment_goal").Number(options_.attainment_goal);
+  json.Key("rules").BeginArray();
+  for (size_t r = 0; r < options_.rules.size(); ++r) {
+    const BurnRateRule& rule = options_.rules[r];
+    json.BeginObject();
+    json.Key("burn_threshold").Number(rule.burn_threshold);
+    json.Key("firing").Bool(states_[r].firing);
+    json.Key("long_window_seconds").Number(rule.long_window_seconds);
+    json.Key("name").String(rule.name);
+    json.Key("short_window_seconds").Number(rule.short_window_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("transitions").BeginArray();
+  for (const AlertTransition& transition : transitions_) {
+    json.BeginObject();
+    json.Key("firing").Bool(transition.firing);
+    json.Key("long_burn").Number(transition.long_burn);
+    json.Key("rule").Int(transition.rule);
+    json.Key("short_burn").Number(transition.short_burn);
+    json.Key("time").Number(transition.time);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string
+SloAlertEngine::Json() const {
+  JsonWriter json;
+  WriteJson(json);
+  return json.str();
+}
+
+}  // namespace rago::obs

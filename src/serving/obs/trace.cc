@@ -1,11 +1,40 @@
 #include "serving/obs/trace.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+
 namespace rago::obs {
 namespace {
 
 constexpr double kMicrosPerSecond = 1e6;
+/// Track group carrying per-request rows (matches both engines).
+constexpr int kRequestPid = 1;
 
 }  // namespace
+
+uint64_t
+HashRequestId(uint64_t seed, int64_t request_id) {
+  // FNV-1a over the 16 bytes of (seed, id) — same constants as the
+  // outcome digest, pure function of its inputs.
+  uint64_t hash = 14695981039346656037ull;
+  const auto fold = [&hash](uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (byte * 8)) & 0xffull;
+      hash *= 1099511628211ull;
+    }
+  };
+  fold(seed);
+  fold(static_cast<uint64_t>(request_id));
+  return hash;
+}
+
+void
+TraceSamplingOptions::Validate() const {
+  RAGO_REQUIRE(head_rate >= 0.0 && head_rate <= 1.0,
+               "head_rate must lie in [0, 1]");
+  RAGO_REQUIRE(tail_keep >= 0, "tail_keep must be non-negative");
+}
 
 void
 TraceRecorder::SetProcessName(int pid, std::string name) {
@@ -14,7 +43,40 @@ TraceRecorder::SetProcessName(int pid, std::string name) {
 
 void
 TraceRecorder::SetThreadName(int pid, int tid, std::string name) {
+  if (sampling_active_ && pid == kRequestPid) {
+    pending_[tid].thread_name = std::move(name);
+    return;
+  }
   thread_names_[{pid, tid}] = std::move(name);
+}
+
+void
+TraceRecorder::SetSampling(TraceSamplingOptions options) {
+  options.Validate();
+  RAGO_REQUIRE(events_.empty() && pending_.empty() && tail_.empty(),
+               "sampling must be configured before recording");
+  sampling_ = options;
+  sampling_active_ = options.head_rate < 1.0 || options.tail_keep > 0;
+}
+
+bool
+TraceRecorder::HeadSampled(int64_t request_id) const {
+  // Top 53 bits -> uniform double in [0, 1); compare against the rate.
+  const uint64_t hash = HashRequestId(sampling_.seed, request_id);
+  const double coin =
+      static_cast<double>(hash >> 11) * 0x1.0p-53;
+  return coin < sampling_.head_rate;
+}
+
+TraceEvent&
+TraceRecorder::Append(TraceEvent event) {
+  if (sampling_active_ && event.request_id >= 0) {
+    std::vector<TraceEvent>& buffer = pending_[event.request_id].events;
+    buffer.push_back(std::move(event));
+    return buffer.back();
+  }
+  events_.push_back(std::move(event));
+  return events_.back();
 }
 
 TraceEvent&
@@ -30,8 +92,7 @@ TraceRecorder::AddComplete(std::string name, std::string category, int pid,
   event.start = start;
   event.duration = duration;
   event.request_id = request_id;
-  events_.push_back(std::move(event));
-  return events_.back();
+  return Append(std::move(event));
 }
 
 TraceEvent&
@@ -45,8 +106,100 @@ TraceRecorder::AddInstant(std::string name, std::string category, int pid,
   event.tid = tid;
   event.start = time;
   event.request_id = request_id;
-  events_.push_back(std::move(event));
-  return events_.back();
+  return Append(std::move(event));
+}
+
+TraceEvent&
+TraceRecorder::AddCounter(std::string name, std::string category, int pid,
+                          int tid, double time, double value) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kCounter;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.pid = pid;
+  event.tid = tid;
+  event.start = time;
+  event.args.emplace_back("value", value);
+  return Append(std::move(event));
+}
+
+void
+TraceRecorder::Commit(int64_t request_id, PendingRequest request) {
+  if (!request.thread_name.empty()) {
+    thread_names_[{kRequestPid, static_cast<int>(request_id)}] =
+        std::move(request.thread_name);
+  }
+  for (TraceEvent& event : request.events) {
+    events_.push_back(std::move(event));
+  }
+}
+
+bool
+TraceRecorder::TailWorse(const TailEntry& a, const TailEntry& b) {
+  if (a.slo_violation != b.slo_violation) {
+    return a.slo_violation;  // Violators outrank merely-slow requests.
+  }
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  return a.request_id < b.request_id;
+}
+
+void
+TraceRecorder::FinalizeRequest(int64_t request_id, double score,
+                               bool slo_violation) {
+  if (!sampling_active_) {
+    return;
+  }
+  PendingRequest request;
+  auto it = pending_.find(request_id);
+  if (it != pending_.end()) {
+    request = std::move(it->second);
+    pending_.erase(it);
+  }
+  ++finalized_requests_;
+  if (HeadSampled(request_id)) {
+    Commit(request_id, std::move(request));
+    ++sampled_requests_;
+    return;
+  }
+  if (sampling_.tail_keep > 0) {
+    TailEntry entry;
+    entry.request_id = request_id;
+    entry.score = score;
+    entry.slo_violation = slo_violation;
+    entry.request = std::move(request);
+    // Insert in worst-first order; evict the best-ranked entry once
+    // over capacity. K is small, so linear insertion is fine.
+    auto pos = std::upper_bound(
+        tail_.begin(), tail_.end(), entry,
+        [](const TailEntry& a, const TailEntry& b) {
+          return TailWorse(a, b);
+        });
+    tail_.insert(pos, std::move(entry));
+    if (tail_.size() > static_cast<size_t>(sampling_.tail_keep)) {
+      tail_.pop_back();
+      ++discarded_requests_;
+    }
+    return;
+  }
+  ++discarded_requests_;
+}
+
+void
+TraceRecorder::FlushTailKeep() {
+  if (!sampling_active_ || tail_.empty()) {
+    return;
+  }
+  std::sort(tail_.begin(), tail_.end(),
+            [](const TailEntry& a, const TailEntry& b) {
+              return a.request_id < b.request_id;
+            });
+  for (TailEntry& entry : tail_) {
+    Commit(entry.request_id, std::move(entry.request));
+    ++sampled_requests_;
+  }
+  tail_.clear();
 }
 
 std::vector<const TraceEvent*>
@@ -65,6 +218,11 @@ TraceRecorder::Clear() {
   events_.clear();
   process_names_.clear();
   thread_names_.clear();
+  pending_.clear();
+  tail_.clear();
+  finalized_requests_ = 0;
+  sampled_requests_ = 0;
+  discarded_requests_ = 0;
 }
 
 void
@@ -100,7 +258,8 @@ TraceRecorder::WriteChromeTrace(JsonWriter& json) const {
   for (const TraceEvent& event : events_) {
     json.BeginObject();
     const bool complete = event.phase == TraceEvent::Phase::kComplete;
-    json.Key("ph").String(complete ? "X" : "i");
+    const bool counter = event.phase == TraceEvent::Phase::kCounter;
+    json.Key("ph").String(complete ? "X" : (counter ? "C" : "i"));
     json.Key("name").String(event.name);
     json.Key("cat").String(event.category);
     json.Key("pid").Int(event.pid);
@@ -108,7 +267,7 @@ TraceRecorder::WriteChromeTrace(JsonWriter& json) const {
     json.Key("ts").Number(event.start * kMicrosPerSecond);
     if (complete) {
       json.Key("dur").Number(event.duration * kMicrosPerSecond);
-    } else {
+    } else if (!counter) {
       json.Key("s").String("t");  // Instant scoped to its thread row.
     }
     if (event.request_id >= 0 || !event.args.empty()) {

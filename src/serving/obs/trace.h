@@ -23,6 +23,16 @@
  * invariance tests pin exactly this. Timestamps are virtual seconds;
  * the exporter scales to the microseconds chrome://tracing expects.
  * Not thread-safe (all appends happen on the serial scheduler loop).
+ *
+ * **Deterministic sampling** keeps the export usable at soak scale:
+ * with `TraceSamplingOptions` set, per-request events buffer until the
+ * engine finalizes the request, then commit only when the request is
+ * head-sampled (an FNV-1a hash of its id against `head_rate` — a pure
+ * function of (seed, id), so the sampled subset is identical for any
+ * thread count and any arrival interleaving) or survives the tail-keep
+ * ring, which always retains the `tail_keep` worst requests (SLO
+ * violators first, then slowest). Events with no request id (server
+ * rows, counters) bypass sampling entirely.
  */
 #ifndef RAGO_SERVING_OBS_TRACE_H
 #define RAGO_SERVING_OBS_TRACE_H
@@ -37,11 +47,31 @@
 
 namespace rago::obs {
 
+/// FNV-1a hash of (seed, request id); the head-sampling coin.
+uint64_t HashRequestId(uint64_t seed, int64_t request_id);
+
+/// Head-rate + tail-keep sampling policy for a TraceRecorder.
+struct TraceSamplingOptions {
+  /// Fraction of requests committed unconditionally, decided by
+  /// hash(seed, id) < head_rate. 1.0 (default) disables sampling:
+  /// every event commits immediately, exactly as before.
+  double head_rate = 1.0;
+  /// Worst-request ring size: the K requests with the highest
+  /// (violation, score) survive even when not head-sampled. 0 = off.
+  int tail_keep = 0;
+  /// Seed for the sampling hash; independent of the workload seed.
+  uint64_t seed = 0;
+
+  /// Throws ConfigError on head_rate outside [0, 1] or tail_keep < 0.
+  void Validate() const;
+};
+
 /// One recorded trace event (virtual-clock seconds).
 struct TraceEvent {
   enum class Phase {
     kComplete,  ///< Duration span ("X" in the trace-event format).
     kInstant,   ///< Point event ("i").
+    kCounter,   ///< Counter sample ("C"): value tracks over time.
   };
 
   Phase phase = Phase::kComplete;
@@ -66,6 +96,9 @@ class TraceRecorder {
   /// Names a pid group ("servers", "requests").
   void SetProcessName(int pid, std::string name);
   /// Names one track within a pid group ("server 0 (xpu)", "req 7").
+  /// Under sampling, names on the request group (pid 1, tid = request
+  /// id) defer with the request's events so unsampled requests leave
+  /// no metadata behind.
   void SetThreadName(int pid, int tid, std::string name);
 
   /// Appends a duration span; the returned reference stays valid until
@@ -76,6 +109,44 @@ class TraceRecorder {
   /// Appends a point event.
   TraceEvent& AddInstant(std::string name, std::string category, int pid,
                          int tid, double time, int64_t request_id = -1);
+  /// Appends a counter sample ("C" event): `name` identifies the
+  /// counter track within `pid`, `value` its level at `time`.
+  TraceEvent& AddCounter(std::string name, std::string category, int pid,
+                         int tid, double time, double value);
+
+  /**
+   * Enables deterministic sampling. Must be called while the recorder
+   * is empty; with the default options it is a no-op (head_rate 1.0
+   * keeps the direct-commit path). While active, events carrying a
+   * request id buffer per request until FinalizeRequest decides their
+   * fate; request-less events still commit immediately.
+   */
+  void SetSampling(TraceSamplingOptions options);
+  const TraceSamplingOptions& sampling() const { return sampling_; }
+  /// True when a non-default sampling policy is active.
+  bool sampling_active() const { return sampling_active_; }
+  /// The head-sampling verdict for a request id (pure function).
+  bool HeadSampled(int64_t request_id) const;
+
+  /**
+   * Seals a request's buffered events: commits them when the id is
+   * head-sampled, otherwise offers them to the tail-keep ring keyed by
+   * (slo_violation desc, score desc, id asc) — `score` is typically
+   * the request's latency. No-op when sampling is inactive.
+   */
+  void FinalizeRequest(int64_t request_id, double score,
+                       bool slo_violation);
+  /// Commits the tail-keep survivors (ascending request id) at end of
+  /// run; further finalizations start a fresh ring.
+  void FlushTailKeep();
+
+  /// Requests finalized / committed / discarded under sampling.
+  int64_t finalized_requests() const { return finalized_requests_; }
+  int64_t sampled_requests() const { return sampled_requests_; }
+  int64_t discarded_requests() const { return discarded_requests_; }
+  /// Requests currently buffered (not yet finalized) / in the ring.
+  size_t pending_requests() const { return pending_.size(); }
+  size_t tail_kept() const { return tail_.size(); }
 
   size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
@@ -103,9 +174,35 @@ class TraceRecorder {
   std::string RequestSummaryJson() const;
 
  private:
+  /// Per-request buffer while sampling defers the commit decision.
+  struct PendingRequest {
+    std::string thread_name;  ///< Deferred pid-1 track name, if any.
+    std::vector<TraceEvent> events;
+  };
+  /// Tail-keep candidate: a finalized, non-head-sampled request.
+  struct TailEntry {
+    int64_t request_id = 0;
+    double score = 0.0;
+    bool slo_violation = false;
+    PendingRequest request;
+  };
+
+  /// True when `a` outranks `b` for a tail-keep slot.
+  static bool TailWorse(const TailEntry& a, const TailEntry& b);
+  TraceEvent& Append(TraceEvent event);
+  void Commit(int64_t request_id, PendingRequest request);
+
   std::vector<TraceEvent> events_;
   std::map<int, std::string> process_names_;
   std::map<std::pair<int, int>, std::string> thread_names_;
+
+  TraceSamplingOptions sampling_;
+  bool sampling_active_ = false;
+  std::map<int64_t, PendingRequest> pending_;
+  std::vector<TailEntry> tail_;  ///< Kept sorted worst-first, size <= K.
+  int64_t finalized_requests_ = 0;
+  int64_t sampled_requests_ = 0;
+  int64_t discarded_requests_ = 0;
 };
 
 }  // namespace rago::obs

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <map>
 #include <queue>
 #include <utility>
@@ -112,6 +113,8 @@ RuntimeOptions::Validate() const {
   RAGO_REQUIRE(timeline_limit >= 0, "timeline_limit must be >= 0");
   RAGO_REQUIRE(histogram_sample_cap > 0,
                "histogram_sample_cap must be positive");
+  RAGO_REQUIRE(alerts == nullptr || timeseries != nullptr,
+               "burn-rate alerting requires a telemetry time-series");
   cache.Validate();
 }
 
@@ -273,6 +276,23 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
     trace->SetThreadName(0, decode_row, "decode pool");
   }
 
+  // --- Windowed telemetry, burn-rate alerting, flight recorder (all
+  // opt-in; driven on the virtual clock from the serial loop, so every
+  // surface is thread-count invariant, and observation-only except the
+  // explicitly-opted-in alert digest fold). ---
+  obs::TelemetryTimeSeries* series = options_.timeseries;
+  obs::SloAlertEngine* alerts = options_.alerts;
+  obs::FlightRecorder* flight = options_.flight;
+  const int alert_row = decode_row + 1;
+  if (trace != nullptr && alerts != nullptr) {
+    trace->SetThreadName(0, alert_row, "slo alerts");
+  }
+  if (flight != nullptr) {
+    flight->Append(0.0, "note",
+                   "serve begin: " + std::to_string(result.submitted) +
+                       " requests");
+  }
+
   const int qpr = model_.schema().retrieval.queries_per_retrieval;
   const size_t pool_rows = query_pool.rows();
   RAGO_CHECK(row_start.size() == workload.arrivals.size(),
@@ -341,7 +361,67 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
   };
   std::vector<InFlight> in_flight;
 
+  // Feeds every closed fine window to the flight recorder and the
+  // alert engine; alert transitions become trace instants, flight
+  // records, and (only when opted in) digest folds.
+  auto drain_telemetry_windows = [&]() {
+    for (const obs::WindowSummary& window : series->DrainClosed()) {
+      const double end = window.start + window.span;
+      if (flight != nullptr && (window.offered > 0 || window.completed > 0)) {
+        flight->Append(end, "window",
+                       "offered=" + std::to_string(window.offered) +
+                           " completed=" + std::to_string(window.completed) +
+                           " rejected=" + std::to_string(window.rejected),
+                       window.attainment);
+      }
+      if (alerts == nullptr) {
+        continue;
+      }
+      for (const obs::AlertTransition& transition :
+           alerts->Observe(window)) {
+        const std::string& rule_name =
+            alerts->options()
+                .rules[static_cast<size_t>(transition.rule)]
+                .name;
+        if (flight != nullptr) {
+          flight->Append(transition.time, "alert",
+                         rule_name +
+                             (transition.firing ? " firing" : " clear"),
+                         transition.short_burn);
+        }
+        if (trace != nullptr) {
+          obs::TraceEvent& instant = trace->AddInstant(
+              "alert:" + rule_name +
+                  (transition.firing ? ":firing" : ":clear"),
+              "alert", 0, alert_row, transition.time);
+          instant.args.emplace_back("short_burn", transition.short_burn);
+          instant.args.emplace_back("long_burn", transition.long_burn);
+        }
+        if (alerts->options().fold_into_digest) {
+          digest = FnvFoldDouble(digest, transition.time);
+          digest = FnvFoldU64(digest,
+                              static_cast<uint64_t>(transition.rule));
+          digest = FnvFoldU64(digest, transition.firing ? 1u : 0u);
+        }
+      }
+    }
+  };
+  // Closes windows the virtual clock has passed; called once per
+  // popped event so alert evaluation lags arrivals by at most one
+  // event, never by wall time.
+  auto advance_telemetry = [&]() {
+    if (series == nullptr) {
+      return;
+    }
+    series->AdvanceTo(now);
+    drain_telemetry_windows();
+  };
+
   auto record_timeline = [&](size_t s) {
+    if (series != nullptr) {
+      series->RecordQueueDepth(now, static_cast<int>(s),
+                               static_cast<int64_t>(stages[s].queue.size()));
+    }
     StageTelemetry& telemetry = result.stages[s];
     if (static_cast<int>(telemetry.timeline.size()) >=
         options_.timeline_limit) {
@@ -476,6 +556,11 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
         }
         server_busy_until[server] = now + interval;
         telemetry.busy_seconds += interval;
+        if (series != nullptr) {
+          // Occupancy attributed to the window containing the batch
+          // start (windowed utilization is a rollup, not a partition).
+          series->RecordBusy(now, static_cast<int>(s), interval);
+        }
         telemetry.batches += 1;
         telemetry.full_batches +=
             static_cast<int64_t>(take) == stage.batch ? 1 : 0;
@@ -631,6 +716,16 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
         outcome.completion = now;
         outcome.tpot = (now - outcome.decode_start) / decode_tokens;
         ++completed;
+        // Same predicate the end-of-run aggregation applies; computed
+        // here so windowed telemetry sees the verdict at completion
+        // time.
+        const bool within_slo_now =
+            outcome.ttft <= options_.slo.ttft_seconds &&
+            outcome.tpot <= options_.slo.tpot_seconds;
+        if (series != nullptr) {
+          series->RecordCompletion(now, outcome.ttft, outcome.tpot,
+                                   outcome.queue_wait, within_slo_now);
+        }
         if (trace != nullptr) {
           trace->AddComplete("decode", "stage", 1, seq.id,
                              outcome.decode_start,
@@ -638,6 +733,9 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
           trace->AddComplete("request", "request", 1, seq.id,
                              outcome.arrival, now - outcome.arrival,
                              seq.id);
+          // Terminal: seal for sampling, scored by end-to-end latency.
+          trace->FinalizeRequest(seq.id, now - outcome.arrival,
+                                 !within_slo_now);
         }
       } else {
         still.push_back(seq);
@@ -647,11 +745,29 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
     admit_decode();
   };
 
+  // On any exception below (including RAGO_CHECK invariant failures)
+  // dump the flight recorder before unwinding, so the last moments of
+  // the run survive the crash.
+  struct FlightAbortGuard {
+    obs::FlightRecorder* flight;
+    const std::string* path;
+    const double* now;
+    ~FlightAbortGuard() {
+      if (flight != nullptr && std::uncaught_exceptions() > 0) {
+        flight->Append(*now, "exception", "serve aborted by exception");
+        if (!path->empty()) {
+          flight->DumpToFile(*path);
+        }
+      }
+    }
+  } flight_abort_guard{flight, &options_.flight_dump_path, &now};
+
   // --- Main loop. ---
   while (!events.empty()) {
     const Event event = events.top();
     events.pop();
     now = std::max(now, event.time);
+    advance_telemetry();
 
     switch (event.kind) {
       case 0: {  // Arrival: bounded admission into the first stage.
@@ -661,15 +777,30 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
             options_.admission_queue_limit) {
           outcome.admitted = false;
           ++result.rejected;
+          if (series != nullptr) {
+            series->RecordOffered(now, /*admitted=*/false);
+          }
+          if (flight != nullptr) {
+            flight->Append(now, "reject",
+                           "request " + std::to_string(event.a) +
+                               " shed at admission",
+                           static_cast<double>(stages[0].queue.size()));
+          }
           if (trace != nullptr) {
             trace->SetThreadName(1, event.a,
                                  "req " + std::to_string(event.a));
             trace->AddInstant("rejected", "admission", 1, event.a, now,
                               event.a);
+            // A rejection is terminal: seal the request for sampling
+            // (it scores as an SLO violation with zero latency).
+            trace->FinalizeRequest(event.a, 0.0, /*slo_violation=*/true);
           }
         } else {
           outcome.admitted = true;
           ++result.admitted;
+          if (series != nullptr) {
+            series->RecordOffered(now, /*admitted=*/true);
+          }
           if (trace != nullptr) {
             trace->SetThreadName(1, event.a,
                                  "req " + std::to_string(event.a));
@@ -710,6 +841,7 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
     const Event event = events.top();
     events.pop();
     now = std::max(now, event.time);
+    advance_telemetry();
     if (event.kind == 1) {
       complete_stage(static_cast<size_t>(event.a));
     } else if (event.kind == 3) {
@@ -721,6 +853,23 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
   RAGO_CHECK(completed == result.admitted,
              "serving runtime failed to drain all admitted requests");
   result.completed = completed;
+
+  // --- Seal the observation layer at virtual end-of-run. ---
+  if (series != nullptr) {
+    series->Finish(now);
+    drain_telemetry_windows();
+  }
+  if (trace != nullptr) {
+    trace->FlushTailKeep();
+  }
+  if (flight != nullptr) {
+    flight->Append(now, "note",
+                   "serve end: completed=" + std::to_string(completed),
+                   static_cast<double>(completed));
+    if (!options_.flight_dump_path.empty()) {
+      flight->DumpToFile(options_.flight_dump_path);
+    }
+  }
 
   // --- Aggregate telemetry (id order: independent of event order). ---
   result.makespan = now;
@@ -749,6 +898,25 @@ ServingRuntime::ServeImpl(const ArrivalTrace& workload,
   }
   result.decode_utilization =
       decode_busy_time / std::max(result.makespan, 1e-12);
+
+  // Counter tracks: replay each stage's recorded timeline as Chrome
+  // "C" events so viewers draw queue-depth and utilization graphs
+  // alongside the spans. Reads the finished timelines only.
+  if (trace != nullptr) {
+    for (size_t s = 0; s < result.stages.size(); ++s) {
+      const StageTelemetry& telemetry = result.stages[s];
+      const std::string label = std::string(core::StageName(telemetry.type)) +
+                                " s" + std::to_string(s);
+      for (const StageTimelinePoint& point : telemetry.timeline) {
+        trace->AddCounter("queue-depth: " + label, "telemetry", 0,
+                          static_cast<int>(s), point.time,
+                          static_cast<double>(point.queue_depth));
+        trace->AddCounter("utilization: " + label, "telemetry", 0,
+                          static_cast<int>(s), point.time,
+                          point.utilization);
+      }
+    }
+  }
 
   // Cache-tier telemetry (id order / counter state: both independent
   // of event interleaving by construction — the caches only ever

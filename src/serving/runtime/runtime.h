@@ -43,6 +43,9 @@
 #include "retrieval/perf/retrieval_model.h"
 #include "retrieval/serving/sharded_index.h"
 #include "serving/cache/rago_cache.h"
+#include "serving/obs/flight_recorder.h"
+#include "serving/obs/slo_alerts.h"
+#include "serving/obs/timeseries.h"
 #include "serving/obs/trace.h"
 #include "serving/runtime/workload.h"
 
@@ -117,6 +120,35 @@ struct RuntimeOptions {
    * contract as `trace`. Not owned; must outlive Serve.
    */
   MetricsRegistry* metrics = nullptr;
+  /**
+   * Optional windowed telemetry (serving/obs/timeseries.h). When set,
+   * Serve rolls arrivals/rejections/completions/queue-depth/busy-time
+   * into fixed virtual-clock windows with the retention ladder keeping
+   * memory bounded for any run length, and closes windows as the event
+   * loop passes their upper edge. Same observation-only contract as
+   * `trace`; thread-count invariant. Not owned; must outlive Serve and
+   * arrive unfinished (Serve calls Finish at the end of the run).
+   */
+  obs::TelemetryTimeSeries* timeseries = nullptr;
+  /**
+   * Optional burn-rate alerting (serving/obs/slo_alerts.h). Requires
+   * `timeseries`; each closed fine window is fed to the engine and the
+   * resulting transitions are emitted as trace instants (when tracing)
+   * and flight records (when flying). Observation-only unless the
+   * engine's fold_into_digest opts the transitions into the outcome
+   * digest. Not owned; must outlive Serve.
+   */
+  obs::SloAlertEngine* alerts = nullptr;
+  /**
+   * Optional flight recorder (serving/obs/flight_recorder.h): a
+   * bounded ring of recent window/alert/rejection/milestone records.
+   * When serving aborts (RAGO_CHECK failure or any exception unwinding
+   * the event loop) the ring is dumped to `flight_dump_path` (when
+   * non-empty) before the exception continues. Not owned.
+   */
+  obs::FlightRecorder* flight = nullptr;
+  /// Dump target for the flight recorder on abort; empty = no dump.
+  std::string flight_dump_path;
   /**
    * Exact samples each latency recorder (TTFT/TPOT/queue-wait, per
    * stage and aggregate) keeps before folding into the bounded

@@ -247,4 +247,13 @@ OfferedQps(const ArrivalTrace& trace) {
   return static_cast<double>(trace.arrivals.size()) / span;
 }
 
+ArrivalTrace
+MergeTraces(const ArrivalTrace& a, const ArrivalTrace& b) {
+  ArrivalTrace merged;
+  merged.arrivals.resize(a.arrivals.size() + b.arrivals.size());
+  std::merge(a.arrivals.begin(), a.arrivals.end(), b.arrivals.begin(),
+             b.arrivals.end(), merged.arrivals.begin());
+  return merged;
+}
+
 }  // namespace rago::runtime

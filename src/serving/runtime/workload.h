@@ -97,6 +97,14 @@ ArrivalTrace LoadTrace(const std::string& path);
 /// single-instant burst).
 double OfferedQps(const ArrivalTrace& trace);
 
+/**
+ * Superimposes two arrival streams into one non-decreasing trace
+ * (a stable std::merge — ties keep `a`'s arrivals first). Composes
+ * scenario primitives into richer traffic, e.g. MMPP bursts riding a
+ * diurnal tide for soak runs.
+ */
+ArrivalTrace MergeTraces(const ArrivalTrace& a, const ArrivalTrace& b);
+
 // ---------------------------------------------------------------------------
 // Query streams: which query each request asks.
 // ---------------------------------------------------------------------------

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <exception>
 #include <limits>
 #include <queue>
+#include <string>
 
 #include "common/check.h"
 #include "common/histogram.h"
@@ -69,6 +71,8 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
   RAGO_REQUIRE(!trace.arrivals.empty(), "empty arrival trace");
   RAGO_REQUIRE(options.batch_timeout >= 0,
                "batch_timeout must be non-negative");
+  RAGO_REQUIRE(options.alerts == nullptr || options.timeseries != nullptr,
+               "burn-rate alerting requires a telemetry time-series");
   RAGO_REQUIRE(!model.schema().IterativeRetrieval(),
                "iterative retrieval uses SimulateIterativeDecode");
   schedule.Validate(model.chain().size());
@@ -148,6 +152,23 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
     recorder->SetThreadName(0, decode_row, "decode pool");
   }
 
+  // --- Windowed telemetry, burn-rate alerting, flight recorder (all
+  // opt-in and observation-only; driven on the virtual clock from the
+  // serial loop, exactly like the online runtime's wiring, so the two
+  // engines' telemetry is directly comparable). ---
+  obs::TelemetryTimeSeries* series = options.timeseries;
+  obs::SloAlertEngine* alerts = options.alerts;
+  obs::FlightRecorder* flight = options.flight;
+  const int alert_row = decode_row + 1;
+  if (recorder != nullptr && alerts != nullptr) {
+    recorder->SetThreadName(0, alert_row, "slo alerts");
+  }
+  if (flight != nullptr) {
+    flight->Append(0.0, "note",
+                   "sim begin: " + std::to_string(trace.arrivals.size()) +
+                       " requests");
+  }
+
   // --- Simulation state. ---
   std::vector<Request> requests(trace.arrivals.size());
   for (size_t i = 0; i < trace.arrivals.size(); ++i) {
@@ -183,6 +204,72 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
   };
   std::vector<InFlight> in_flight;
 
+  // Feeds every closed fine window to the flight recorder and the
+  // alert engine; alert transitions become trace instants and flight
+  // records. (No digest fold here: the sim result has no digest.)
+  auto drain_telemetry_windows = [&]() {
+    for (const obs::WindowSummary& window : series->DrainClosed()) {
+      const double end = window.start + window.span;
+      if (flight != nullptr && (window.offered > 0 || window.completed > 0)) {
+        flight->Append(end, "window",
+                       "offered=" + std::to_string(window.offered) +
+                           " completed=" + std::to_string(window.completed),
+                       window.attainment);
+      }
+      if (alerts == nullptr) {
+        continue;
+      }
+      for (const obs::AlertTransition& transition :
+           alerts->Observe(window)) {
+        const std::string& rule_name =
+            alerts->options()
+                .rules[static_cast<size_t>(transition.rule)]
+                .name;
+        if (flight != nullptr) {
+          flight->Append(transition.time, "alert",
+                         rule_name +
+                             (transition.firing ? " firing" : " clear"),
+                         transition.short_burn);
+        }
+        if (recorder != nullptr) {
+          obs::TraceEvent& instant = recorder->AddInstant(
+              "alert:" + rule_name +
+                  (transition.firing ? ":firing" : ":clear"),
+              "alert", 0, alert_row, transition.time);
+          instant.args.emplace_back("short_burn", transition.short_burn);
+          instant.args.emplace_back("long_burn", transition.long_burn);
+        }
+      }
+    }
+  };
+  // Closes windows the virtual clock has passed; called once per
+  // popped event so alert evaluation lags arrivals by at most one
+  // event, never by wall time.
+  auto advance_telemetry = [&]() {
+    if (series == nullptr) {
+      return;
+    }
+    series->AdvanceTo(now);
+    drain_telemetry_windows();
+  };
+
+  // Queue-depth observations feed both the windowed rollup and (while
+  // tracing) a Chrome counter track per stage, so viewers graph depth
+  // next to the spans.
+  auto record_queue_depth = [&](size_t s) {
+    const auto depth = static_cast<int64_t>(stages[s].queue.size());
+    if (series != nullptr) {
+      series->RecordQueueDepth(now, static_cast<int>(s), depth);
+    }
+    if (recorder != nullptr) {
+      recorder->AddCounter(
+          std::string("queue-depth: ") + core::StageName(stages[s].type) +
+              " s" + std::to_string(s),
+          "telemetry", 0, static_cast<int>(s), now,
+          static_cast<double>(depth));
+    }
+  };
+
   auto start_batches = [&](bool force) {
     for (size_t s = 0; s < stages.size(); ++s) {
       SimStage& stage = stages[s];
@@ -211,6 +298,11 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
         stage.oldest_enqueue = now;
         server_busy_until[server] = now + stage.interval;
         server_busy_time[server] += stage.interval;
+        if (series != nullptr) {
+          // Occupancy attributed to the window containing the batch
+          // start (windowed utilization is a rollup, not a partition).
+          series->RecordBusy(now, static_cast<int>(s), stage.interval);
+        }
         if (recorder != nullptr) {
           obs::TraceEvent& span = recorder->AddComplete(
               std::string(core::StageName(stage.type)) + " x" +
@@ -234,6 +326,7 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
         }
         in_flight.push_back(std::move(batch));
         events.push(Event{now + stage.latency, 1, static_cast<int>(s)});
+        record_queue_depth(s);
       }
       if (!stage.queue.empty() && server_busy_until[server] <= now) {
         // Re-check at the flush deadline.
@@ -255,6 +348,7 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
     if (recorder != nullptr) {
       stage.enqueue_times.push_back(now);
     }
+    record_queue_depth(s);
   };
 
   auto admit_decode = [&]() {
@@ -290,6 +384,20 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
         Request& request = requests[static_cast<size_t>(seq.id)];
         request.completion = now;
         ++completed;
+        const double tpot =
+            (request.completion - request.decode_start) / decode_tokens;
+        // <= 0 disables a bound; the sim does not attribute
+        // per-request queue wait, so the windowed queue-wait
+        // histogram stays empty here (the runtime fills it).
+        const bool within_slo =
+            (options.slo_ttft_seconds <= 0 ||
+             request.ttft <= options.slo_ttft_seconds) &&
+            (options.slo_tpot_seconds <= 0 ||
+             tpot <= options.slo_tpot_seconds);
+        if (series != nullptr) {
+          series->RecordCompletion(now, request.ttft, tpot, 0.0,
+                                   within_slo);
+        }
         if (recorder != nullptr) {
           recorder->AddComplete("decode", "stage", 1, seq.id,
                                 request.decode_start,
@@ -297,6 +405,9 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
           recorder->AddComplete("request", "request", 1, seq.id,
                                 request.arrival, now - request.arrival,
                                 seq.id);
+          // Terminal: seal for sampling, scored by end-to-end latency.
+          recorder->FinalizeRequest(seq.id, now - request.arrival,
+                                    !within_slo);
         }
       } else {
         still.push_back(seq);
@@ -306,13 +417,34 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
     admit_decode();
   };
 
+  // On any exception below (including RAGO_CHECK invariant failures)
+  // dump the flight recorder before unwinding, so the last moments of
+  // the run survive the crash.
+  struct FlightAbortGuard {
+    obs::FlightRecorder* flight;
+    const std::string* path;
+    const double* now;
+    ~FlightAbortGuard() {
+      if (flight != nullptr && std::uncaught_exceptions() > 0) {
+        flight->Append(*now, "exception", "sim aborted by exception");
+        if (!path->empty()) {
+          flight->DumpToFile(*path);
+        }
+      }
+    }
+  } flight_abort_guard{flight, &options.flight_dump_path, &now};
+
   while (!events.empty()) {
     const Event event = events.top();
     events.pop();
     now = std::max(now, event.time);
+    advance_telemetry();
 
     switch (event.kind) {
       case 0: {  // Arrival.
+        if (series != nullptr) {
+          series->RecordOffered(now, /*admitted=*/true);
+        }
         if (recorder != nullptr) {
           recorder->SetThreadName(1, event.a,
                                   "req " + std::to_string(event.a));
@@ -370,6 +502,7 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
     const Event event = events.top();
     events.pop();
     now = std::max(now, event.time);
+    advance_telemetry();
     if (event.kind == 1) {
       const auto s = static_cast<size_t>(event.a);
       for (size_t b = 0; b < in_flight.size(); ++b) {
@@ -400,6 +533,23 @@ SimulateServing(const PipelineModel& model, const Schedule& schedule,
 
   RAGO_CHECK(completed == static_cast<int64_t>(requests.size()),
              "serving simulation failed to drain all requests");
+
+  // --- Seal the observation layer at virtual end-of-run. ---
+  if (series != nullptr) {
+    series->Finish(now);
+    drain_telemetry_windows();
+  }
+  if (recorder != nullptr) {
+    recorder->FlushTailKeep();
+  }
+  if (flight != nullptr) {
+    flight->Append(now, "note",
+                   "sim end: completed=" + std::to_string(completed),
+                   static_cast<double>(completed));
+    if (!options.flight_dump_path.empty()) {
+      flight->DumpToFile(options.flight_dump_path);
+    }
+  }
 
   // --- Aggregate. ---
   ServingSimResult result;

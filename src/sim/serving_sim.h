@@ -19,11 +19,15 @@
 #define RAGO_SIM_SERVING_SIM_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/pipeline_model.h"
 #include "core/schedule.h"
 #include "retrieval/perf/retrieval_model.h"
+#include "serving/obs/flight_recorder.h"
+#include "serving/obs/slo_alerts.h"
+#include "serving/obs/timeseries.h"
 #include "serving/obs/trace.h"
 #include "serving/runtime/workload.h"
 
@@ -72,6 +76,38 @@ struct ServingSimOptions {
    * tracing on or off. Not owned; must outlive the call.
    */
   obs::TraceRecorder* trace = nullptr;
+  /**
+   * Optional windowed telemetry sink (serving/obs/timeseries.h): the
+   * simulation rolls offered/completed counts, TTFT/TPOT latencies,
+   * queue depths, and server busy time into fixed virtual-clock
+   * windows — the same rollup shape the online runtime feeds, so DES
+   * and runtime time series compare window for window.
+   * Observation-only. Not owned; must outlive the call.
+   */
+  obs::TelemetryTimeSeries* timeseries = nullptr;
+  /**
+   * Optional burn-rate alert engine (serving/obs/slo_alerts.h); fed
+   * every closed telemetry window. Requires `timeseries`. The sim has
+   * no outcome digest, so `fold_into_digest` has no effect here.
+   * Not owned; must outlive the call.
+   */
+  obs::SloAlertEngine* alerts = nullptr;
+  /**
+   * Optional flight recorder (serving/obs/flight_recorder.h): a
+   * bounded ring of recent begin/window/alert notes, dumped to
+   * `flight_dump_path` (when non-empty) at the end of the run and on
+   * any exception unwinding the simulation. Not owned.
+   */
+  obs::FlightRecorder* flight = nullptr;
+  std::string flight_dump_path;
+  /**
+   * SLO bounds used to classify completions for windowed attainment
+   * and burn-rate alerting. <= 0 disables that bound. Kept as plain
+   * doubles (not runtime::SloTarget) so the sim layer stays
+   * independent of the online runtime.
+   */
+  double slo_ttft_seconds = 0.0;
+  double slo_tpot_seconds = 0.0;
 };
 
 /// Aggregate results of one simulation run. Percentiles use the

@@ -11,10 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/json_reader.h"
 #include "core/pipeline_model.h"
 #include "core/schema.h"
 #include "hardware/cluster.h"
+#include "serving/obs/flight_recorder.h"
+#include "serving/obs/slo_alerts.h"
+#include "serving/obs/timeseries.h"
 #include "serving/obs/trace.h"
 #include "sim/serving_sim.h"
 #include "tests/testing/test_support.h"
@@ -208,6 +212,243 @@ TEST(TraceRecorder, DesSimulationEmitsLoadableTrace) {
   EXPECT_FALSE(recorder.EventsForRequest(0).empty());
   const JsonValue doc = JsonValue::Parse(recorder.ChromeTraceJson());
   EXPECT_GE(doc.At("traceEvents").size(), recorder.size());
+}
+
+// --- Deterministic sampling ------------------------------------------
+
+TEST(TraceSampling, DefaultPolicyIsANoOp) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.sampling_active());
+  recorder.AddInstant("arrival", "admission", 1, 3, 0.5, /*request_id=*/3);
+  // Commits immediately: nothing buffers without an active policy.
+  EXPECT_EQ(recorder.size(), 1u);
+  recorder.FinalizeRequest(3, 1.0, false);
+  recorder.FlushTailKeep();
+  EXPECT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.finalized_requests(), 0);
+}
+
+TEST(TraceSampling, RejectsBadPolicyAndLateConfiguration) {
+  TraceRecorder recorder;
+  TraceSamplingOptions bad;
+  bad.head_rate = 1.5;
+  EXPECT_THROW(recorder.SetSampling(bad), ConfigError);
+  bad.head_rate = 0.5;
+  bad.tail_keep = -1;
+  EXPECT_THROW(recorder.SetSampling(bad), ConfigError);
+
+  recorder.AddInstant("arrival", "admission", 1, 0, 0.0, 0);
+  TraceSamplingOptions late;
+  late.head_rate = 0.5;
+  EXPECT_THROW(recorder.SetSampling(late), ConfigError);
+}
+
+TEST(TraceSampling, HeadSamplingCommitsExactlyTheHashSelectedSubset) {
+  TraceSamplingOptions sampling;
+  sampling.head_rate = 0.5;
+  sampling.seed = 42;
+
+  TraceRecorder recorder;
+  recorder.SetSampling(sampling);
+  EXPECT_TRUE(recorder.sampling_active());
+  for (int64_t id = 0; id < 100; ++id) {
+    recorder.SetThreadName(1, static_cast<int>(id),
+                           "req " + std::to_string(id));
+    recorder.AddInstant("arrival", "admission", 1, static_cast<int>(id),
+                        0.01 * static_cast<double>(id), id);
+    recorder.FinalizeRequest(id, 1.0, false);
+  }
+
+  int64_t expected = 0;
+  for (int64_t id = 0; id < 100; ++id) {
+    const bool kept = recorder.HeadSampled(id);
+    expected += kept ? 1 : 0;
+    // The committed set is exactly the pure-function verdict per id.
+    EXPECT_EQ(!recorder.EventsForRequest(id).empty(), kept) << id;
+  }
+  EXPECT_GT(expected, 0);
+  EXPECT_LT(expected, 100);
+  EXPECT_EQ(recorder.finalized_requests(), 100);
+  EXPECT_EQ(recorder.sampled_requests(), expected);
+  EXPECT_EQ(recorder.discarded_requests(), 100 - expected);
+  EXPECT_EQ(recorder.pending_requests(), 0u);
+
+  // Unsampled requests leave no metadata behind either: only sampled
+  // ids surface as pid-1 thread rows in the export.
+  const JsonValue doc = JsonValue::Parse(recorder.ChromeTraceJson());
+  int64_t thread_rows = 0;
+  for (const JsonValue& event : doc.At("traceEvents").Items()) {
+    if (event.At("ph").AsString() == "M" &&
+        event.At("name").AsString() == "thread_name") {
+      ++thread_rows;
+    }
+  }
+  EXPECT_EQ(thread_rows, expected);
+}
+
+TEST(TraceSampling, TailKeepRetainsWorstAndViolatorsOutrankSlow) {
+  TraceSamplingOptions sampling;
+  sampling.head_rate = 0.0;  // Tail ring decides everything.
+  sampling.tail_keep = 3;
+
+  TraceRecorder recorder;
+  recorder.SetSampling(sampling);
+  struct Fin {
+    int64_t id;
+    double score;
+    bool violation;
+  };
+  // Two SLO violators (scores 1.0, 0.5) and three merely-slow
+  // requests (9.0, 7.0, 5.0): the violators must both survive even
+  // though every non-violator scored higher.
+  const std::vector<Fin> finals = {{1, 5.0, false},
+                                   {2, 1.0, true},
+                                   {3, 9.0, false},
+                                   {4, 0.5, true},
+                                   {5, 7.0, false}};
+  for (const Fin& fin : finals) {
+    recorder.AddInstant("arrival", "admission", 1,
+                        static_cast<int>(fin.id), 0.0, fin.id);
+    recorder.FinalizeRequest(fin.id, fin.score, fin.violation);
+  }
+  EXPECT_EQ(recorder.tail_kept(), 3u);
+  EXPECT_EQ(recorder.size(), 0u);  // Nothing committed yet.
+
+  recorder.FlushTailKeep();
+  EXPECT_EQ(recorder.tail_kept(), 0u);
+  EXPECT_FALSE(recorder.EventsForRequest(2).empty());
+  EXPECT_FALSE(recorder.EventsForRequest(4).empty());
+  EXPECT_FALSE(recorder.EventsForRequest(3).empty());  // Worst score.
+  EXPECT_TRUE(recorder.EventsForRequest(1).empty());
+  EXPECT_TRUE(recorder.EventsForRequest(5).empty());
+  EXPECT_EQ(recorder.sampled_requests(), 3);
+  EXPECT_EQ(recorder.discarded_requests(), 2);
+
+  // Flushed in ascending id order for a deterministic export.
+  std::vector<int64_t> committed_order;
+  for (const TraceEvent& event : recorder.events()) {
+    committed_order.push_back(event.request_id);
+  }
+  EXPECT_EQ(committed_order, (std::vector<int64_t>{2, 3, 4}));
+}
+
+TEST(TraceSampling, DesSampledTraceIsASubsetOfTheFullTrace) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const sim::ArrivalTrace trace = sim::PoissonTrace(80, 120.0, 3);
+
+  TraceRecorder full;
+  sim::ServingSimOptions full_options;
+  full_options.trace = &full;
+  const sim::ServingSimResult full_result =
+      sim::SimulateServing(model, schedule, trace, full_options);
+
+  TraceRecorder sampled;
+  TraceSamplingOptions sampling;
+  sampling.head_rate = 0.3;
+  sampling.tail_keep = 4;
+  sampling.seed = 5;
+  sampled.SetSampling(sampling);
+  sim::ServingSimOptions sampled_options;
+  sampled_options.trace = &sampled;
+  const sim::ServingSimResult sampled_result =
+      sim::SimulateServing(model, schedule, trace, sampled_options);
+
+  // Sampling is observation-side only: identical simulation results.
+  EXPECT_EQ(sampled_result.completed, full_result.completed);
+  EXPECT_DOUBLE_EQ(sampled_result.makespan, full_result.makespan);
+  EXPECT_DOUBLE_EQ(sampled_result.p99_ttft, full_result.p99_ttft);
+
+  EXPECT_EQ(sampled.finalized_requests(), 80);
+  EXPECT_EQ(sampled.pending_requests(), 0u);
+  EXPECT_GT(sampled.sampled_requests(), 0);
+  EXPECT_LT(sampled.sampled_requests(), 80);
+  EXPECT_LT(sampled.size(), full.size());
+
+  // Every committed request's event sequence is byte-equal to what
+  // the unsampled run recorded for that id; everything else is gone.
+  for (int64_t id = 0; id < 80; ++id) {
+    const std::vector<const TraceEvent*> kept =
+        sampled.EventsForRequest(id);
+    if (kept.empty()) {
+      continue;
+    }
+    const std::vector<const TraceEvent*> reference =
+        full.EventsForRequest(id);
+    ASSERT_EQ(kept.size(), reference.size()) << id;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      EXPECT_EQ(kept[i]->name, reference[i]->name);
+      EXPECT_EQ(kept[i]->start, reference[i]->start);
+      EXPECT_EQ(kept[i]->duration, reference[i]->duration);
+    }
+  }
+}
+
+TEST(TraceSampling, DesTelemetryLadderAndFlightRideAlong) {
+  // The full observation stack on the DES: windowed telemetry, alerts
+  // against an impossible SLO (everything violates), and the flight
+  // recorder — none of it may move a single result field.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const sim::ArrivalTrace trace = sim::PoissonTrace(80, 120.0, 3);
+
+  const sim::ServingSimResult plain =
+      sim::SimulateServing(model, schedule, trace);
+
+  TelemetryTimeSeries series;
+  SloAlertOptions alert_options;
+  alert_options.rules.push_back({});
+  alert_options.rules.back().short_window_seconds = 1.0;
+  alert_options.rules.back().long_window_seconds = 2.0;
+  SloAlertEngine alerts(alert_options);
+  FlightRecorder flight(32);
+  sim::ServingSimOptions options;
+  options.timeseries = &series;
+  options.alerts = &alerts;
+  options.flight = &flight;
+  options.slo_ttft_seconds = 1e-9;  // Nothing can meet this.
+  const sim::ServingSimResult observed =
+      sim::SimulateServing(model, schedule, trace, options);
+
+  EXPECT_EQ(observed.completed, plain.completed);
+  EXPECT_DOUBLE_EQ(observed.makespan, plain.makespan);
+  EXPECT_DOUBLE_EQ(observed.p99_ttft, plain.p99_ttft);
+  EXPECT_DOUBLE_EQ(observed.decode_utilization, plain.decode_utilization);
+
+  // The ladder saw every arrival and completion.
+  int64_t offered = 0;
+  int64_t completed = 0;
+  for (int level = 0; level < 3; ++level) {
+    for (const WindowStats& window : series.Level(level)) {
+      offered += window.offered;
+      completed += window.completed;
+    }
+  }
+  EXPECT_EQ(offered, 80);
+  EXPECT_EQ(completed, 80);
+  // Attainment 0 under the impossible SLO fires the page rule.
+  EXPECT_FALSE(alerts.transitions().empty());
+  EXPECT_TRUE(alerts.transitions().front().firing);
+  // The flight ring stayed bounded and captured begin/end notes.
+  EXPECT_GT(flight.appended(), 0);
+  EXPECT_LE(flight.size(), 32u);
+  const std::string dump = flight.Json();
+  EXPECT_NE(dump.find("sim begin"), std::string::npos);
+  EXPECT_NE(dump.find("sim end"), std::string::npos);
+}
+
+TEST(TraceSampling, SimRequiresTimeseriesForAlerts) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const sim::ArrivalTrace trace = sim::BurstTrace(4);
+
+  SloAlertOptions alert_options;
+  alert_options.rules.push_back({});
+  SloAlertEngine alerts(alert_options);
+  sim::ServingSimOptions options;
+  options.alerts = &alerts;  // No timeseries: nothing feeds the engine.
+  EXPECT_THROW(sim::SimulateServing(model, schedule, trace, options),
+               ConfigError);
 }
 
 }  // namespace

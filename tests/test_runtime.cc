@@ -22,6 +22,10 @@
 #include "retrieval/ann/dataset.h"
 #include "retrieval/perf/measured_model.h"
 #include "retrieval/serving/sharded_index.h"
+#include "common/json_reader.h"
+#include "serving/obs/flight_recorder.h"
+#include "serving/obs/slo_alerts.h"
+#include "serving/obs/timeseries.h"
 #include "serving/runtime/runtime.h"
 #include "serving/runtime/workload.h"
 #include "sim/serving_sim.h"
@@ -651,6 +655,183 @@ TEST(ServingRuntimeTest, RetrievalModelOverridePricesVirtualTime) {
     EXPECT_EQ(fast_result.requests[r].first_neighbor,
               slow_result.requests[r].first_neighbor);
   }
+}
+
+TEST(ServingRuntimeTest, FullTelemetryLayerIsThreadInvariantAndNeutral) {
+  // The whole observation stack at once — windowed ladder, burn-rate
+  // alerting, flight recorder, sampled tracing — attached for every
+  // worker-pool size: the outcome digest must equal the unobserved
+  // run's, and every serialized observation surface must be
+  // byte-identical across pool sizes.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier(serving::ShardBackend::kIvf);
+  const ArrivalTrace trace = PoissonTrace(150, 120.0, 17);
+
+  RuntimeOptions plain_options;
+  plain_options.top_k = 5;
+  const uint64_t plain_digest =
+      ServingRuntime(model, schedule, tier.index, plain_options)
+          .Serve(trace, tier.queries)
+          .outcome_digest;
+
+  obs::TimeSeriesOptions ts_options;
+  ts_options.window_seconds = 0.1;
+  ts_options.windows_per_level = 4;  // Small: force folds.
+  obs::SloAlertOptions alert_options;
+  alert_options.rules.push_back({});
+  alert_options.rules.back().short_window_seconds = 0.2;
+  alert_options.rules.back().long_window_seconds = 0.6;
+  obs::TraceSamplingOptions sampling;
+  sampling.head_rate = 0.25;
+  sampling.tail_keep = 4;
+  sampling.seed = 11;
+
+  std::vector<std::string> series_jsons;
+  std::vector<std::string> alert_jsons;
+  std::vector<std::string> summary_jsons;
+  for (int threads : {1, 2, 8}) {
+    obs::TelemetryTimeSeries series(ts_options);
+    obs::SloAlertEngine alerts(alert_options);
+    obs::FlightRecorder flight(64);
+    obs::TraceRecorder recorder;
+    recorder.SetSampling(sampling);
+
+    RuntimeOptions options;
+    options.num_threads = threads;
+    options.top_k = 5;
+    options.timeseries = &series;
+    options.alerts = &alerts;
+    options.flight = &flight;
+    options.trace = &recorder;
+    const ServingRuntime runtime(model, schedule, tier.index, options);
+    const RuntimeResult result = runtime.Serve(trace, tier.queries);
+
+    EXPECT_EQ(result.outcome_digest, plain_digest) << threads;
+    EXPECT_GT(series.windows_closed(), 0) << threads;
+    EXPECT_EQ(recorder.finalized_requests(), 150) << threads;
+    EXPECT_EQ(recorder.pending_requests(), 0u) << threads;
+    EXPECT_GT(flight.appended(), 0) << threads;
+    series_jsons.push_back(series.Json());
+    alert_jsons.push_back(alerts.Json());
+    summary_jsons.push_back(recorder.RequestSummaryJson());
+  }
+  for (size_t i = 1; i < series_jsons.size(); ++i) {
+    EXPECT_EQ(series_jsons[i], series_jsons[0]);
+    EXPECT_EQ(alert_jsons[i], alert_jsons[0]);
+    EXPECT_EQ(summary_jsons[i], summary_jsons[0]);
+  }
+}
+
+TEST(ServingRuntimeTest, AlertDigestFoldIsOptInAndDeterministic) {
+  // Overload + an unmeetable SLO so the page rule definitely fires.
+  // Default policy: transitions are observation-only and the digest
+  // matches the unobserved run. With fold_into_digest set, the digest
+  // moves — deterministically, for every pool size.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 16);
+  const LiveTier tier = MakeLiveTier();
+  const ArrivalTrace trace = BurstTrace(64);
+
+  RuntimeOptions base;
+  base.admission_queue_limit = 4;
+  base.slo.ttft_seconds = 1e-9;
+  const uint64_t plain_digest =
+      ServingRuntime(model, schedule, tier.index, base)
+          .Serve(trace, tier.queries)
+          .outcome_digest;
+
+  obs::TimeSeriesOptions ts_options;
+  ts_options.window_seconds = 0.05;
+  obs::SloAlertOptions alert_options;
+  alert_options.rules.push_back({});
+  alert_options.rules.back().short_window_seconds = 0.1;
+  alert_options.rules.back().long_window_seconds = 0.3;
+
+  std::vector<uint64_t> folded_digests;
+  for (int threads : {1, 2, 8}) {
+    for (const bool fold : {false, true}) {
+      obs::TelemetryTimeSeries series(ts_options);
+      obs::SloAlertOptions engine_options = alert_options;
+      engine_options.fold_into_digest = fold;
+      obs::SloAlertEngine alerts(engine_options);
+      RuntimeOptions options = base;
+      options.num_threads = threads;
+      options.timeseries = &series;
+      options.alerts = &alerts;
+      const ServingRuntime runtime(model, schedule, tier.index,
+                                   options);
+      const RuntimeResult result = runtime.Serve(trace, tier.queries);
+
+      ASSERT_FALSE(alerts.transitions().empty());
+      if (fold) {
+        EXPECT_NE(result.outcome_digest, plain_digest) << threads;
+        folded_digests.push_back(result.outcome_digest);
+      } else {
+        EXPECT_EQ(result.outcome_digest, plain_digest) << threads;
+      }
+    }
+  }
+  ASSERT_EQ(folded_digests.size(), 3u);
+  EXPECT_EQ(folded_digests[1], folded_digests[0]);
+  EXPECT_EQ(folded_digests[2], folded_digests[0]);
+}
+
+TEST(ServingRuntimeTest, AlertsWithoutTimeseriesAreRejected) {
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 16);
+  const LiveTier tier = MakeLiveTier();
+  obs::SloAlertOptions alert_options;
+  alert_options.rules.push_back({});
+  obs::SloAlertEngine alerts(alert_options);
+  RuntimeOptions options;
+  options.alerts = &alerts;  // No timeseries feeding it.
+  EXPECT_THROW(ServingRuntime(model, schedule, tier.index, options)
+                   .Serve(BurstTrace(4), tier.queries),
+               ConfigError);
+}
+
+TEST(ServingRuntimeTest, CounterTracksExportStageTimelines) {
+  // Satellite of the telemetry layer: the per-stage queue-depth /
+  // utilization timelines the runtime already aggregates replay into
+  // Chrome "C" counter events, one pair per timeline point.
+  const core::PipelineModel model = rago::testing::TinyHyperscaleModel();
+  const core::Schedule schedule = SimpleSchedule(model, 8, 8, 4, 64);
+  const LiveTier tier = MakeLiveTier();
+  obs::TraceRecorder recorder;
+  RuntimeOptions options;
+  options.trace = &recorder;
+  const ServingRuntime runtime(model, schedule, tier.index, options);
+  const RuntimeResult result =
+      runtime.Serve(PoissonTrace(40, 100.0, 7), tier.queries);
+
+  size_t timeline_points = 0;
+  for (const StageTelemetry& telemetry : result.stages) {
+    timeline_points += telemetry.timeline.size();
+  }
+  ASSERT_GT(timeline_points, 0u);
+
+  int64_t queue_counters = 0;
+  int64_t util_counters = 0;
+  const JsonValue doc = JsonValue::Parse(recorder.ChromeTraceJson());
+  for (const JsonValue& event : doc.At("traceEvents").Items()) {
+    if (event.At("ph").AsString() != "C") {
+      continue;
+    }
+    const std::string& name = event.At("name").AsString();
+    const double value = event.At("args").At("value").AsNumber();
+    if (name.rfind("queue-depth: ", 0) == 0) {
+      ++queue_counters;
+      EXPECT_GE(value, 0.0);
+    } else if (name.rfind("utilization: ", 0) == 0) {
+      ++util_counters;
+      EXPECT_GE(value, 0.0);
+    } else {
+      ADD_FAILURE() << "unexpected counter track: " << name;
+    }
+  }
+  EXPECT_EQ(queue_counters, static_cast<int64_t>(timeline_points));
+  EXPECT_EQ(util_counters, static_cast<int64_t>(timeline_points));
 }
 
 }  // namespace
